@@ -1,0 +1,58 @@
+// Ablation: why not compare the trees directly? (paper section 2.5)
+//
+// Pits the two strawmen -- the plain vertex diff and a Zhang-Shasha tree
+// edit distance -- against DiffProv on SDN1. Both baselines mask timestamps
+// already (a generous equivalence), yet the butterfly effect of one broken
+// flow entry still yields dozens-to-hundreds of differences, while DiffProv
+// returns a single change. Also reports the baselines' runtime cost.
+#include "bench_util.h"
+#include "diffprov/diffprov.h"
+#include "diffprov/treediff.h"
+#include "sdn/scenario.h"
+
+int main() {
+  using namespace dp;
+  bench::print_header("Ablation: naive tree comparison vs. DiffProv",
+                      "paper section 2.5 and Table 1");
+
+  const sdn::Scenario s = sdn::sdn1();
+  LogReplayProvider good_provider(s.program, s.topology, s.log);
+  const BadRun run = good_provider.replay_bad({});
+  const auto good = locate_tree(*run.graph, s.good_event);
+  const auto bad = locate_tree(*run.graph, s.bad_event);
+
+  bench::WallTimer diff_timer;
+  const TreeDiffStats diff = plain_tree_diff(*good, *bad);
+  const double diff_ms = diff_timer.millis();
+
+  bench::WallTimer ted_timer;
+  const std::size_t ted = tree_edit_distance(*good, *bad);
+  const double ted_ms = ted_timer.millis();
+
+  bench::WallTimer dp_timer;
+  LogReplayProvider provider(s.program, s.topology, s.log);
+  DiffProv diffprov(s.program, provider);
+  const DiffProvResult result = diffprov.diagnose(*good, s.bad_event);
+  const double dp_ms = dp_timer.millis();
+
+  std::printf("Good tree: %zu vertexes; bad tree: %zu vertexes.\n\n",
+              good->size(), bad->size());
+  bench::print_row({"Technique", "Output size", "Time (ms)"});
+  bench::print_row({"---------", "-----------", "---------"});
+  bench::print_row({"plain vertex diff",
+                    std::to_string(diff.diff_size()) + " vertexes",
+                    bench::fmt(diff_ms, 2)});
+  bench::print_row({"tree edit distance",
+                    std::to_string(ted) + " edit ops",
+                    bench::fmt(ted_ms, 2)});
+  bench::print_row({"DiffProv",
+                    std::to_string(result.changes.size()) + " change",
+                    bench::fmt(dp_ms, 2)});
+  std::printf(
+      "\nShape check: both baselines report tens-to-hundreds of differences\n"
+      "for a single-vertex root cause; the edit distance does not even name\n"
+      "the culprit, only a script of %zu edits. DiffProv pays replay time\n"
+      "for a one-change answer:\n  %s\n",
+      ted, result.changes.empty() ? "-" : result.changes[0].to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the reproduction benches: wall-clock timing and
+// paper-style table printing. Every bench prints the rows of the table or
+// the series of the figure it regenerates, alongside the values the paper
+// reports, so EXPERIMENTS.md can be cross-checked mechanically.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dp::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  /// Elapsed seconds since construction.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_reference) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(reproduces %s)\n\n", paper_reference.c_str());
+}
+
+/// Fixed-width row printing: first column left-aligned, rest right-aligned.
+inline void print_row(const std::vector<std::string>& cells,
+                      int first_width = 26, int width = 14) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i == 0) {
+      std::printf("%-*s", first_width, cells[i].c_str());
+    } else {
+      std::printf("%*s", width, cells[i].c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace dp::bench

@@ -1,0 +1,162 @@
+// Regenerates the runtime-latency experiment of section 6.4:
+//  * SDN: per-packet processing cost with the (query-time) logging engine
+//    attached vs. a bare run -- the paper measures 6.7% inflation while
+//    streaming 2.5 M packets through SDN1;
+//  * MapReduce: job runtime with instrumentation + metadata logging vs. an
+//    uninstrumented run -- the paper measures 2.3%, dominated by input-file
+//    checksumming, dropping to 0.2% once checksums are computed only when
+//    files change (the caching optimization, which we also measure).
+#include <algorithm>
+#include <sstream>
+#include <functional>
+
+#include "bench_util.h"
+#include "mapred/wordcount.h"
+#include "replay/logging_engine.h"
+#include "runtime/engine.h"
+#include "sdn/program.h"
+#include "sdn/scenario.h"
+#include "sdn/trace.h"
+#include "util/strings.h"
+
+namespace dp {
+namespace {
+
+std::size_t benchmark_guard = 0;  // defeats dead-code elimination
+
+double sdn_run_seconds(const sdn::Scenario& base, const EventLog& trace,
+                       bool with_logging) {
+  Engine engine(sdn::make_program());
+  LoggingEngine logging(LoggingMode::kQueryTime);
+  logging.set_border_nodes({"sw1"});
+  std::ostringstream sink;
+  // Attach the query-time logger plus a serialization sink that encodes
+  // each record as it is logged (the write path of a real deployment).
+  struct Writer final : RuntimeObserver {
+    std::ostringstream* sink;
+    void on_base_insert(const Tuple& tuple, LogicalTime t,
+                        bool is_event) override {
+      if (is_event && tuple.location() != "sw1") return;
+      EventLog one;
+      one.append_insert(tuple, t);
+      one.serialize(*sink);
+    }
+  } writer;
+  writer.sink = &sink;
+  if (with_logging) {
+    engine.add_observer(&logging);
+    engine.add_observer(&writer);
+  }
+  for (const LogRecord& r : base.log.records()) {
+    engine.schedule_insert(r.tuple, r.time);
+  }
+  for (const LogRecord& r : trace.records()) {
+    engine.schedule_insert(r.tuple, r.time);
+  }
+  bench::WallTimer timer;
+  engine.run();
+  return timer.seconds();
+}
+
+double median_of_three(const std::function<double()>& fn) {
+  std::vector<double> samples = {fn(), fn(), fn()};
+  std::sort(samples.begin(), samples.end());
+  return samples[1];
+}
+
+}  // namespace
+}  // namespace dp
+
+int main() {
+  using namespace dp;
+  bench::print_header("Section 6.4: runtime latency overhead of logging",
+                      "paper section 6.4 (6.7% SDN, 2.3% / 0.2% MapReduce)");
+
+  // --- SDN: stream a packet trace through the SDN1 network ---------------
+  sdn::Scenario scenario = sdn::sdn1();
+  sdn::TraceConfig trace_config;
+  trace_config.rate_mbps = 100.0;
+  trace_config.duration_s = 10.0;
+  trace_config.max_packets = 25'000;  // scaled stand-in for 2.5 M packets
+  EventLog trace;
+  const sdn::TraceStats stats = sdn::generate_trace(trace_config, trace);
+
+  const double without_log = median_of_three(
+      [&] { return sdn_run_seconds(scenario, trace, false); });
+  const double with_log = median_of_three(
+      [&] { return sdn_run_seconds(scenario, trace, true); });
+  const double sdn_overhead = 100.0 * (with_log - without_log) / without_log;
+  // The logging path in isolation (append + binary encode per record), to
+  // put an exact number on the per-packet cost even when the end-to-end
+  // difference drowns in measurement noise.
+  const double log_only = median_of_three([&] {
+    bench::WallTimer timer;
+    std::ostringstream sink;
+    EventLog log;
+    for (const LogRecord& r : trace.records()) {
+      log.append_insert(r.tuple, r.time);
+      EventLog one;
+      one.append_insert(r.tuple, r.time);
+      one.serialize(sink);
+    }
+    benchmark_guard += sink.str().size();
+    return timer.seconds();
+  });
+  std::printf("SDN1, %zu packets through the Figure-1 network:\n",
+              stats.packets);
+  std::printf("  bare run:          %7.1f ms (%.2f us/packet)\n",
+              without_log * 1e3, without_log * 1e6 / double(stats.packets));
+  std::printf("  with logging:      %7.1f ms (%.2f us/packet)\n",
+              with_log * 1e3, with_log * 1e6 / double(stats.packets));
+  std::printf("  measured inflation: %6.1f %%   [paper: 6.7%%]\n",
+              sdn_overhead);
+  std::printf("  logging path alone: %6.2f us/packet -> %.2f%% of the\n"
+              "  per-packet processing cost (our simulated forwarding path\n"
+              "  is far heavier per packet than the paper's native switch,\n"
+              "  so the same absolute logging cost is a smaller fraction).\n\n",
+              log_only * 1e6 / double(stats.packets),
+              100.0 * log_only / without_log);
+
+  // --- MapReduce: the instrumented WordCount job -------------------------
+  mapred::CorpusConfig corpus_config;
+  corpus_config.files = 16;
+  corpus_config.lines_per_file = 6000;  // scaled Wikipedia stand-in
+  const mapred::CorpusStore store(mapred::synthetic_corpus(corpus_config));
+  const mapred::JobConfig job;
+
+  const double bare = median_of_three([&] {
+    bench::WallTimer timer;
+    mapred::run_wordcount(store, job);
+    return timer.seconds();
+  });
+  // Query-time approach (the paper's choice): at runtime the job only
+  // writes the metadata log and checksums its inputs; derivations are
+  // reconstructed by replay when a query arrives.
+  auto instrumented_seconds = [&](bool recompute_checksums) {
+    return median_of_three([&] {
+      EventLog metadata;
+      mapred::JobRunOptions options;
+      options.metadata_log = &metadata;
+      options.recompute_checksums = recompute_checksums;
+      bench::WallTimer timer;
+      mapred::run_wordcount(store, job, options);
+      return timer.seconds();
+    });
+  };
+  const double uncached = instrumented_seconds(true);
+  const double cached = instrumented_seconds(false);
+  std::printf("MapReduce WordCount over %s of synthetic corpus:\n",
+              human_bytes(double(store.corpus().total_bytes())).c_str());
+  std::printf("  bare job:                        %7.1f ms\n", bare * 1e3);
+  std::printf("  instrumented (checksum/read):    %7.1f ms  -> %+5.1f %%  "
+              "[paper: 2.3%%]\n",
+              uncached * 1e3, 100.0 * (uncached - bare) / bare);
+  std::printf("  instrumented (cached checksums): %7.1f ms  -> %+5.1f %%  "
+              "[paper: 0.2%%]\n",
+              cached * 1e3, 100.0 * (cached - bare) / bare);
+  std::printf(
+      "\nShape check: logging costs a few percent; in MapReduce the\n"
+      "dominating cost is checksumming input files, and caching checksums\n"
+      "makes the overhead nearly vanish.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// MapReduce debugging walk-through: both paper scenarios on the imperative
+// (instrumented-Hadoop-style) WordCount.
+//
+//   MR1: a colleague changed mapreduce.job.reduces; the output files look
+//        completely reshuffled. Why is "word42" in part-1 instead of part-2?
+//   MR2: a new mapper build drops the first word of every line. Why does a
+//        word that used to be in the output no longer appear at slot 0?
+//
+// Both diagnoses use a *reference from an earlier, correct job execution* --
+// the reference event does not need to come from the same run.
+//
+// Build & run:  cmake --build build && ./build/examples/mapreduce_debugging
+#include <cstdio>
+
+#include "mapred/scenario.h"
+
+using namespace dp;
+
+namespace {
+
+void show(const mapred::Scenario& s) {
+  std::printf("--- %s ---\n%s\n", s.name.c_str(), s.description.c_str());
+
+  // Run both jobs imperatively and show the user-visible symptom.
+  const mapred::JobOutput good_out =
+      mapred::run_wordcount(s.store, s.good_config);
+  const mapred::JobOutput bad_out =
+      mapred::run_wordcount(s.store, s.bad_config);
+  std::printf("reference job: %zu emissions across %zu reducers; "
+              "bad job: %zu emissions across %zu reducers\n",
+              good_out.emissions, good_out.counts.size(), bad_out.emissions,
+              bad_out.counts.size());
+  std::printf("event of interest:  %s\n", s.bad_event.to_string().c_str());
+  std::printf("reference event:    %s\n", s.good_event.to_string().c_str());
+
+  const mapred::Diagnosis d = mapred::diagnose(s);
+  std::printf("good tree: %zu vertexes, bad tree: %zu vertexes\n",
+              d.good_tree.size(), d.bad_tree.size());
+  std::printf("%s\n", d.result.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MapReduce diagnostics with DiffProv (imperative variant:\n"
+              "the job reports key-value-level dependencies, and replay\n"
+              "re-runs the instrumented job with the proposed change).\n\n");
+  show(mapred::mr1_imperative());
+  show(mapred::mr2_imperative());
+  std::printf(
+      "MR1's root cause is the configuration entry itself; MR2's is the\n"
+      "deployed mapper version, identified -- exactly as in the paper -- by\n"
+      "its bytecode checksum, since DiffProv cannot see inside the mapper's\n"
+      "code, only that a different version produces different emissions.\n");
+  return 0;
+}

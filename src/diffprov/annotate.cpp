@@ -1,0 +1,261 @@
+#include "diffprov/annotate.h"
+
+namespace dp {
+
+namespace {
+
+/// Inserts var -> formula, letting tainted formulas win over untainted ones
+/// (a variable bound both by the trigger and by a sibling keeps the
+/// seed-derived meaning).
+void bind(FormulaEnv& env, const std::string& var, FormulaPtr formula) {
+  auto it = env.find(var);
+  if (it == env.end()) {
+    env.emplace(var, std::move(formula));
+    return;
+  }
+  if (!it->second->tainted() && formula->tainted()) {
+    it->second = std::move(formula);
+  }
+}
+
+}  // namespace
+
+TreeAnnotations TreeAnnotations::annotate(const ProvTree& tree,
+                                          const Program& program,
+                                          const SeedInfo& seed) {
+  TreeAnnotations ann(tree, program);
+  if (seed.exist_node == ProvTree::kNoNode) return ann;
+
+  // The seed's fields are, by definition, the seed functions themselves.
+  TupleFormulas seed_formulas;
+  seed_formulas.fields.reserve(seed.tuple.arity());
+  for (std::size_t i = 0; i < seed.tuple.arity(); ++i) {
+    seed_formulas.fields.push_back(Formula::make_seed_field(i));
+  }
+  ann.annotate_chain(seed.exist_node, seed_formulas);
+
+  // Climb the spine bottom-up, composing upward and fanning out downward.
+  for (ProvTree::NodeIndex derive : spine_of(tree, seed)) {
+    ann.process_spine_derive(derive);
+  }
+  return ann;
+}
+
+void TreeAnnotations::annotate_chain(ProvTree::NodeIndex exist_node,
+                                     const TupleFormulas& formulas) {
+  // EXIST -> APPEAR -> (INSERT | DERIVE...) all carry the same tuple.
+  formulas_[exist_node] = formulas;
+  for (ProvTree::NodeIndex appear : tree_->node(exist_node).children) {
+    formulas_[appear] = formulas;
+    for (ProvTree::NodeIndex cause : tree_->node(appear).children) {
+      const VertexKind kind = tree_->vertex_of(cause).kind;
+      if (kind == VertexKind::kInsert || kind == VertexKind::kDerive) {
+        formulas_[cause] = formulas;
+      }
+    }
+  }
+}
+
+void TreeAnnotations::process_spine_derive(ProvTree::NodeIndex derive_node) {
+  const Vertex& v = tree_->vertex_of(derive_node);
+  const Rule* rule = program_->find_rule(v.rule);
+  if (rule == nullptr) return;  // external-spec pseudo rule: stop taints
+  const auto& children = tree_->node(derive_node).children;
+  // Aggregate derivations carry one extra child (the previous aggregate in
+  // the contribution chain); taints propagate through the rule body only.
+  if (children.size() < rule->body.size()) return;  // malformed
+
+  // Build the variable environment from the body instantiation.
+  FormulaEnv env;
+  for (std::size_t i = 0; i < rule->body.size(); ++i) {
+    const BodyAtom& atom = rule->body[i];
+    const Vertex& child = tree_->vertex_of(children[i]);
+    const TupleFormulas* child_formulas = formulas_for(children[i]);
+    for (std::size_t j = 0; j < atom.args.size(); ++j) {
+      if (!atom.args[j].is_var) continue;
+      FormulaPtr f;
+      if (child_formulas != nullptr && j < child_formulas->fields.size() &&
+          child_formulas->fields[j]) {
+        f = child_formulas->fields[j];
+      } else {
+        f = Formula::make_const(child.tuple.at(j));
+      }
+      bind(env, atom.args[j].var, std::move(f));
+    }
+  }
+  for (const Assignment& assign : rule->assigns) {
+    if (auto f = formula_from_expr(*assign.expr, env)) {
+      bind(env, assign.var, std::move(*f));
+    }
+  }
+
+  // Head fields: compose formulas through the head expressions.
+  TupleFormulas head_formulas;
+  head_formulas.fields.reserve(rule->head.args.size());
+  for (const ExprPtr& arg : rule->head.args) {
+    auto f = formula_from_expr(*arg, env);
+    head_formulas.fields.push_back(f ? *f : nullptr);
+  }
+
+  envs_[derive_node] = env;
+  formulas_[derive_node] = head_formulas;
+
+  // Annotate the head's APPEAR/EXIST (the derive's ancestors in the tree).
+  const ProvTree::NodeIndex appear = tree_->node(derive_node).parent;
+  if (appear != ProvTree::kNoNode) {
+    formulas_[appear] = head_formulas;
+    const ProvTree::NodeIndex exist = tree_->node(appear).parent;
+    if (exist != ProvTree::kNoNode) formulas_[exist] = head_formulas;
+  }
+
+  // Downward propagation into sibling subtrees (paper section 4.5).
+  for (std::size_t i = 0; i < rule->body.size(); ++i) {
+    if (formulas_.count(children[i]) != 0) continue;  // spine child: done
+    const BodyAtom& atom = rule->body[i];
+    const Vertex& child = tree_->vertex_of(children[i]);
+    TupleFormulas child_formulas;
+    child_formulas.fields.reserve(atom.args.size());
+    bool any_tainted = false;
+    for (std::size_t j = 0; j < atom.args.size(); ++j) {
+      FormulaPtr f;
+      if (atom.args[j].is_var) {
+        auto it = env.find(atom.args[j].var);
+        if (it != env.end()) f = it->second;
+      }
+      if (!f) f = Formula::make_const(child.tuple.at(j));
+      any_tainted = any_tainted || f->tainted();
+      child_formulas.fields.push_back(std::move(f));
+    }
+    if (!any_tainted) continue;  // verbatim subtree: defaults suffice
+    annotate_chain(children[i], child_formulas);
+    annotate_downward(children[i]);
+  }
+}
+
+void TreeAnnotations::annotate_downward(ProvTree::NodeIndex exist_node) {
+  const TupleFormulas* head_formulas = formulas_for(exist_node);
+  if (head_formulas == nullptr) return;
+  // EXIST -> APPEAR -> first DERIVE (if the tuple is derived).
+  for (ProvTree::NodeIndex appear : tree_->node(exist_node).children) {
+    for (ProvTree::NodeIndex derive : tree_->node(appear).children) {
+      const Vertex& dv = tree_->vertex_of(derive);
+      if (dv.kind != VertexKind::kDerive) continue;
+      const Rule* rule = program_->find_rule(dv.rule);
+      if (rule == nullptr) continue;
+      const auto& children = tree_->node(derive).children;
+      if (children.size() < rule->body.size()) continue;
+
+      // Recover variable formulas by inverting the head computation
+      // against this tuple's formulas (the paper's q = x + 2 example).
+      FormulaEnv env;
+      for (std::size_t i = 0; i < rule->head.args.size(); ++i) {
+        const Expr& e = *rule->head.args[i];
+        FormulaPtr f = i < head_formulas->fields.size() &&
+                               head_formulas->fields[i]
+                           ? head_formulas->fields[i]
+                           : Formula::make_const(dv.tuple.at(i));
+        if (e.kind == Expr::Kind::kVar) bind(env, e.var, std::move(f));
+      }
+      // Second pass: single-unknown inversion of computed head fields.
+      for (std::size_t i = 0; i < rule->head.args.size(); ++i) {
+        const Expr& e = *rule->head.args[i];
+        if (e.kind == Expr::Kind::kVar) continue;
+        std::vector<std::string> vars;
+        e.collect_vars(vars);
+        std::string unknown;
+        bool single = true;
+        for (const std::string& var : vars) {
+          if (env.count(var) != 0) continue;
+          if (!unknown.empty() && unknown != var) {
+            single = false;
+            break;
+          }
+          unknown = var;
+        }
+        if (!single || unknown.empty()) continue;
+        FormulaPtr target = i < head_formulas->fields.size() &&
+                                    head_formulas->fields[i]
+                                ? head_formulas->fields[i]
+                                : Formula::make_const(dv.tuple.at(i));
+        if (auto inv = invert_expr_for_var(e, unknown, target, env)) {
+          bind(env, unknown, std::move(*inv));
+        }
+      }
+      // Invert assignments in reverse order: Var := expr with the Var known
+      // and a single unknown input.
+      for (auto it = rule->assigns.rbegin(); it != rule->assigns.rend();
+           ++it) {
+        auto bound = env.find(it->var);
+        if (bound == env.end()) continue;
+        std::vector<std::string> vars;
+        it->expr->collect_vars(vars);
+        std::string unknown;
+        bool single = true;
+        for (const std::string& var : vars) {
+          if (env.count(var) != 0) continue;
+          if (!unknown.empty() && unknown != var) {
+            single = false;
+            break;
+          }
+          unknown = var;
+        }
+        if (!single || unknown.empty()) continue;
+        if (auto inv =
+                invert_expr_for_var(*it->expr, unknown, bound->second, env)) {
+          bind(env, unknown, std::move(*inv));
+        }
+      }
+
+      envs_[derive] = env;
+      formulas_[derive] = *head_formulas;
+
+      // Annotate and recurse into the body children.
+      for (std::size_t i = 0; i < rule->body.size(); ++i) {
+        if (formulas_.count(children[i]) != 0) continue;
+        const BodyAtom& atom = rule->body[i];
+        const Vertex& child = tree_->vertex_of(children[i]);
+        TupleFormulas child_formulas;
+        child_formulas.fields.reserve(atom.args.size());
+        bool any_tainted = false;
+        for (std::size_t j = 0; j < atom.args.size(); ++j) {
+          FormulaPtr f;
+          if (atom.args[j].is_var) {
+            auto env_it = env.find(atom.args[j].var);
+            if (env_it != env.end()) f = env_it->second;
+          }
+          if (!f) f = Formula::make_const(child.tuple.at(j));
+          any_tainted = any_tainted || f->tainted();
+          child_formulas.fields.push_back(std::move(f));
+        }
+        if (!any_tainted) continue;
+        annotate_chain(children[i], child_formulas);
+        annotate_downward(children[i]);
+      }
+      break;  // only the primary derivation guides taints
+    }
+  }
+}
+
+const TupleFormulas* TreeAnnotations::formulas_for(
+    ProvTree::NodeIndex node) const {
+  auto it = formulas_.find(node);
+  return it == formulas_.end() ? nullptr : &it->second;
+}
+
+std::optional<Tuple> TreeAnnotations::expected_tuple(
+    ProvTree::NodeIndex node, const std::vector<Value>& seed_b_fields) const {
+  const Vertex& v = tree_->vertex_of(node);
+  const TupleFormulas* formulas = formulas_for(node);
+  if (formulas == nullptr) return v.tuple;  // fully verbatim
+  auto values = formulas->eval_expected(seed_b_fields, v.tuple.values());
+  if (!values) return std::nullopt;
+  return Tuple(v.tuple.table(), std::move(*values));
+}
+
+const FormulaEnv* TreeAnnotations::env_for_derive(
+    ProvTree::NodeIndex node) const {
+  auto it = envs_.find(node);
+  return it == envs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dp

@@ -1,0 +1,64 @@
+// Whole-tree taint annotation of the good tree T_G (paper sections 4.3-4.5).
+//
+// One upward pass climbs the spine from the seed, composing formulas through
+// rule head expressions and assignments; at every spine derivation, taints
+// are also propagated *downward* into the sibling subtrees (inverting head
+// computations where necessary), so that every tuple in T_G ends up with
+// per-field formulas over the seed. Untainted fields default to "verbatim"
+// (expected unchanged in T_B).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "diffprov/formula.h"
+#include "diffprov/seed.h"
+#include "ndlog/program.h"
+
+namespace dp {
+
+class TreeAnnotations {
+ public:
+  /// Annotates `tree` (which must belong to `program`'s vocabulary) from its
+  /// seed. Unknown rules (e.g. external-spec pseudo-rules not in the
+  /// program) stop propagation at that vertex, leaving subtrees verbatim.
+  static TreeAnnotations annotate(const ProvTree& tree, const Program& program,
+                                  const SeedInfo& seed);
+
+  /// Formulas for the tuple at `node`, or nullptr if fully verbatim.
+  [[nodiscard]] const TupleFormulas* formulas_for(
+      ProvTree::NodeIndex node) const;
+
+  /// The equivalent-in-T_B tuple for `node`: tainted fields evaluated on
+  /// `seed_b_fields`, untainted fields copied. nullopt if a formula fails
+  /// to evaluate.
+  [[nodiscard]] std::optional<Tuple> expected_tuple(
+      ProvTree::NodeIndex node,
+      const std::vector<Value>& seed_b_fields) const;
+
+  /// Variable environment established at a DERIVE node (spine or downward),
+  /// or nullptr if the node was never processed.
+  [[nodiscard]] const FormulaEnv* env_for_derive(
+      ProvTree::NodeIndex node) const;
+
+  /// Count of annotated (taint-carrying) nodes; exposed for tests/benches.
+  [[nodiscard]] std::size_t tainted_node_count() const {
+    return formulas_.size();
+  }
+
+ private:
+  TreeAnnotations(const ProvTree& tree, const Program& program)
+      : tree_(&tree), program_(&program) {}
+
+  void annotate_chain(ProvTree::NodeIndex exist_node,
+                      const TupleFormulas& formulas);
+  void process_spine_derive(ProvTree::NodeIndex derive_node);
+  void annotate_downward(ProvTree::NodeIndex exist_node);
+
+  const ProvTree* tree_;
+  const Program* program_;
+  std::map<ProvTree::NodeIndex, TupleFormulas> formulas_;
+  std::map<ProvTree::NodeIndex, FormulaEnv> envs_;
+};
+
+}  // namespace dp

@@ -1,0 +1,94 @@
+#include "diffprov/equivalence.h"
+
+namespace dp {
+
+std::optional<Tuple> expected_with_repairs(
+    const ProvTree& good, const TreeAnnotations& annotations,
+    ProvTree::NodeIndex node, const std::vector<Value>& seed_b_fields,
+    const RepairMap& repairs) {
+  (void)good;
+  auto expected = annotations.expected_tuple(node, seed_b_fields);
+  if (!expected) return std::nullopt;
+  auto it = repairs.find(*expected);
+  if (it != repairs.end()) return it->second;
+  return expected;
+}
+
+namespace {
+
+struct Comparator {
+  const ProvTree& good;
+  const TreeAnnotations& annotations;
+  const std::vector<Value>& seed_b;
+  const RepairMap& repairs;
+  const ProvTree& bad;
+  std::string mismatch;
+
+  bool fail(ProvTree::NodeIndex g, const std::string& why) {
+    if (mismatch.empty()) {
+      mismatch = why + " (at good vertex: " +
+                 good.vertex_of(g).label() + ")";
+    }
+    return false;
+  }
+
+  bool compare(ProvTree::NodeIndex g, ProvTree::NodeIndex b) {
+    const Vertex& gv = good.vertex_of(g);
+    const Vertex& bv = bad.vertex_of(b);
+    if (gv.kind != bv.kind) {
+      return fail(g, std::string("vertex kind mismatch: ") +
+                         std::string(vertex_kind_name(gv.kind)) + " vs " +
+                         std::string(vertex_kind_name(bv.kind)));
+    }
+    const auto expected =
+        expected_with_repairs(good, annotations, g, seed_b, repairs);
+    if (!expected) {
+      return fail(g, "taint formula failed to evaluate");
+    }
+    if (!(*expected == bv.tuple)) {
+      return fail(g, "tuple mismatch: expected " + expected->to_string() +
+                         ", found " + bv.tuple.to_string());
+    }
+    if (gv.kind == VertexKind::kDerive && gv.rule != bv.rule) {
+      return fail(g, "rule mismatch: " + gv.rule + " vs " + bv.rule);
+    }
+    const auto& g_children = good.node(g).children;
+    const auto& b_children = bad.node(b).children;
+    // APPEAR vertices can accumulate alternative derivations (multi-support;
+    // e.g. the same tuple re-derived by the repaired replay). Only the
+    // primary derivation -- the one that made the tuple appear -- defines
+    // the tree being compared.
+    if (gv.kind == VertexKind::kAppear) {
+      if (g_children.empty() != b_children.empty()) {
+        return fail(g, "one APPEAR has a cause, the other does not");
+      }
+      if (g_children.empty()) return true;
+      return compare(g_children[0], b_children[0]);
+    }
+    if (g_children.size() != b_children.size()) {
+      return fail(g, "child count mismatch: " +
+                         std::to_string(g_children.size()) + " vs " +
+                         std::to_string(b_children.size()));
+    }
+    for (std::size_t i = 0; i < g_children.size(); ++i) {
+      if (!compare(g_children[i], b_children[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+EquivalenceReport trees_equivalent(const ProvTree& good,
+                                   const TreeAnnotations& annotations,
+                                   const std::vector<Value>& seed_b_fields,
+                                   const RepairMap& repairs,
+                                   const ProvTree& bad) {
+  Comparator comparator{good, annotations, seed_b_fields, repairs, bad, {}};
+  EquivalenceReport report;
+  report.equivalent = comparator.compare(good.root(), bad.root());
+  report.mismatch = std::move(comparator.mismatch);
+  return report;
+}
+
+}  // namespace dp

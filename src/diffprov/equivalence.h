@@ -1,0 +1,44 @@
+// Tree equivalence under the taint-based equivalence relation (paper
+// Refinement #3, section 3.3).
+//
+// Two trees are equivalent when they have the same shape of positive
+// vertices, the same rules at every DERIVE, and every bad-tree tuple equals
+// the good-tree tuple's *expected* translation (tainted fields evaluated on
+// the bad seed, untainted fields verbatim). Timestamps are deliberately
+// ignored: they are exactly the irrelevant detail a naive comparison trips
+// over (section 2.5).
+#pragma once
+
+#include <string>
+
+#include "diffprov/annotate.h"
+#include "provenance/tree.h"
+
+namespace dp {
+
+struct EquivalenceReport {
+  bool equivalent = false;
+  /// First mismatching pair, for diagnostics ("expected X, found Y").
+  std::string mismatch;
+};
+
+/// Maps default expected tuples to the versions DiffProv's Δ produced. A
+/// repaired tuple (e.g. a flow entry whose prefix was widened) is equivalent
+/// to its good-tree counterpart *by construction*: Δ is precisely the set of
+/// differences being reported.
+using RepairMap = std::map<Tuple, Tuple>;
+
+/// The expected-in-T_B translation of the good-tree node, with repairs
+/// applied. nullopt if a taint formula fails to evaluate.
+std::optional<Tuple> expected_with_repairs(
+    const ProvTree& good, const TreeAnnotations& annotations,
+    ProvTree::NodeIndex node, const std::vector<Value>& seed_b_fields,
+    const RepairMap& repairs);
+
+EquivalenceReport trees_equivalent(const ProvTree& good,
+                                   const TreeAnnotations& annotations,
+                                   const std::vector<Value>& seed_b_fields,
+                                   const RepairMap& repairs,
+                                   const ProvTree& bad);
+
+}  // namespace dp

@@ -1,0 +1,299 @@
+#include "diffprov/formula.h"
+
+#include "ndlog/eval.h"
+#include "ndlog/functions.h"
+
+namespace dp {
+
+FormulaPtr Formula::make_const(Value v) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kConst;
+  f->constant = std::move(v);
+  return f;
+}
+
+FormulaPtr Formula::make_seed_field(std::size_t index) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kSeedField;
+  f->seed_field = index;
+  return f;
+}
+
+FormulaPtr Formula::make_binary(BinOp op, FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kBinary;
+  f->op = op;
+  f->children = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::make_call(std::string fn, std::vector<FormulaPtr> args) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kCall;
+  f->fn = std::move(fn);
+  f->children = std::move(args);
+  return f;
+}
+
+FormulaPtr Formula::make_neg(FormulaPtr inner) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kNeg;
+  f->children = {std::move(inner)};
+  return f;
+}
+
+FormulaPtr Formula::make_not(FormulaPtr inner) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kNot;
+  f->children = {std::move(inner)};
+  return f;
+}
+
+Value Formula::eval(const std::vector<Value>& seed_fields) const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant;
+    case Kind::kSeedField:
+      if (seed_field >= seed_fields.size()) {
+        throw EvalError("formula references seed field #" +
+                        std::to_string(seed_field) + " beyond seed arity");
+      }
+      return seed_fields[seed_field];
+    case Kind::kBinary:
+      return eval_binop(op, children[0]->eval(seed_fields),
+                        children[1]->eval(seed_fields));
+    case Kind::kCall: {
+      std::vector<Value> args;
+      args.reserve(children.size());
+      for (const FormulaPtr& child : children) {
+        args.push_back(child->eval(seed_fields));
+      }
+      return FunctionRegistry::instance().call(fn, args);
+    }
+    case Kind::kNeg: {
+      const Value v = children[0]->eval(seed_fields);
+      if (v.is_int()) return -v.as_int();
+      if (v.is_double()) return -v.as_double();
+      throw EvalError("formula negation of non-number");
+    }
+    case Kind::kNot:
+      return std::int64_t{!is_truthy(children[0]->eval(seed_fields))};
+  }
+  throw EvalError("corrupt formula");
+}
+
+bool Formula::tainted() const {
+  if (kind == Kind::kSeedField) return true;
+  for (const FormulaPtr& child : children) {
+    if (child->tainted()) return true;
+  }
+  return false;
+}
+
+std::string Formula::to_string() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.to_string();
+    case Kind::kSeedField:
+      return "Seed#" + std::to_string(seed_field);
+    case Kind::kBinary:
+      return "(" + children[0]->to_string() + " " +
+             std::string(binop_name(op)) + " " + children[1]->to_string() +
+             ")";
+    case Kind::kCall: {
+      std::string out = fn + "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->to_string();
+      }
+      return out + ")";
+    }
+    case Kind::kNeg:
+      return "-" + children[0]->to_string();
+    case Kind::kNot:
+      return "!" + children[0]->to_string();
+  }
+  return "?";
+}
+
+std::optional<FormulaPtr> formula_from_expr(const Expr& expr,
+                                            const FormulaEnv& env) {
+  switch (expr.kind) {
+    case Expr::Kind::kConst:
+      return Formula::make_const(expr.constant);
+    case Expr::Kind::kVar: {
+      auto it = env.find(expr.var);
+      if (it == env.end()) return std::nullopt;
+      return it->second;
+    }
+    case Expr::Kind::kBinary: {
+      auto lhs = formula_from_expr(*expr.children[0], env);
+      auto rhs = formula_from_expr(*expr.children[1], env);
+      if (!lhs || !rhs) return std::nullopt;
+      return Formula::make_binary(expr.op, std::move(*lhs), std::move(*rhs));
+    }
+    case Expr::Kind::kCall: {
+      std::vector<FormulaPtr> args;
+      args.reserve(expr.children.size());
+      for (const ExprPtr& child : expr.children) {
+        auto arg = formula_from_expr(*child, env);
+        if (!arg) return std::nullopt;
+        args.push_back(std::move(*arg));
+      }
+      return Formula::make_call(expr.fn, std::move(args));
+    }
+    case Expr::Kind::kNeg: {
+      auto inner = formula_from_expr(*expr.children[0], env);
+      if (!inner) return std::nullopt;
+      return Formula::make_neg(std::move(*inner));
+    }
+    case Expr::Kind::kNot: {
+      auto inner = formula_from_expr(*expr.children[0], env);
+      if (!inner) return std::nullopt;
+      return Formula::make_not(std::move(*inner));
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<Value>> TupleFormulas::eval_expected(
+    const std::vector<Value>& seed_fields,
+    const std::vector<Value>& actual) const {
+  std::vector<Value> out;
+  out.reserve(actual.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const FormulaPtr& f = i < fields.size() ? fields[i] : nullptr;
+    if (!f) {
+      out.push_back(actual[i]);
+      continue;
+    }
+    try {
+      out.push_back(f->eval(seed_fields));
+    } catch (const EvalError&) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// True if `var` occurs anywhere in `expr`.
+bool mentions(const Expr& expr, const std::string& var) {
+  if (expr.kind == Expr::Kind::kVar) return expr.var == var;
+  for (const ExprPtr& child : expr.children) {
+    if (mentions(*child, var)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<FormulaPtr> invert_expr_for_var(const Expr& expr,
+                                              const std::string& var,
+                                              FormulaPtr target,
+                                              const FormulaEnv& env) {
+  switch (expr.kind) {
+    case Expr::Kind::kVar:
+      if (expr.var == var) return target;
+      return std::nullopt;
+    case Expr::Kind::kConst:
+      return std::nullopt;
+    case Expr::Kind::kNeg:
+      return invert_expr_for_var(*expr.children[0], var,
+                                 Formula::make_neg(std::move(target)), env);
+    case Expr::Kind::kNot:
+      return std::nullopt;  // not injective
+    case Expr::Kind::kBinary: {
+      const bool in_lhs = mentions(*expr.children[0], var);
+      const bool in_rhs = mentions(*expr.children[1], var);
+      if (in_lhs == in_rhs) return std::nullopt;  // absent or both sides
+      const Expr& unknown = in_lhs ? *expr.children[0] : *expr.children[1];
+      const Expr& known_expr = in_lhs ? *expr.children[1] : *expr.children[0];
+      auto known = formula_from_expr(known_expr, env);
+      if (!known) return std::nullopt;
+      FormulaPtr new_target;
+      switch (expr.op) {
+        case BinOp::kAdd:  // t = u + k  =>  u = t - k
+          new_target = Formula::make_binary(BinOp::kSub, target, *known);
+          break;
+        case BinOp::kSub:
+          new_target = in_lhs
+                           // t = u - k  =>  u = t + k
+                           ? Formula::make_binary(BinOp::kAdd, target, *known)
+                           // t = k - u  =>  u = k - t
+                           : Formula::make_binary(BinOp::kSub, *known, target);
+          break;
+        case BinOp::kMul:  // t = u * k  =>  u = t / k (caller validates
+                           // divisibility when evaluating)
+          new_target = Formula::make_binary(BinOp::kDiv, target, *known);
+          break;
+        case BinOp::kDiv:
+          new_target = in_lhs
+                           // t = u / k  =>  u = t * k
+                           ? Formula::make_binary(BinOp::kMul, target, *known)
+                           // t = k / u  =>  u = k / t
+                           : Formula::make_binary(BinOp::kDiv, *known, target);
+          break;
+        case BinOp::kBitXor:  // self-inverse
+          new_target = Formula::make_binary(BinOp::kBitXor, target, *known);
+          break;
+        case BinOp::kMod:
+          // t = u % k has infinitely many preimages; the paper (section
+          // 4.5) says DiffProv "can try all of them" -- we take the
+          // canonical one, u = t, which is exact whenever the desired
+          // remainder is already reduced (e.g. hash-bucket selections).
+          if (!in_lhs) return std::nullopt;  // k % u: not solvable
+          new_target = target;
+          break;
+        default:
+          return std::nullopt;  // &, |, shifts, comparisons: not injective
+      }
+      return invert_expr_for_var(unknown, var, std::move(new_target), env);
+    }
+    case Expr::Kind::kCall: {
+      // Invertible only through a registered solver, and only when the
+      // target and all other arguments are concrete constants.
+      const BuiltinInfo* info = FunctionRegistry::instance().find(expr.fn);
+      if (info == nullptr || !info->solver) return std::nullopt;
+      if (target->kind != Formula::Kind::kConst) return std::nullopt;
+      std::size_t unknown_index = expr.children.size();
+      std::vector<Value> args;
+      for (std::size_t i = 0; i < expr.children.size(); ++i) {
+        if (mentions(*expr.children[i], var)) {
+          if (unknown_index != expr.children.size()) return std::nullopt;
+          unknown_index = i;
+          // Placeholder: the argument's *current* value when the caller put
+          // the variable's current binding into `env` -- solvers rely on it
+          // (f_matches widens the current prefix minimally). Fallback 0.
+          Value placeholder{std::int64_t{0}};
+          if (auto current = formula_from_expr(*expr.children[i], env)) {
+            try {
+              placeholder = (*current)->eval({});
+            } catch (const EvalError&) {
+              // keep fallback
+            }
+          }
+          args.push_back(std::move(placeholder));
+          continue;
+        }
+        auto known = formula_from_expr(*expr.children[i], env);
+        if (!known || (*known)->tainted()) return std::nullopt;
+        try {
+          args.push_back((*known)->eval({}));
+        } catch (const EvalError&) {
+          return std::nullopt;
+        }
+      }
+      if (unknown_index == expr.children.size()) return std::nullopt;
+      const auto solved =
+          info->solver(unknown_index, args, target->constant);
+      if (!solved) return std::nullopt;
+      return invert_expr_for_var(*expr.children[unknown_index], var,
+                                 Formula::make_const(*solved), env);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dp

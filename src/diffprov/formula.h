@@ -1,0 +1,92 @@
+// Taint formulas (paper section 4.3).
+//
+// DiffProv annotates every field of every tuple in the good tree T_G with a
+// *formula* expressing that field's value as a function of the fields of
+// T_G's seed s_G. Fields not computed from the seed carry constant formulas
+// (their own value). The "equivalent tuple in T_B" of any T_G tuple is then
+// obtained by evaluating all its formulas on the fields of T_B's seed s_B:
+// tainted fields translate, untainted fields copy over verbatim.
+//
+// Example from the paper: if tau = portAndLastOctet(80, 4) was derived from
+// s_G = pkt(1.2.3.4, 80, A), its formulas are [Seed#1, f_last_octet(Seed#0)],
+// and evaluating them on s_B = pkt(1.2.3.5, 80, B) yields the equivalent
+// tuple portAndLastOctet(80, 5).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.h"
+#include "ndlog/value.h"
+
+namespace dp {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Immutable expression over seed fields. Structurally mirrors Expr, with
+/// variables replaced by seed-field references.
+class Formula {
+ public:
+  enum class Kind : std::uint8_t { kConst, kSeedField, kBinary, kCall, kNeg, kNot };
+
+  Kind kind = Kind::kConst;
+  Value constant;                    // kConst
+  std::size_t seed_field = 0;        // kSeedField
+  BinOp op = BinOp::kAdd;            // kBinary
+  std::string fn;                    // kCall
+  std::vector<FormulaPtr> children;
+
+  static FormulaPtr make_const(Value v);
+  static FormulaPtr make_seed_field(std::size_t index);
+  static FormulaPtr make_binary(BinOp op, FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr make_call(std::string fn, std::vector<FormulaPtr> args);
+  static FormulaPtr make_neg(FormulaPtr inner);
+  static FormulaPtr make_not(FormulaPtr inner);
+
+  /// Evaluates on concrete seed fields. Throws EvalError on failure.
+  [[nodiscard]] Value eval(const std::vector<Value>& seed_fields) const;
+
+  /// True if any seed field is referenced (the field is *tainted*).
+  [[nodiscard]] bool tainted() const;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Formula environment: rule variable -> formula. Built while climbing T_G.
+using FormulaEnv = std::map<std::string, FormulaPtr>;
+
+/// Converts a rule expression into a formula by substituting variables from
+/// `env`. Variables missing from `env` yield nullopt (cannot express the
+/// field as a function of the seed).
+std::optional<FormulaPtr> formula_from_expr(const Expr& expr,
+                                            const FormulaEnv& env);
+
+/// Per-tuple field annotations: one formula per field. By convention a
+/// missing (null) entry means "untainted, expected verbatim".
+struct TupleFormulas {
+  std::vector<FormulaPtr> fields;
+
+  /// Evaluates all fields against s_B; verbatim fields come from
+  /// `actual` (the T_G tuple). Returns nullopt if any formula fails to
+  /// evaluate.
+  [[nodiscard]] std::optional<std::vector<Value>> eval_expected(
+      const std::vector<Value>& seed_fields,
+      const std::vector<Value>& actual) const;
+};
+
+/// Inverts `expr` for `var`: finds a formula F such that assigning
+/// var := F makes expr evaluate to `target`, given that all other variables
+/// in `expr` resolve via `env`. Handles chains of invertible arithmetic
+/// (+, -, *, ^, unary minus) and single-variable occurrences; returns
+/// nullopt for non-invertible shapes (the caller then reports the attempted
+/// change, paper section 4.7).
+std::optional<FormulaPtr> invert_expr_for_var(const Expr& expr,
+                                              const std::string& var,
+                                              FormulaPtr target,
+                                              const FormulaEnv& env);
+
+}  // namespace dp

@@ -1,0 +1,79 @@
+#include "diffprov/seed.h"
+
+namespace dp {
+
+std::optional<SeedInfo> find_seed(const ProvTree& tree) {
+  if (tree.size() == 0) return std::nullopt;
+  ProvTree::NodeIndex current = tree.root();
+  ProvTree::NodeIndex last_exist = ProvTree::kNoNode;
+  // Guard against malformed graphs; a tree can never be deeper than its size.
+  for (std::size_t steps = 0; steps <= tree.size(); ++steps) {
+    const Vertex& v = tree.vertex_of(current);
+    const auto& children = tree.node(current).children;
+    switch (v.kind) {
+      case VertexKind::kExist:
+        last_exist = current;
+        if (children.empty()) return std::nullopt;  // boundary fact: no seed
+        current = children.front();  // APPEAR
+        break;
+      case VertexKind::kAppear: {
+        if (children.empty()) return std::nullopt;
+        // Multi-support APPEARs keep alternative DERIVEs; the first child is
+        // the derivation that actually made the tuple appear.
+        current = children.front();
+        break;
+      }
+      case VertexKind::kInsert: {
+        SeedInfo seed;
+        seed.insert_node = current;
+        seed.exist_node = last_exist;
+        seed.tuple = v.tuple;
+        seed.time = v.time;
+        return seed;
+      }
+      case VertexKind::kDerive: {
+        if (children.empty()) return std::nullopt;
+        // Descend into the trigger: the child EXIST with the latest APPEAR
+        // time (== interval start), as in the paper; the recorded trigger
+        // index breaks ties exactly.
+        ProvTree::NodeIndex best = children.front();
+        LogicalTime best_time = tree.vertex_of(best).interval.start;
+        for (std::size_t i = 1; i < children.size(); ++i) {
+          const LogicalTime t = tree.vertex_of(children[i]).interval.start;
+          if (t > best_time) {
+            best = children[i];
+            best_time = t;
+          }
+        }
+        if (v.trigger_index >= 0 &&
+            static_cast<std::size_t>(v.trigger_index) < children.size()) {
+          const ProvTree::NodeIndex recorded =
+              children[static_cast<std::size_t>(v.trigger_index)];
+          if (tree.vertex_of(recorded).interval.start == best_time) {
+            best = recorded;
+          }
+        }
+        current = best;
+        break;
+      }
+      default:
+        return std::nullopt;  // negative vertices never lead to a seed
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<ProvTree::NodeIndex> spine_of(const ProvTree& tree,
+                                          const SeedInfo& seed) {
+  std::vector<ProvTree::NodeIndex> spine;
+  ProvTree::NodeIndex current = seed.insert_node;
+  while (current != ProvTree::kNoNode) {
+    if (tree.vertex_of(current).kind == VertexKind::kDerive) {
+      spine.push_back(current);
+    }
+    current = tree.node(current).parent;
+  }
+  return spine;
+}
+
+}  // namespace dp

@@ -1,0 +1,37 @@
+// Seed identification (paper section 4.2).
+//
+// Every derivation is triggered by its *last* precondition to appear;
+// following the chain of triggers from the root downward reaches exactly one
+// INSERT leaf: the external stimulus whose arrival "sprung" the whole tree
+// (an incoming packet, a job submission). DiffProv preserves the seeds while
+// aligning the trees (Refinement #2, section 3.3).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "provenance/tree.h"
+
+namespace dp {
+
+struct SeedInfo {
+  /// Tree node of the seed's INSERT vertex.
+  ProvTree::NodeIndex insert_node = ProvTree::kNoNode;
+  /// Tree node of the seed's EXIST vertex (the one consumed by the first
+  /// derivation on the spine).
+  ProvTree::NodeIndex exist_node = ProvTree::kNoNode;
+  Tuple tuple;
+  LogicalTime time = 0;
+};
+
+/// Finds the seed by recursive descent: at every DERIVE vertex, follow the
+/// child whose APPEAR has the highest timestamp (ties broken by the
+/// recorded trigger index). Returns nullopt on malformed trees.
+std::optional<SeedInfo> find_seed(const ProvTree& tree);
+
+/// The spine: all DERIVE tree nodes on the trigger path, ordered from the
+/// derivation just above the seed up to the one below the root.
+std::vector<ProvTree::NodeIndex> spine_of(const ProvTree& tree,
+                                          const SeedInfo& seed);
+
+}  // namespace dp

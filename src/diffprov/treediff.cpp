@@ -1,0 +1,148 @@
+#include "diffprov/treediff.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace dp {
+
+std::string diff_label(const Vertex& v) {
+  std::string out(vertex_kind_name(v.kind));
+  out += "|";
+  out += v.tuple.to_string();
+  if (!v.rule.empty()) {
+    out += "|";
+    out += v.rule;
+  }
+  return out;
+}
+
+TreeDiffStats plain_tree_diff(const ProvTree& good, const ProvTree& bad) {
+  TreeDiffStats stats;
+  stats.good_size = good.size();
+  stats.bad_size = bad.size();
+
+  std::map<std::string, std::size_t> good_labels;
+  good.visit([&](ProvTree::NodeIndex i) {
+    ++good_labels[diff_label(good.vertex_of(i))];
+  });
+  std::size_t matched = 0;
+  bad.visit([&](ProvTree::NodeIndex i) {
+    auto it = good_labels.find(diff_label(bad.vertex_of(i)));
+    if (it != good_labels.end() && it->second > 0) {
+      --it->second;
+      ++matched;
+    }
+  });
+  stats.common = matched;
+  stats.only_in_good = stats.good_size - matched;
+  stats.only_in_bad = stats.bad_size - matched;
+  return stats;
+}
+
+namespace {
+
+// Post-order view of a tree for Zhang-Shasha: labels, leftmost-leaf indices
+// and keyroots, all 0-based over post-order positions.
+struct OrderedTree {
+  std::vector<std::string> labels;
+  std::vector<std::size_t> leftmost;
+  std::vector<std::size_t> keyroots;
+
+  explicit OrderedTree(const ProvTree& tree) {
+    const std::size_t n = tree.size();
+    labels.resize(n);
+    leftmost.resize(n);
+    std::vector<std::size_t> postorder_of(n);
+    std::size_t counter = 0;
+    // Recursive post-order via explicit stack (node, child cursor).
+    struct Frame {
+      ProvTree::NodeIndex node;
+      std::size_t next_child = 0;
+      std::size_t leftmost_leaf = static_cast<std::size_t>(-1);
+    };
+    std::vector<Frame> stack = {{tree.root(), 0, static_cast<std::size_t>(-1)}};
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& children = tree.node(frame.node).children;
+      if (frame.next_child < children.size()) {
+        stack.push_back({children[frame.next_child++], 0,
+                         static_cast<std::size_t>(-1)});
+        continue;
+      }
+      const std::size_t index = counter++;
+      postorder_of[static_cast<std::size_t>(frame.node)] = index;
+      labels[index] = diff_label(tree.vertex_of(frame.node));
+      std::size_t lm = frame.leftmost_leaf;
+      if (children.empty()) {
+        lm = index;
+      } else {
+        lm = leftmost[postorder_of[static_cast<std::size_t>(
+            children.front())]];
+      }
+      leftmost[index] = lm;
+      stack.pop_back();
+    }
+    // Keyroots: nodes with no left sibling on their leftmost-leaf path.
+    std::map<std::size_t, std::size_t> highest_with_leftmost;
+    for (std::size_t i = 0; i < n; ++i) {
+      highest_with_leftmost[leftmost[i]] = i;
+    }
+    for (const auto& [lm, node] : highest_with_leftmost) {
+      keyroots.push_back(node);
+    }
+    std::sort(keyroots.begin(), keyroots.end());
+  }
+};
+
+}  // namespace
+
+std::size_t tree_edit_distance(const ProvTree& good, const ProvTree& bad) {
+  const OrderedTree t1(good);
+  const OrderedTree t2(bad);
+  const std::size_t n1 = t1.labels.size();
+  const std::size_t n2 = t2.labels.size();
+  if (n1 == 0) return n2;
+  if (n2 == 0) return n1;
+
+  std::vector<std::vector<std::size_t>> treedist(
+      n1, std::vector<std::size_t>(n2, 0));
+  // Forest distance scratch, indexed [i - l1 + 1][j - l2 + 1].
+  std::vector<std::vector<std::size_t>> fd(
+      n1 + 1, std::vector<std::size_t>(n2 + 1, 0));
+
+  for (const std::size_t k1 : t1.keyroots) {
+    for (const std::size_t k2 : t2.keyroots) {
+      const std::size_t l1 = t1.leftmost[k1];
+      const std::size_t l2 = t2.leftmost[k2];
+      fd[0][0] = 0;
+      for (std::size_t i = l1; i <= k1; ++i) {
+        fd[i - l1 + 1][0] = fd[i - l1][0] + 1;  // delete
+      }
+      for (std::size_t j = l2; j <= k2; ++j) {
+        fd[0][j - l2 + 1] = fd[0][j - l2] + 1;  // insert
+      }
+      for (std::size_t i = l1; i <= k1; ++i) {
+        for (std::size_t j = l2; j <= k2; ++j) {
+          const std::size_t fi = i - l1 + 1;
+          const std::size_t fj = j - l2 + 1;
+          if (t1.leftmost[i] == l1 && t2.leftmost[j] == l2) {
+            const std::size_t relabel =
+                t1.labels[i] == t2.labels[j] ? 0 : 1;
+            treedist[i][j] = std::min({fd[fi - 1][fj] + 1, fd[fi][fj - 1] + 1,
+                                       fd[fi - 1][fj - 1] + relabel});
+            fd[fi][fj] = treedist[i][j];
+          } else {
+            const std::size_t pi = t1.leftmost[i] - l1;
+            const std::size_t pj = t2.leftmost[j] - l2;
+            fd[fi][fj] = std::min({fd[fi - 1][fj] + 1, fd[fi][fj - 1] + 1,
+                                   fd[pi][pj] + treedist[i][j]});
+          }
+        }
+      }
+    }
+  }
+  return treedist[n1 - 1][n2 - 1];
+}
+
+}  // namespace dp

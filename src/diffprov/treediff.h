@@ -1,0 +1,43 @@
+// Baseline tree-comparison strawmen (paper section 2.5).
+//
+// The "plain diff" counts vertices present in one tree but not the other,
+// matching by (kind, tuple, rule) and deliberately ignoring timestamps --
+// already a generous equivalence masking. Even so, the butterfly effect
+// makes the diff comparable to, or larger than, the trees themselves
+// (Table 1's "Plain tree diff" row). The Zhang-Shasha tree edit distance is
+// the "tree-based edit distance algorithm [5]" the paper dismisses; it is
+// included for the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "provenance/tree.h"
+
+namespace dp {
+
+struct TreeDiffStats {
+  std::size_t good_size = 0;
+  std::size_t bad_size = 0;
+  std::size_t common = 0;        // matched vertex pairs
+  std::size_t only_in_good = 0;  // unmatched good vertices
+  std::size_t only_in_bad = 0;   // unmatched bad vertices
+
+  /// What a human would have to inspect: everything unmatched.
+  [[nodiscard]] std::size_t diff_size() const {
+    return only_in_good + only_in_bad;
+  }
+};
+
+/// Multiset diff over vertex labels (kind + tuple + rule, timestamps
+/// masked).
+TreeDiffStats plain_tree_diff(const ProvTree& good, const ProvTree& bad);
+
+/// Label of a vertex as used by the diff/edit-distance baselines.
+std::string diff_label(const Vertex& v);
+
+/// Zhang-Shasha ordered tree edit distance with unit costs (insert, delete,
+/// relabel). O(|G|*|B|*min-depth^2) -- fine at provenance-tree scale.
+std::size_t tree_edit_distance(const ProvTree& good, const ProvTree& bad);
+
+}  // namespace dp

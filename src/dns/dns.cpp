@@ -1,0 +1,104 @@
+#include "dns/dns.h"
+
+#include "ndlog/parser.h"
+
+namespace dp::dns {
+
+namespace {
+
+Tuple make(const std::string& table, std::vector<Value> values) {
+  return Tuple(table, std::move(values));
+}
+
+Value ip(const std::string& text) { return Value(*Ipv4::parse(text)); }
+
+void add_upstream(EventLog& log, const std::string& resolver,
+                  const std::string& server, LogicalTime t = 0) {
+  log.append_insert(make("upstream", {resolver, server}), t);
+}
+
+void add_record(EventLog& log, const std::string& server,
+                const std::string& name, const std::string& addr, int serial,
+                LogicalTime t = 1) {
+  log.append_insert(make("record", {server, name, ip(addr), serial}), t);
+}
+
+void add_query(EventLog& log, const std::string& resolver, int id,
+               const std::string& name, const std::string& client,
+               LogicalTime t) {
+  log.append_insert(make("query", {resolver, id, name, client}), t);
+}
+
+}  // namespace
+
+std::string_view program_source() {
+  return R"(
+    table query(4) base immutable event.   // (@Resolver, Id, Name, Client)
+    table upstream(2) base mutable keys(0).// (@Resolver, Server)
+    table record(4) base mutable keys(0, 1).  // (@Server, Name, Addr, Serial)
+    table lookup(4) derived event.         // (@Server, Id, Name, Client)
+    table response(5) derived.             // (@Client, Id, Name, Addr, Serial)
+
+    rule q1 lookup(@Server, Id, Name, Client) :-
+        query(@Resolver, Id, Name, Client),
+        upstream(@Resolver, Server).
+    rule q2 response(@Client, Id, Name, Addr, Serial) :-
+        lookup(@Server, Id, Name, Client),
+        record(@Server, Name, Addr, Serial).
+  )";
+}
+
+Program make_program() { return parse_program(program_source()); }
+
+Scenario stale_record() {
+  Scenario s;
+  s.program = make_program();
+  s.name = "DNS-stale-record";
+  s.description =
+      "Sudden failure: server A's record for www.example.org reverts to a "
+      "stale address mid-run; an earlier successful query is the reference.";
+  add_upstream(s.log, "r1", "srvA");
+  add_record(s.log, "srvA", "www.example.org", "93.184.216.34", 2);
+  add_query(s.log, "r1", 1, "www.example.org", "c1", 1000);  // good (past)
+  // The botched zone push: the record reverts to the pre-update state.
+  s.log.append_insert(
+      make("record", {"srvA", "www.example.org", ip("10.0.0.99"), 1}), 1500);
+  add_query(s.log, "r1", 2, "www.example.org", "c1", 2000);  // bad
+
+  s.good_event = make("response", {"c1", 1, "www.example.org",
+                                   ip("93.184.216.34"), 2});
+  s.bad_event =
+      make("response", {"c1", 2, "www.example.org", ip("10.0.0.99"), 1});
+  s.expected_root_cause = "record(@srvA, \"www.example.org\", 93.184.216.34";
+  return s;
+}
+
+Scenario stale_replica() {
+  Scenario s;
+  s.program = make_program();
+  s.name = "DNS-stale-replica";
+  s.description =
+      "Partial failure: resolver r1's upstream server A serves a stale "
+      "record while r2's server C is healthy; r2's answer is the reference.";
+  add_upstream(s.log, "r1", "srvA");
+  add_upstream(s.log, "r2", "srvC");
+  add_record(s.log, "srvA", "www.example.org", "10.0.0.99", 1);  // stale
+  add_record(s.log, "srvC", "www.example.org", "93.184.216.34", 2);
+  add_query(s.log, "r2", 1, "www.example.org", "c2", 1000);  // good
+  add_query(s.log, "r1", 2, "www.example.org", "c1", 2000);  // bad
+
+  s.good_event = make("response", {"c2", 1, "www.example.org",
+                                   ip("93.184.216.34"), 2});
+  s.bad_event =
+      make("response", {"c1", 2, "www.example.org", ip("10.0.0.99"), 1});
+  // DiffProv's (valid) alignment: repoint r1 at the healthy server. See the
+  // header comment -- this is the paper's section 4.7 false-positive shape.
+  s.expected_root_cause = "upstream(@r1";
+  return s;
+}
+
+std::vector<Scenario> all_scenarios() {
+  return {stale_record(), stale_replica()};
+}
+
+}  // namespace dp::dns

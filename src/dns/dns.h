@@ -1,0 +1,60 @@
+// A DNS substrate exercising the paper's *introduction* and survey
+// motivation (sections 1 and 2.4): partial failures ("DNS servers A and B
+// are returning stale records, but not C") and sudden failures (a service
+// that worked earlier stops working), with reference events found either on
+// a co-existing healthy replica or in the malfunctioning system's own past.
+//
+// Model: resolvers forward client queries to their configured upstream
+// authoritative server; servers answer from their zone data.
+//
+//   query(@Resolver, Id, Name, Client)      external stimulus (immutable)
+//   upstream(@Resolver, Server)             resolver configuration (mutable)
+//   record(@Server, Name, Addr, Serial)     zone data (mutable; a server
+//                                           that missed a zone transfer
+//                                           keeps a stale record)
+//   lookup(@Server, Id, Name, Client)       the forwarded query (event)
+//   response(@Client, Id, Name, Addr, Serial)
+//
+// This is a third diagnosis domain on the same engine and algorithm --
+// nothing in src/diffprov is SDN- or MapReduce-specific.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ndlog/program.h"
+#include "replay/replay_engine.h"
+
+namespace dp::dns {
+
+std::string_view program_source();
+Program make_program();
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  Program program;
+  Topology topology;
+  EventLog log;
+  Tuple good_event;
+  Tuple bad_event;
+  std::string expected_root_cause;
+};
+
+/// Sudden failure, reference in the past: server A's record for
+/// www.example.org is reverted to a stale address mid-run (a botched zone
+/// push); a query that succeeded earlier provides the reference. Root
+/// cause: the stale record on A.
+Scenario stale_record();
+
+/// Partial failure, reference on a sibling: resolver r1 points at the stale
+/// server A while r2 uses the healthy C. Aligning the two resolvers' trees,
+/// DiffProv proposes repointing r1's upstream -- a *valid* repair per
+/// Definition 1 even though the operator might have preferred fixing A's
+/// zone data; the paper's "false positives" discussion (section 4.7) is
+/// exactly about this, and the scenario demonstrates it.
+Scenario stale_replica();
+
+std::vector<Scenario> all_scenarios();
+
+}  // namespace dp::dns

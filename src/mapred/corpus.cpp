@@ -1,0 +1,70 @@
+#include "mapred/corpus.h"
+
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace dp::mapred {
+
+std::uint64_t Corpus::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const CorpusFile& file : files) total += file.bytes;
+  return total;
+}
+
+Corpus synthetic_corpus(const CorpusConfig& config) {
+  Rng rng(config.seed);
+  // A small closed vocabulary: "word00" .. "wordNN". Deterministic, readable
+  // in provenance dumps, and hash-partitionable like real words.
+  std::vector<std::string> vocabulary;
+  vocabulary.reserve(config.vocabulary);
+  for (std::size_t i = 0; i < config.vocabulary; ++i) {
+    vocabulary.push_back("word" + std::string(i < 10 ? "0" : "") +
+                         std::to_string(i));
+  }
+
+  Corpus corpus;
+  for (std::size_t f = 0; f < config.files; ++f) {
+    CorpusFile file;
+    file.name = "part-" + std::to_string(f) + ".txt";
+    for (std::size_t l = 0; l < config.lines_per_file; ++l) {
+      const std::size_t words =
+          config.min_words_per_line +
+          rng.next_below(config.max_words_per_line -
+                         config.min_words_per_line + 1);
+      std::string line;
+      for (std::size_t w = 0; w < words; ++w) {
+        if (w > 0) line += ' ';
+        line += vocabulary[rng.next_below(vocabulary.size())];
+      }
+      file.bytes += line.size() + 1;
+      file.lines.push_back(std::move(line));
+    }
+    std::string blob;
+    for (const std::string& line : file.lines) {
+      blob += line;
+      blob += '\n';
+    }
+    file.checksum = checksum_hex(blob);
+    corpus.files.push_back(std::move(file));
+  }
+  return corpus;
+}
+
+CorpusStore::CorpusStore(Corpus corpus) : corpus_(std::move(corpus)) {
+  for (std::size_t i = 0; i < corpus_.files.size(); ++i) {
+    by_checksum_.emplace(corpus_.files[i].checksum, i);
+    by_name_.emplace(corpus_.files[i].name, i);
+  }
+}
+
+const CorpusFile* CorpusStore::by_checksum(const std::string& cks) const {
+  auto it = by_checksum_.find(cks);
+  return it == by_checksum_.end() ? nullptr : &corpus_.files[it->second];
+}
+
+const CorpusFile* CorpusStore::by_name(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &corpus_.files[it->second];
+}
+
+}  // namespace dp::mapred

@@ -1,0 +1,60 @@
+// Synthetic text corpora (the Wikipedia-dataset stand-in; see DESIGN.md,
+// Substitutions) and the content-addressed store the replay engine reads
+// input files from.
+//
+// The paper's logging engine records only input-file *metadata* (name +
+// checksum), not contents (section 6.5: 26 kB of logs for a 12.8 GB
+// dataset); at query time the replay engine re-reads the files by checksum,
+// "as long as those files are not deleted from HDFS". CorpusStore plays the
+// role of HDFS here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dp::mapred {
+
+struct CorpusFile {
+  std::string name;
+  std::string checksum;  // content digest (see util/hash.h)
+  std::vector<std::string> lines;
+  std::uint64_t bytes = 0;
+};
+
+struct Corpus {
+  std::vector<CorpusFile> files;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+};
+
+struct CorpusConfig {
+  std::size_t files = 4;
+  std::size_t lines_per_file = 16;
+  std::size_t min_words_per_line = 3;
+  std::size_t max_words_per_line = 8;  // the mapper model unrolls to 8 slots
+  std::size_t vocabulary = 64;
+  std::uint64_t seed = 11;
+};
+
+/// Deterministic corpus for the given config.
+Corpus synthetic_corpus(const CorpusConfig& config = {});
+
+/// Content-addressed file store ("HDFS"): lookup by checksum.
+class CorpusStore {
+ public:
+  CorpusStore() = default;  // empty store (Scenario default member)
+  explicit CorpusStore(Corpus corpus);
+
+  [[nodiscard]] const Corpus& corpus() const { return corpus_; }
+  [[nodiscard]] const CorpusFile* by_checksum(const std::string& cks) const;
+  [[nodiscard]] const CorpusFile* by_name(const std::string& name) const;
+
+ private:
+  Corpus corpus_;
+  std::map<std::string, std::size_t> by_checksum_;
+  std::map<std::string, std::size_t> by_name_;
+};
+
+}  // namespace dp::mapred

@@ -1,0 +1,105 @@
+#include "mapred/model.h"
+
+#include "ndlog/parser.h"
+#include "util/hash.h"
+
+namespace dp::mapred {
+
+std::string model_source(const ModelConfig& config) {
+  std::string src = R"(
+    table lineIn(4) base immutable event.      // (@M, File, LineNo, Text)
+    table fileIn(3) base immutable.            // (@M, File, Checksum)
+    // Job-global state lives at the jobtracker ("jt") and is replicated to
+    // every mapper -- the root causes of MR1/MR2 are therefore single base
+    // tuples, as in Hadoop, where the config and the deployed jar are
+    // job-wide.
+    table jobConfG(3) base mutable keys(0, 1).   // (@JT, Key, Value)
+    table mapperCodeG(3) base mutable keys(0).   // (@JT, Checksum, Start)
+    table mapperAt(2) base immutable.            // (@JT, Mapper)
+    table jobConf(3) derived keys(0, 1).         // (@M, Key, Value)
+    table mapperCode(3) derived keys(0).         // (@M, Checksum, Start)
+    table confDep(3) base mutable keys(0, 1).    // (@M, Key, Value)
+    table jobSetup(2) derived keys(0).           // (@M, Digest)
+    table mapEmit(5) derived event.              // (@M, File, Line, Slot, W)
+    table wordAt(5) derived.                     // (@R, W, File, Line, Slot)
+    table wordCount(3) derived keys(0, 1).       // (@R, W, Total)
+
+    rule jc jobConf(@M, K, V) :-
+        jobConfG(@JT, K, V), mapperAt(@JT, M).
+    rule mc mapperCode(@M, Cks, S) :-
+        mapperCodeG(@JT, Cks, S), mapperAt(@JT, M).
+  )";
+
+  // jobSetup folds the configuration entries the job reads into one digest;
+  // every shuffled pair depends on it, mirroring the paper's 235-entry
+  // instrumentation surface.
+  src += "    rule js jobSetup(@M, D) :-\n";
+  std::string digest = "\"\"";
+  for (int i = 0; i < config.conf_deps; ++i) {
+    const std::string key =
+        "conf" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+    src += "        confDep(@M, \"" + key + "\", V" + std::to_string(i) +
+           "),\n";
+    digest = "f_concat(" + digest + ", V" + std::to_string(i) + ")";
+  }
+  src += "        D := f_hash(" + digest + ").\n";
+
+  // Mapper rules, one per emission slot.
+  for (int slot = 0; slot < config.slots; ++slot) {
+    const std::string s = std::to_string(slot);
+    src += "    rule m" + s + " mapEmit(@M, F, L, " + s +
+           ", W) :-\n"
+           "        lineIn(@M, F, L, Text),\n"
+           "        fileIn(@M, F, Cks),\n"
+           "        mapperCode(@M, CodeCks, Start),\n"
+           "        W := f_nth_word(Text, Start + " +
+           s +
+           "),\n"
+           "        f_strlen(W) > 0.\n";
+  }
+
+  // The shuffle: Hadoop's hash partitioner, as a rule.
+  src +=
+      "    rule sh wordAt(@RN, W, F, L, Slot) :-\n"
+      "        mapEmit(@M, F, L, Slot, W),\n"
+      "        jobConf(@M, \"" +
+      std::string(kReducesKey) +
+      "\", R),\n"
+      "        jobSetup(@M, D),\n"
+      "        P := f_partition(W, R),\n"
+      "        RN := f_red_node(P).\n";
+
+  // The reduce side: a running count per (reducer, word). The previous
+  // aggregate joins each derivation's provenance, so the count's tree is
+  // the full contribution chain.
+  src +=
+      "    rule c1 agg count Total wordCount(@R, W, Total) :-\n"
+      "        wordAt(@R, W, F, L, Slot).\n";
+  return src;
+}
+
+Program make_model(const ModelConfig& config) {
+  return parse_program(model_source(config));
+}
+
+MapperInfo mapper_info(const std::string& version) {
+  if (version == "v1") {
+    return {"v1", checksum_hex("wordcount-mapper bytecode v1"), 0};
+  }
+  if (version == "v2") {
+    // The buggy deployment: starts at word 1, dropping each line's first
+    // word (paper scenario MR2).
+    return {"v2", checksum_hex("wordcount-mapper bytecode v2"), 1};
+  }
+  throw ProgramError("unknown mapper version: " + version);
+}
+
+std::optional<MapperInfo> mapper_by_checksum(const std::string& checksum) {
+  for (const char* version : {"v1", "v2"}) {
+    MapperInfo info = mapper_info(version);
+    if (info.checksum == checksum) return info;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dp::mapred

@@ -1,0 +1,66 @@
+// The WordCount system model shared by both MapReduce variants (paper
+// sections 5 and 6.2).
+//
+// The paper evaluates the MR scenarios twice: a *declarative* implementation
+// executed by the NDlog engine (MR1-D / MR2-D; recorder mode "infer"), and
+// Hadoop's *imperative* codebase instrumented to report dependencies at
+// key-value granularity (MR1-I / MR2-I; recorder mode "report"). Both share
+// one model so DiffProv can reason about either:
+//
+//   lineIn(@M, File, LineNo, Text)       input records (immutable)
+//   fileIn(@M, File, Checksum)           input-file identity (immutable)
+//   mapperCode(@M, Checksum, Start)      the deployed mapper version; the
+//                                        buggy v2 starts tokenizing at word
+//                                        1, dropping each line's first word
+//   jobConf(@M, Key, Value)              e.g. "mapreduce.job.reduces"
+//   confDep(@M, Key, Value)              the other configuration entries the
+//                                        job reads (folded into jobSetup)
+//   mapEmit(@M, File, LineNo, Slot, W)   one mapper emission per slot
+//   wordAt(@Reducer, W, File, LineNo, Slot)  the shuffled key-value pair
+//   wordCount(@Reducer, W, Total)        the reducer's running count (an
+//                                        `agg count` rule; its provenance
+//                                        is the chain of all contributions,
+//                                        which is what makes the MR trees
+//                                        as deep as the paper's)
+//
+// Mapper rules are unrolled per emission slot (m0..m<slots-1>), each reading
+// word Start+slot of the line; the shuffle rule partitions by
+// f_partition(W, R) exactly like Hadoop's default HashPartitioner.
+#pragma once
+
+#include <string>
+
+#include "ndlog/program.h"
+
+namespace dp::mapred {
+
+struct ModelConfig {
+  int slots = 8;      // max words per line the mapper model handles
+  int conf_deps = 24; // unrolled configuration-entry dependencies
+                      // (a scaled stand-in for the paper's 235)
+};
+
+/// Generates the NDlog source of the model.
+std::string model_source(const ModelConfig& config = {});
+
+/// Parses and validates the model.
+Program make_model(const ModelConfig& config = {});
+
+/// A mapper implementation version: its "bytecode" checksum and the word
+/// index it starts tokenizing at (v1 -> 0 correct, v2 -> 1 buggy).
+struct MapperInfo {
+  std::string version;
+  std::string checksum;
+  int start = 0;
+};
+
+/// Known mapper versions ("v1", "v2"); throws on unknown versions.
+MapperInfo mapper_info(const std::string& version);
+
+/// Reverse lookup by checksum; nullopt if unknown.
+std::optional<MapperInfo> mapper_by_checksum(const std::string& checksum);
+
+/// The configuration key of MR1's root cause.
+inline constexpr const char* kReducesKey = "mapreduce.job.reduces";
+
+}  // namespace dp::mapred

@@ -1,0 +1,398 @@
+#include "mapred/wordcount.h"
+
+#include "util/hash.h"
+
+namespace dp::mapred {
+
+namespace {
+
+Tuple make(const std::string& table, std::vector<Value> values) {
+  return Tuple(table, std::move(values));
+}
+
+std::string conf_key(int i) {
+  return "conf" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+}
+
+std::string conf_value(int i) { return "val" + std::to_string(i); }
+
+/// The same digest rule js computes: f_hash over the concatenated values.
+std::int64_t setup_digest(int conf_deps) {
+  std::string blob;
+  for (int i = 0; i < conf_deps; ++i) blob += conf_value(i);
+  return static_cast<std::int64_t>(fnv1a(blob) & 0x7FFFFFFF);
+}
+
+/// Whitespace tokenizer matching the f_nth_word builtin.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> words;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) break;
+    const std::size_t end = text.find(' ', pos);
+    const std::size_t stop = end == std::string::npos ? text.size() : end;
+    words.push_back(text.substr(pos, stop - pos));
+    pos = stop;
+  }
+  return words;
+}
+
+}  // namespace
+
+NodeName mapper_node(std::size_t file_index) {
+  return "m" + std::to_string(file_index);
+}
+
+LogicalTime line_time(std::size_t global_line_index) {
+  return 100 + 10 * static_cast<LogicalTime>(global_line_index);
+}
+
+Tuple line_tuple(const NodeName& mapper, const CorpusFile& file,
+                 std::size_t line_no) {
+  return make("lineIn", {mapper, file.name,
+                         static_cast<std::int64_t>(line_no),
+                         file.lines[line_no]});
+}
+
+Tuple word_at_tuple(const std::string& reducer, const std::string& word,
+                    const std::string& file, std::size_t line_no, int slot) {
+  return make("wordAt", {reducer, word, file,
+                         static_cast<std::int64_t>(line_no), slot});
+}
+
+int partition_of(const std::string& word, int num_reducers) {
+  return static_cast<int>((fnv1a(word) & 0x7FFFFFFF) %
+                          static_cast<std::uint64_t>(num_reducers));
+}
+
+JobOutput run_wordcount(const CorpusStore& store, const JobConfig& config,
+                        const JobRunOptions& options) {
+  JobOutput output;
+  const MapperInfo mapper = mapper_info(config.mapper_version);
+  const Corpus& corpus = store.corpus();
+
+  auto report_base = [&](const Tuple& t, LogicalTime at, bool event = false) {
+    if (options.recorder != nullptr) options.recorder->report_base(t, at, event);
+  };
+  auto log_metadata = [&](const Tuple& t, LogicalTime at) {
+    if (options.metadata_log != nullptr) options.metadata_log->append_insert(t, at);
+  };
+
+  // --- job-global state at the jobtracker --------------------------------
+  const Tuple global_conf =
+      make("jobConfG", {"jt", kReducesKey, config.num_reducers});
+  const Tuple global_code =
+      make("mapperCodeG", {"jt", mapper.checksum, mapper.start});
+  report_base(global_conf, 0);
+  log_metadata(global_conf, 0);
+  report_base(global_code, 1);
+  log_metadata(global_code, 1);
+
+  // --- per-mapper setup: replicated config/code, conf entries, files -----
+  for (std::size_t f = 0; f < corpus.files.size(); ++f) {
+    const NodeName m = mapper_node(f);
+    const Tuple placement = make("mapperAt", {"jt", m});
+    report_base(placement, 2);
+    log_metadata(placement, 2);
+    const Tuple reduces =
+        make("jobConf", {m, kReducesKey, config.num_reducers});
+    const Tuple code = make("mapperCode", {m, mapper.checksum, mapper.start});
+    if (options.recorder != nullptr) {
+      options.recorder->report_derivation(reduces, "jc",
+                                          {global_conf, placement}, 1, 10);
+      options.recorder->report_derivation(code, "mc",
+                                          {global_code, placement}, 1, 10);
+    }
+    if (options.facts != nullptr) {
+      options.facts->emplace(reduces, 10);
+      options.facts->emplace(code, 10);
+    }
+    std::vector<Tuple> confdeps;
+    for (int i = 0; i < config.model.conf_deps; ++i) {
+      Tuple dep = make("confDep", {m, conf_key(i), conf_value(i)});
+      report_base(dep, 2);
+      log_metadata(dep, 2);
+      confdeps.push_back(std::move(dep));
+    }
+    // Input-file identity: recompute the checksum per read unless cached
+    // (section 6.4's dominating cost / optimization).
+    std::string checksum = corpus.files[f].checksum;
+    if (options.recompute_checksums) {
+      std::string blob;
+      for (const std::string& line : corpus.files[f].lines) {
+        blob += line;
+        blob += '\n';
+      }
+      checksum = checksum_hex(blob);
+    }
+    const Tuple file_id = make("fileIn", {m, corpus.files[f].name, checksum});
+    report_base(file_id, 3);
+    log_metadata(file_id, 3);
+
+    // jobSetup: the digest over all config entries the job reads.
+    const Tuple setup =
+        make("jobSetup", {m, setup_digest(config.model.conf_deps)});
+    if (options.recorder != nullptr) {
+      options.recorder->report_derivation(setup, "js", confdeps,
+                                          confdeps.size() - 1, 5);
+    }
+    if (options.facts != nullptr) options.facts->emplace(setup, 5);
+  }
+
+  // --- map + shuffle ------------------------------------------------------
+  std::size_t global_line = 0;
+  for (std::size_t f = 0; f < corpus.files.size(); ++f) {
+    const CorpusFile& file = corpus.files[f];
+    const NodeName m = mapper_node(f);
+    const Tuple code = make("mapperCode", {m, mapper.checksum, mapper.start});
+    const Tuple file_id = make("fileIn", {m, file.name, file.checksum});
+    const Tuple reduces =
+        make("jobConf", {m, kReducesKey, config.num_reducers});
+    const Tuple setup =
+        make("jobSetup", {m, setup_digest(config.model.conf_deps)});
+
+    for (std::size_t l = 0; l < file.lines.size(); ++l, ++global_line) {
+      const LogicalTime lt = line_time(global_line);
+      const Tuple line = line_tuple(m, file, l);
+      report_base(line, lt, /*is_event=*/true);
+      ++output.lines;
+
+      const std::vector<std::string> words = tokenize(file.lines[l]);
+      for (int slot = 0; slot < config.model.slots; ++slot) {
+        const std::size_t index =
+            static_cast<std::size_t>(mapper.start + slot);
+        if (index >= words.size()) break;
+        const std::string& word = words[index];
+        const LogicalTime et = lt + 1 + slot;
+        const Tuple emit =
+            make("mapEmit", {m, file.name, static_cast<std::int64_t>(l),
+                             slot, word});
+        if (options.recorder != nullptr) {
+          options.recorder->report_derivation(
+              emit, "m" + std::to_string(slot), {line, file_id, code}, 0, et,
+              /*is_event=*/true);
+        }
+        ++output.emissions;
+
+        const int p = partition_of(word, config.num_reducers);
+        const std::string reducer = "rd" + std::to_string(p);
+        const Tuple shuffled = word_at_tuple(reducer, word, file.name, l,
+                                             slot);
+        if (options.recorder != nullptr) {
+          options.recorder->report_derivation(shuffled, "sh",
+                                              {emit, reduces, setup}, 0,
+                                              et + 10);
+        }
+        if (options.facts != nullptr) {
+          options.facts->emplace(shuffled, et + 10);
+        }
+
+        // The reducer's running count: each contribution chains the
+        // previous aggregate into its provenance, displacing it -- exactly
+        // what the declarative `agg count` rule c1 produces.
+        const int new_count = ++output.counts[reducer][word];
+        const Tuple count_tuple =
+            make("wordCount", {reducer, word, new_count});
+        if (options.recorder != nullptr) {
+          std::vector<Tuple> chain = {shuffled};
+          if (new_count > 1) {
+            const Tuple previous =
+                make("wordCount", {reducer, word, new_count - 1});
+            options.recorder->report_delete(previous, et + 11);
+            chain.push_back(previous);
+          }
+          options.recorder->report_derivation(count_tuple, "c1", chain, 0,
+                                              et + 11);
+        }
+        if (options.facts != nullptr) {
+          options.facts->emplace(count_tuple, et + 11);
+        }
+      }
+    }
+  }
+  return output;
+}
+
+EventLog declarative_job_log(const CorpusStore& store,
+                             const JobConfig& config) {
+  EventLog log;
+  const MapperInfo mapper = mapper_info(config.mapper_version);
+  const Corpus& corpus = store.corpus();
+  log.append_insert(
+      make("jobConfG", {"jt", kReducesKey, config.num_reducers}), 0);
+  log.append_insert(
+      make("mapperCodeG", {"jt", mapper.checksum, mapper.start}), 1);
+  for (std::size_t f = 0; f < corpus.files.size(); ++f) {
+    const NodeName m = mapper_node(f);
+    log.append_insert(make("mapperAt", {"jt", m}), 2);
+    for (int i = 0; i < config.model.conf_deps; ++i) {
+      log.append_insert(make("confDep", {m, conf_key(i), conf_value(i)}), 2);
+    }
+    log.append_insert(
+        make("fileIn", {m, corpus.files[f].name, corpus.files[f].checksum}),
+        3);
+  }
+  std::size_t global_line = 0;
+  for (std::size_t f = 0; f < corpus.files.size(); ++f) {
+    const CorpusFile& file = corpus.files[f];
+    for (std::size_t l = 0; l < file.lines.size(); ++l, ++global_line) {
+      log.append_insert(line_tuple(mapper_node(f), file, l),
+                        line_time(global_line));
+    }
+  }
+  return log;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// StateView over an imperative job run: base tuples are synthesized from
+/// the (delta-adjusted) configuration and the corpus; derived facts come
+/// from the run.
+class JobStateView final : public StateView {
+ public:
+  JobStateView(const CorpusStore& store, JobConfig config,
+               std::shared_ptr<const std::map<Tuple, LogicalTime>> facts)
+      : store_(&store),
+        config_(std::move(config)),
+        mapper_(mapper_info(config_.mapper_version)),
+        facts_(std::move(facts)) {}
+
+  [[nodiscard]] bool existed_at(const Tuple& tuple,
+                                LogicalTime at) const override {
+    bool found = false;
+    scan_table(tuple.location(), tuple.table(), at, [&](const Tuple& t) {
+      if (t == tuple) found = true;
+    });
+    return found;
+  }
+
+  void scan_table(
+      const NodeName& node, const std::string& table, LogicalTime at,
+      const std::function<void(const Tuple&)>& fn) const override {
+    const auto file_index = mapper_index(node);
+    const Corpus& corpus = store_->corpus();
+    if (table == "jobConfG") {
+      if (node == "jt" && at >= 0) {
+        fn(Tuple("jobConfG", {Value("jt"), Value(kReducesKey),
+                              Value(config_.num_reducers)}));
+      }
+      return;
+    }
+    if (table == "mapperCodeG") {
+      if (node == "jt" && at >= 1) {
+        fn(Tuple("mapperCodeG", {Value("jt"), Value(mapper_.checksum),
+                                 Value(mapper_.start)}));
+      }
+      return;
+    }
+    if (table == "mapperAt") {
+      if (node == "jt" && at >= 2) {
+        for (std::size_t f = 0; f < corpus.files.size(); ++f) {
+          fn(Tuple("mapperAt", {Value("jt"), Value(mapper_node(f))}));
+        }
+      }
+      return;
+    }
+    if (table == "jobConf") {
+      if (file_index && at >= 10) {
+        fn(Tuple("jobConf", {Value(node), Value(kReducesKey),
+                             Value(config_.num_reducers)}));
+      }
+      return;
+    }
+    if (table == "mapperCode") {
+      if (file_index && at >= 10) {
+        fn(Tuple("mapperCode", {Value(node), Value(mapper_.checksum),
+                                Value(mapper_.start)}));
+      }
+      return;
+    }
+    if (table == "confDep") {
+      if (!file_index || at < 2) return;
+      for (int i = 0; i < config_.model.conf_deps; ++i) {
+        fn(Tuple("confDep", {Value(node), Value(conf_key(i)),
+                             Value(conf_value(i))}));
+      }
+      return;
+    }
+    if (table == "fileIn") {
+      if (!file_index || at < 3 || *file_index >= corpus.files.size()) return;
+      fn(Tuple("fileIn", {Value(node), Value(corpus.files[*file_index].name),
+                          Value(corpus.files[*file_index].checksum)}));
+      return;
+    }
+    if (table == "lineIn") {
+      if (!file_index || *file_index >= corpus.files.size()) return;
+      std::size_t global = 0;
+      for (std::size_t f = 0; f < *file_index; ++f) {
+        global += corpus.files[f].lines.size();
+      }
+      const CorpusFile& file = corpus.files[*file_index];
+      for (std::size_t l = 0; l < file.lines.size(); ++l) {
+        if (line_time(global + l) <= at) fn(line_tuple(node, file, l));
+      }
+      return;
+    }
+    // Derived facts (jobSetup, wordAt).
+    for (const auto& [tuple, created] : *facts_) {
+      if (tuple.table() == table && tuple.location() == node &&
+          created <= at) {
+        fn(tuple);
+      }
+    }
+  }
+
+ private:
+  static std::optional<std::size_t> mapper_index(const NodeName& node) {
+    if (node.size() < 2 || node[0] != 'm') return std::nullopt;
+    try {
+      return static_cast<std::size_t>(std::stoull(node.substr(1)));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+
+  const CorpusStore* store_;
+  JobConfig config_;
+  MapperInfo mapper_;
+  std::shared_ptr<const std::map<Tuple, LogicalTime>> facts_;
+};
+
+}  // namespace
+
+BadRun WordCountReplayProvider::replay_bad(const Delta& delta) {
+  // Interpret Δ as configuration changes: the reducer count, the deployed
+  // mapper version (identified by its bytecode checksum), or other config
+  // entries. Deletions are the displacement halves of changes; inserts win.
+  JobConfig config = base_config_;
+  for (const DeltaOp& op : delta) {
+    if (op.kind != DeltaOp::Kind::kInsert) continue;
+    if (op.tuple.table() == "jobConfG" &&
+        op.tuple.at(1).as_string() == kReducesKey) {
+      config.num_reducers = static_cast<int>(op.tuple.at(2).as_int());
+    } else if (op.tuple.table() == "mapperCodeG") {
+      if (auto info = mapper_by_checksum(op.tuple.at(1).as_string())) {
+        config.mapper_version = info->version;
+      }
+    }
+  }
+  last_config_ = config;
+
+  auto recorder = std::make_shared<ProvenanceRecorder>();
+  auto facts = std::make_shared<std::map<Tuple, LogicalTime>>();
+  JobRunOptions options;
+  options.recorder = recorder.get();
+  options.facts = facts.get();
+  run_wordcount(*store_, config, options);
+
+  BadRun run;
+  run.graph = std::shared_ptr<const ProvenanceGraph>(recorder,
+                                                     &recorder->graph());
+  run.state = std::make_shared<JobStateView>(*store_, config, facts);
+  return run;
+}
+
+}  // namespace dp::mapred

@@ -1,0 +1,181 @@
+#include "ndlog/ast.h"
+
+namespace dp {
+
+std::string_view binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+bool is_comparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kAnd:
+    case BinOp::kOr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kConst:
+      return constant.to_string();
+    case Kind::kVar:
+      return var;
+    case Kind::kBinary:
+      return "(" + children[0]->to_string() + " " +
+             std::string(binop_name(op)) + " " + children[1]->to_string() +
+             ")";
+    case Kind::kCall: {
+      std::string out = fn + "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->to_string();
+      }
+      return out + ")";
+    }
+    case Kind::kNeg:
+      return "-" + children[0]->to_string();
+    case Kind::kNot:
+      return "!" + children[0]->to_string();
+  }
+  return "?";
+}
+
+void Expr::collect_vars(std::vector<std::string>& out) const {
+  if (kind == Kind::kVar) {
+    out.push_back(var);
+    return;
+  }
+  for (const ExprPtr& child : children) child->collect_vars(out);
+}
+
+ExprPtr Expr::make_const(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::make_var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::make_call(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCall;
+  e->fn = std::move(fn);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::make_neg(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNeg;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+ExprPtr Expr::make_not(ExprPtr inner) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kNot;
+  e->children = {std::move(inner)};
+  return e;
+}
+
+std::string AtomArg::to_string() const {
+  return is_var ? var : constant.to_string();
+}
+
+std::string BodyAtom::to_string() const {
+  std::string out = table + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (i == 0) out += "@";
+    out += args[i].to_string();
+  }
+  return out + ")";
+}
+
+std::string HeadAtom::to_string() const {
+  std::string out = table + "(";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (i == 0) out += "@";
+    out += args[i]->to_string();
+  }
+  return out + ")";
+}
+
+std::string Assignment::to_string() const {
+  return var + " := " + expr->to_string();
+}
+
+std::string AggSpec::to_string() const {
+  if (kind == Kind::kCount) return "agg count " + var;
+  return "agg sum " + var + " " + sum_var;
+}
+
+std::string Rule::to_string() const {
+  std::string out = "rule " + name + " ";
+  if (argmax_var) out += "argmax " + *argmax_var + " ";
+  if (agg) out += agg->to_string() + " ";
+  out += head.to_string() + " :- ";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const BodyAtom& atom : body) {
+    sep();
+    out += atom.to_string();
+  }
+  for (const Assignment& assign : assigns) {
+    sep();
+    out += assign.to_string();
+  }
+  for (const ExprPtr& c : constraints) {
+    sep();
+    out += c->to_string();
+  }
+  return out + ".";
+}
+
+}  // namespace dp

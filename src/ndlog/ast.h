@@ -1,0 +1,150 @@
+// Abstract syntax for NDlog programs (paper section 3.1).
+//
+// Rules have the form
+//
+//   rule r1 head(@N, e1, e2) :- atom1(@N, X, Y), atom2(@N, Y, Z),
+//                               W := Z * 2 + 1, f_matches(X, P) == 1.
+//
+// Body atom arguments are variables or constants; head arguments and
+// assignment right-hand sides are full expressions. All body atoms must share
+// one location variable (the rule is "localized"); the head location may name
+// any variable bound in the body, in which case firing the rule sends the
+// head tuple across a link.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ndlog/value.h"
+
+namespace dp {
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// Operator spelling, e.g. "+", "==".
+std::string_view binop_name(BinOp op);
+
+/// True for ==, !=, <, <=, >, >=, &&, || (results are 0/1 ints).
+bool is_comparison(BinOp op);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression tree. Shared pointers keep subtrees cheap to reuse
+/// when DiffProv composes taint formulas out of rule expressions.
+struct Expr {
+  enum class Kind : std::uint8_t { kConst, kVar, kBinary, kCall, kNeg, kNot };
+
+  Kind kind = Kind::kConst;
+  Value constant;                 // kConst
+  std::string var;                // kVar
+  BinOp op = BinOp::kAdd;         // kBinary
+  std::string fn;                 // kCall
+  std::vector<ExprPtr> children;  // kBinary (2), kCall (n), kNeg/kNot (1)
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// All variable names referenced anywhere in the expression.
+  void collect_vars(std::vector<std::string>& out) const;
+
+  static ExprPtr make_const(Value v);
+  static ExprPtr make_var(std::string name);
+  static ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr make_call(std::string fn, std::vector<ExprPtr> args);
+  static ExprPtr make_neg(ExprPtr inner);
+  static ExprPtr make_not(ExprPtr inner);
+};
+
+/// One argument of a body atom: a variable binding or a constant match.
+/// "_" parses as an anonymous variable (fresh name per occurrence).
+struct AtomArg {
+  bool is_var = false;
+  std::string var;  // when is_var
+  Value constant;   // otherwise
+
+  static AtomArg variable(std::string name) {
+    AtomArg a;
+    a.is_var = true;
+    a.var = std::move(name);
+    return a;
+  }
+  static AtomArg constant_value(Value v) {
+    AtomArg a;
+    a.constant = std::move(v);
+    return a;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A body atom: table name plus variable/constant argument patterns. The
+/// first argument is the location (written `@X` in source).
+struct BodyAtom {
+  std::string table;
+  std::vector<AtomArg> args;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The head atom: table name plus full expressions (first = location).
+struct HeadAtom {
+  std::string table;
+  std::vector<ExprPtr> args;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// `Var := expr`, evaluated left to right after the joins bind atom vars.
+struct Assignment {
+  std::string var;
+  ExprPtr expr;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Aggregation qualifier: the head variable `var` receives a running
+/// aggregate over all firings with the same values for the *other* head
+/// arguments (the group). `rule c1 agg count Total wordCount(@R, W, Total)
+/// :- wordAt(@R, W, F, L, S).` counts occurrences per (reducer, word).
+/// Aggregates are append-only: contributions are never retracted (each new
+/// value displaces the previous one via the head table's keys, and the
+/// previous aggregate tuple appears in the derivation's provenance, forming
+/// the contribution chain).
+struct AggSpec {
+  enum class Kind : std::uint8_t { kCount, kSum };
+  Kind kind = Kind::kCount;
+  std::string var;       // the head variable receiving the aggregate
+  std::string sum_var;   // kSum: the body variable being summed
+  std::size_t head_index = 0;  // resolved by validation
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One derivation rule.
+struct Rule {
+  std::string name;
+  HeadAtom head;
+  std::vector<BodyAtom> body;
+  std::vector<Assignment> assigns;
+  std::vector<ExprPtr> constraints;
+
+  /// Aggregation (see AggSpec). Mutually composable with argmax.
+  std::optional<AggSpec> agg;
+
+  /// OpenFlow-style longest/highest-priority match support: when set, among
+  /// all candidate bindings produced by one triggering event, only the
+  /// binding maximizing this (numeric) variable fires. Written
+  /// `rule r1 argmax Prio head :- ...` in source. This is our deterministic
+  /// stand-in for flow-table priority semantics; see DESIGN.md section 5.
+  std::optional<std::string> argmax_var;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace dp

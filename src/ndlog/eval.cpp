@@ -1,0 +1,143 @@
+#include "ndlog/eval.h"
+
+#include "ndlog/functions.h"
+
+namespace dp {
+
+namespace {
+
+Value arith(BinOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_int() && rhs.is_int()) {
+    const std::int64_t a = lhs.as_int();
+    const std::int64_t b = rhs.as_int();
+    switch (op) {
+      case BinOp::kAdd: return a + b;
+      case BinOp::kSub: return a - b;
+      case BinOp::kMul: return a * b;
+      case BinOp::kDiv:
+        if (b == 0) throw EvalError("integer division by zero");
+        return a / b;
+      case BinOp::kMod:
+        if (b == 0) throw EvalError("integer modulo by zero");
+        return a % b;
+      case BinOp::kBitAnd: return a & b;
+      case BinOp::kBitOr: return a | b;
+      case BinOp::kBitXor: return a ^ b;
+      case BinOp::kShl: return a << (b & 63);
+      case BinOp::kShr:
+        return static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(a) >> (b & 63));
+      default: break;
+    }
+  }
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    const double a = lhs.numeric();
+    const double b = rhs.numeric();
+    switch (op) {
+      case BinOp::kAdd: return a + b;
+      case BinOp::kSub: return a - b;
+      case BinOp::kMul: return a * b;
+      case BinOp::kDiv:
+        if (b == 0.0) throw EvalError("division by zero");
+        return a / b;
+      default: break;
+    }
+  }
+  if (lhs.is_string() && rhs.is_string() && op == BinOp::kAdd) {
+    return lhs.as_string() + rhs.as_string();
+  }
+  throw EvalError("type error: " + lhs.to_string() + " " +
+                  std::string(binop_name(op)) + " " + rhs.to_string());
+}
+
+Value compare(BinOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case BinOp::kEq: return std::int64_t{lhs == rhs};
+    case BinOp::kNe: return std::int64_t{!(lhs == rhs)};
+    default: break;
+  }
+  if (lhs.type() != rhs.type() &&
+      !(lhs.is_numeric() && rhs.is_numeric())) {
+    throw EvalError("ordered comparison across types: " + lhs.to_string() +
+                    " vs " + rhs.to_string());
+  }
+  bool lt;
+  bool gt;
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    lt = lhs.numeric() < rhs.numeric();
+    gt = lhs.numeric() > rhs.numeric();
+  } else {
+    lt = lhs < rhs;
+    gt = rhs < lhs;
+  }
+  switch (op) {
+    case BinOp::kLt: return std::int64_t{lt};
+    case BinOp::kLe: return std::int64_t{!gt};
+    case BinOp::kGt: return std::int64_t{gt};
+    case BinOp::kGe: return std::int64_t{!lt};
+    default: break;
+  }
+  throw EvalError("bad comparison operator");
+}
+
+}  // namespace
+
+bool is_truthy(const Value& v) {
+  if (v.is_int()) return v.as_int() != 0;
+  if (v.is_double()) return v.as_double() != 0.0;
+  throw EvalError("non-numeric constraint result: " + v.to_string());
+}
+
+Value eval_binop(BinOp op, const Value& lhs, const Value& rhs) {
+  switch (op) {
+    case BinOp::kAnd:
+      return std::int64_t{is_truthy(lhs) && is_truthy(rhs)};
+    case BinOp::kOr:
+      return std::int64_t{is_truthy(lhs) || is_truthy(rhs)};
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return compare(op, lhs, rhs);
+    default:
+      return arith(op, lhs, rhs);
+  }
+}
+
+Value eval_expr(const Expr& expr, const Bindings& bindings) {
+  switch (expr.kind) {
+    case Expr::Kind::kConst:
+      return expr.constant;
+    case Expr::Kind::kVar: {
+      auto it = bindings.find(expr.var);
+      if (it == bindings.end()) {
+        throw EvalError("unbound variable: " + expr.var);
+      }
+      return it->second;
+    }
+    case Expr::Kind::kBinary:
+      return eval_binop(expr.op, eval_expr(*expr.children[0], bindings),
+                        eval_expr(*expr.children[1], bindings));
+    case Expr::Kind::kCall: {
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const ExprPtr& child : expr.children) {
+        args.push_back(eval_expr(*child, bindings));
+      }
+      return FunctionRegistry::instance().call(expr.fn, args);
+    }
+    case Expr::Kind::kNeg: {
+      const Value v = eval_expr(*expr.children[0], bindings);
+      if (v.is_int()) return -v.as_int();
+      if (v.is_double()) return -v.as_double();
+      throw EvalError("negation of non-number: " + v.to_string());
+    }
+    case Expr::Kind::kNot:
+      return std::int64_t{!is_truthy(eval_expr(*expr.children[0], bindings))};
+  }
+  throw EvalError("corrupt expression");
+}
+
+}  // namespace dp

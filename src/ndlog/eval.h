@@ -1,0 +1,34 @@
+// Expression evaluation over variable bindings.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "ndlog/ast.h"
+#include "ndlog/value.h"
+
+namespace dp {
+
+/// Raised on dynamic typing errors, unbound variables, unknown functions, or
+/// division by zero. Rule evaluation treats a throwing constraint as a
+/// non-match and logs a warning; anywhere else it indicates a model bug.
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Variable environment built up during a join.
+using Bindings = std::map<std::string, Value>;
+
+/// Evaluates `expr` under `bindings`. Throws EvalError on failure.
+Value eval_expr(const Expr& expr, const Bindings& bindings);
+
+/// Evaluates a binary operator over concrete values (shared with the
+/// DiffProv formula evaluator). Throws EvalError on type errors.
+Value eval_binop(BinOp op, const Value& lhs, const Value& rhs);
+
+/// Truthiness of a constraint result: non-zero int / non-zero double.
+bool is_truthy(const Value& v);
+
+}  // namespace dp

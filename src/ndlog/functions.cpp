@@ -1,0 +1,297 @@
+#include "ndlog/functions.h"
+
+#include <algorithm>
+
+#include "ndlog/eval.h"
+#include "util/hash.h"
+
+namespace dp {
+
+namespace {
+
+void expect_arity(const std::string& name, const std::vector<Value>& args,
+                  std::size_t n) {
+  if (args.size() != n) {
+    throw EvalError(name + ": expected " + std::to_string(n) +
+                    " arguments, got " + std::to_string(args.size()));
+  }
+}
+
+Ipv4 as_ip(const std::string& name, const Value& v) {
+  if (!v.is_ip()) throw EvalError(name + ": expected ip, got " + v.to_string());
+  return v.as_ip();
+}
+
+IpPrefix as_prefix(const std::string& name, const Value& v) {
+  if (!v.is_prefix()) {
+    throw EvalError(name + ": expected prefix, got " + v.to_string());
+  }
+  return v.as_prefix();
+}
+
+std::int64_t as_int(const std::string& name, const Value& v) {
+  if (!v.is_int()) {
+    throw EvalError(name + ": expected int, got " + v.to_string());
+  }
+  return v.as_int();
+}
+
+const std::string& as_str(const std::string& name, const Value& v) {
+  if (!v.is_string()) {
+    throw EvalError(name + ": expected string, got " + v.to_string());
+  }
+  return v.as_string();
+}
+
+/// f_matches(ip, prefix) -> 0/1. Solver for the prefix argument widens the
+/// current prefix by the minimal number of bits so that it covers `ip`
+/// (preserving its base address); this models the "make the flow entry
+/// general enough" repair of scenario SDN1. Solving for desired == 0 has no
+/// unique minimal answer and is refused.
+Value fn_matches(const std::vector<Value>& args) {
+  expect_arity("f_matches", args, 2);
+  return std::int64_t{
+      as_prefix("f_matches", args[1]).contains(as_ip("f_matches", args[0]))};
+}
+
+std::optional<Value> solve_matches(std::size_t arg_index,
+                                   const std::vector<Value>& args,
+                                   const Value& desired) {
+  if (arg_index != 1 || !desired.is_int() || desired.as_int() != 1) {
+    return std::nullopt;
+  }
+  if (!args[0].is_ip() || !args[1].is_prefix()) return std::nullopt;
+  const Ipv4 ip = args[0].as_ip();
+  const IpPrefix current = args[1].as_prefix();
+  for (int len = current.length(); len >= 0; --len) {
+    const IpPrefix widened(current.base(), len);
+    if (widened.contains(ip)) return Value(widened);
+  }
+  return std::nullopt;  // unreachable: /0 contains everything
+}
+
+/// f_prefix(ip, len) -> prefix of the given length containing ip.
+Value fn_prefix(const std::vector<Value>& args) {
+  expect_arity("f_prefix", args, 2);
+  return IpPrefix(as_ip("f_prefix", args[0]),
+                  static_cast<int>(as_int("f_prefix", args[1])));
+}
+
+/// f_octet(ip, i) -> i-th octet (0-based from the left).
+Value fn_octet(const std::vector<Value>& args) {
+  expect_arity("f_octet", args, 2);
+  const auto i = as_int("f_octet", args[1]);
+  if (i < 0 || i > 3) throw EvalError("f_octet: index out of range");
+  return std::int64_t{as_ip("f_octet", args[0]).octet(static_cast<int>(i))};
+}
+
+/// f_last_octet(ip) -> last octet. (The running example of section 4.3.)
+Value fn_last_octet(const std::vector<Value>& args) {
+  expect_arity("f_last_octet", args, 1);
+  return std::int64_t{as_ip("f_last_octet", args[0]).octet(3)};
+}
+
+/// f_hash(str) -> non-negative int. Deliberately *no* solver: hashes are the
+/// paper's canonical non-invertible computation (section 4.7).
+Value fn_hash(const std::vector<Value>& args) {
+  expect_arity("f_hash", args, 1);
+  return static_cast<std::int64_t>(fnv1a(as_str("f_hash", args[0])) &
+                                   0x7FFFFFFF);
+}
+
+/// f_checksum(str) -> 16-hex-digit content digest (file/bytecode identity).
+Value fn_checksum(const std::vector<Value>& args) {
+  expect_arity("f_checksum", args, 1);
+  return checksum_hex(as_str("f_checksum", args[0]));
+}
+
+/// f_partition(word, n) -> hash(word) % n; the MapReduce shuffle partitioner.
+Value fn_partition(const std::vector<Value>& args) {
+  expect_arity("f_partition", args, 2);
+  const std::int64_t n = as_int("f_partition", args[1]);
+  if (n <= 0) throw EvalError("f_partition: non-positive reducer count");
+  return static_cast<std::int64_t>(
+      (fnv1a(as_str("f_partition", args[0])) & 0x7FFFFFFF) % n);
+}
+
+Value fn_min(const std::vector<Value>& args) {
+  expect_arity("f_min", args, 2);
+  return std::min(as_int("f_min", args[0]), as_int("f_min", args[1]));
+}
+
+Value fn_max(const std::vector<Value>& args) {
+  expect_arity("f_max", args, 2);
+  return std::max(as_int("f_max", args[0]), as_int("f_max", args[1]));
+}
+
+Value fn_concat(const std::vector<Value>& args) {
+  expect_arity("f_concat", args, 2);
+  return as_str("f_concat", args[0]) + as_str("f_concat", args[1]);
+}
+
+Value fn_strlen(const std::vector<Value>& args) {
+  expect_arity("f_strlen", args, 1);
+  return static_cast<std::int64_t>(as_str("f_strlen", args[0]).size());
+}
+
+/// f_out(action, i) -> i-th '+'-separated output of a flow action string,
+/// or "" when exhausted. "w1+d1" models an OpenFlow multi-output (mirror /
+/// multicast) action list.
+Value fn_out(const std::vector<Value>& args) {
+  expect_arity("f_out", args, 2);
+  const std::string& action = as_str("f_out", args[0]);
+  std::int64_t index = as_int("f_out", args[1]);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = action.find('+', start);
+    if (index == 0) {
+      return pos == std::string::npos
+                 ? action.substr(start)
+                 : action.substr(start, pos - start);
+    }
+    if (pos == std::string::npos) return std::string{};
+    start = pos + 1;
+    --index;
+  }
+}
+
+/// f_ip(int) -> ip and f_ip_value(ip) -> int: mutually inverse conversions.
+Value fn_ip(const std::vector<Value>& args) {
+  expect_arity("f_ip", args, 1);
+  return Ipv4(static_cast<std::uint32_t>(as_int("f_ip", args[0])));
+}
+
+std::optional<Value> solve_ip(std::size_t arg_index,
+                              const std::vector<Value>& args,
+                              const Value& desired) {
+  (void)args;
+  if (arg_index != 0 || !desired.is_ip()) return std::nullopt;
+  return Value(std::int64_t{desired.as_ip().value()});
+}
+
+Value fn_ip_value(const std::vector<Value>& args) {
+  expect_arity("f_ip_value", args, 1);
+  return std::int64_t{as_ip("f_ip_value", args[0]).value()};
+}
+
+std::optional<Value> solve_ip_value(std::size_t arg_index,
+                                    const std::vector<Value>& args,
+                                    const Value& desired) {
+  (void)args;
+  if (arg_index != 0 || !desired.is_int()) return std::nullopt;
+  return Value(Ipv4(static_cast<std::uint32_t>(desired.as_int())));
+}
+
+/// f_nth_word(text, i) -> i-th whitespace-separated word, or "" when out of
+/// range. The declarative WordCount mapper (src/mapred) is built from this.
+Value fn_nth_word(const std::vector<Value>& args) {
+  expect_arity("f_nth_word", args, 2);
+  const std::string& text = as_str("f_nth_word", args[0]);
+  std::int64_t index = as_int("f_nth_word", args[1]);
+  if (index < 0) return std::string{};
+  std::size_t pos = 0;
+  while (true) {
+    while (pos < text.size() && text[pos] == ' ') ++pos;
+    if (pos >= text.size()) return std::string{};
+    const std::size_t end = text.find(' ', pos);
+    const std::size_t stop = end == std::string::npos ? text.size() : end;
+    if (index == 0) return text.substr(pos, stop - pos);
+    pos = stop;
+    --index;
+  }
+}
+
+/// f_str(int) -> decimal string; solver parses it back.
+Value fn_str(const std::vector<Value>& args) {
+  expect_arity("f_str", args, 1);
+  return std::to_string(as_int("f_str", args[0]));
+}
+
+std::optional<Value> solve_str(std::size_t arg_index,
+                               const std::vector<Value>& args,
+                               const Value& desired) {
+  (void)args;
+  if (arg_index != 0 || !desired.is_string()) return std::nullopt;
+  try {
+    return Value(static_cast<std::int64_t>(std::stoll(desired.as_string())));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+/// f_red_node(p) -> reducer node name "rd<p>"; invertible.
+Value fn_red_node(const std::vector<Value>& args) {
+  expect_arity("f_red_node", args, 1);
+  return "rd" + std::to_string(as_int("f_red_node", args[0]));
+}
+
+std::optional<Value> solve_red_node(std::size_t arg_index,
+                                    const std::vector<Value>& args,
+                                    const Value& desired) {
+  (void)args;
+  if (arg_index != 0 || !desired.is_string()) return std::nullopt;
+  const std::string& name = desired.as_string();
+  if (name.size() < 3 || name.substr(0, 2) != "rd") return std::nullopt;
+  try {
+    return Value(static_cast<std::int64_t>(std::stoll(name.substr(2))));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+FunctionRegistry& FunctionRegistry::instance() {
+  static FunctionRegistry registry;
+  return registry;
+}
+
+FunctionRegistry::FunctionRegistry() {
+  register_fn({"f_matches", 2, fn_matches, solve_matches});
+  register_fn({"f_prefix", 2, fn_prefix, nullptr});
+  register_fn({"f_octet", 2, fn_octet, nullptr});
+  register_fn({"f_last_octet", 1, fn_last_octet, nullptr});
+  register_fn({"f_hash", 1, fn_hash, nullptr});
+  register_fn({"f_checksum", 1, fn_checksum, nullptr});
+  register_fn({"f_partition", 2, fn_partition, nullptr});
+  register_fn({"f_min", 2, fn_min, nullptr});
+  register_fn({"f_max", 2, fn_max, nullptr});
+  register_fn({"f_concat", 2, fn_concat, nullptr});
+  register_fn({"f_strlen", 1, fn_strlen, nullptr});
+  register_fn({"f_out", 2, fn_out, nullptr});
+  register_fn({"f_nth_word", 2, fn_nth_word, nullptr});
+  register_fn({"f_str", 1, fn_str, solve_str});
+  register_fn({"f_red_node", 1, fn_red_node, solve_red_node});
+  register_fn({"f_ip", 1, fn_ip, solve_ip});
+  register_fn({"f_ip_value", 1, fn_ip_value, solve_ip_value});
+}
+
+void FunctionRegistry::register_fn(BuiltinInfo info) {
+  for (BuiltinInfo& existing : fns_) {
+    if (existing.name == info.name) {
+      existing = std::move(info);
+      return;
+    }
+  }
+  fns_.push_back(std::move(info));
+}
+
+const BuiltinInfo* FunctionRegistry::find(const std::string& name) const {
+  for (const BuiltinInfo& info : fns_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+Value FunctionRegistry::call(const std::string& name,
+                             const std::vector<Value>& args) const {
+  const BuiltinInfo* info = find(name);
+  if (info == nullptr) throw EvalError("unknown function: " + name);
+  if (info->arity >= 0 &&
+      args.size() != static_cast<std::size_t>(info->arity)) {
+    throw EvalError(name + ": arity mismatch");
+  }
+  return info->fn(args);
+}
+
+}  // namespace dp

@@ -1,0 +1,64 @@
+// Builtin function library for NDlog expressions.
+//
+// Each function may also register per-argument *solvers*: given the desired
+// result, the other argument values, and the current value of one argument,
+// a solver computes a new value for that argument that makes the call return
+// the desired result. This is how DiffProv inverts computations when it
+// propagates taints downward (paper section 4.5) and how it repairs failing
+// constraints -- e.g. solving f_matches(4.3.3.1, P) == 1 starting from
+// P = 4.3.2.0/24 yields the minimal generalization 4.3.2.0/23, exactly the
+// root-cause fix of scenario SDN1. Functions with no solver (e.g. hashes)
+// make DiffProv report the attempted change instead (paper section 4.7,
+// "false negatives").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ndlog/value.h"
+
+namespace dp {
+
+/// Computes the function over fully-evaluated arguments. Throws EvalError on
+/// type mismatches.
+using BuiltinFn = std::function<Value(const std::vector<Value>&)>;
+
+/// Solves for argument `arg_index`: `args` holds the call's argument values
+/// with the *current* (unsatisfying) value at `arg_index`; returns a
+/// replacement value such that fn(args') == desired, or nullopt if this
+/// solver cannot produce one.
+using BuiltinSolver = std::function<std::optional<Value>(
+    std::size_t arg_index, const std::vector<Value>& args,
+    const Value& desired)>;
+
+struct BuiltinInfo {
+  std::string name;
+  int arity = 0;  // -1 = variadic
+  BuiltinFn fn;
+  BuiltinSolver solver;  // may be empty (non-invertible)
+};
+
+/// Global registry of builtins. The standard library is registered on first
+/// access; substrates (e.g. MapReduce) may register additional functions.
+class FunctionRegistry {
+ public:
+  /// Singleton accessor; thread-safe initialization, single-threaded use.
+  static FunctionRegistry& instance();
+
+  /// Registers or replaces a builtin.
+  void register_fn(BuiltinInfo info);
+
+  /// Looks up a builtin; nullptr if unknown.
+  [[nodiscard]] const BuiltinInfo* find(const std::string& name) const;
+
+  /// Calls a builtin; throws EvalError if unknown or arity mismatch.
+  Value call(const std::string& name, const std::vector<Value>& args) const;
+
+ private:
+  FunctionRegistry();
+  std::vector<BuiltinInfo> fns_;
+};
+
+}  // namespace dp

@@ -1,0 +1,239 @@
+#include "ndlog/lexer.h"
+
+#include <cctype>
+
+namespace dp {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space_and_comments();
+      Token token = next_token();
+      const bool done = token.kind == TokenKind::kEnd;
+      out.push_back(std::move(token));
+      if (done) return out;
+    }
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_space_and_comments() {
+    while (!eof()) {
+      const char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#' || (c == '/' && peek(1) == '/')) {
+        while (!eof() && peek() != '\n') advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(TokenKind kind, std::string text = {}) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = token_line_;
+    t.column = token_column_;
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw LexError(message, token_line_, token_column_);
+  }
+
+  Token next_token() {
+    token_line_ = line_;
+    token_column_ = column_;
+    if (eof()) return make(TokenKind::kEnd);
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_ident();
+    }
+    if (c == '"') return lex_string();
+    advance();
+    switch (c) {
+      case '(': return make(TokenKind::kLParen);
+      case ')': return make(TokenKind::kRParen);
+      case ',': return make(TokenKind::kComma);
+      case '.': return make(TokenKind::kPeriod);
+      case '@': return make(TokenKind::kAt);
+      case ':':
+        if (peek() == '-') {
+          advance();
+          return make(TokenKind::kTurnstile);
+        }
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kAssign);
+        }
+        fail("expected ':-' or ':='");
+      case '+': case '-': case '*': case '/': case '%': case '^':
+        return make(TokenKind::kOp, std::string(1, c));
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(TokenKind::kOp, "&&");
+        }
+        return make(TokenKind::kOp, "&");
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(TokenKind::kOp, "||");
+        }
+        return make(TokenKind::kOp, "|");
+      case '<':
+        if (peek() == '<') {
+          advance();
+          return make(TokenKind::kOp, "<<");
+        }
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kOp, "<=");
+        }
+        return make(TokenKind::kOp, "<");
+      case '>':
+        if (peek() == '>') {
+          advance();
+          return make(TokenKind::kOp, ">>");
+        }
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kOp, ">=");
+        }
+        return make(TokenKind::kOp, ">");
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kOp, "==");
+        }
+        fail("single '=' (use '==' or ':=')");
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokenKind::kOp, "!=");
+        }
+        return make(TokenKind::kOp, "!");
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  // Numbers: 42, 4.2, 4.3.2.1, 4.3.2.0/24. A '.' is only consumed if a digit
+  // follows, so the statement-terminating period is never swallowed.
+  Token lex_number() {
+    std::string text;
+    int dots = 0;
+    auto eat_digits = [&] {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        text.push_back(advance());
+      }
+    };
+    eat_digits();
+    while (peek() == '.' &&
+           std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      text.push_back(advance());
+      ++dots;
+      eat_digits();
+    }
+    if (dots == 0) {
+      Token t = make(TokenKind::kInt, text);
+      t.literal = Value(static_cast<std::int64_t>(std::stoll(text)));
+      return t;
+    }
+    if (dots == 1) {
+      Token t = make(TokenKind::kDouble, text);
+      t.literal = Value(std::stod(text));
+      return t;
+    }
+    if (dots != 3) fail("malformed numeric literal: " + text);
+    if (peek() == '/' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      text.push_back(advance());
+      eat_digits();
+      auto prefix = IpPrefix::parse(text);
+      if (!prefix) fail("malformed prefix literal: " + text);
+      Token t = make(TokenKind::kPrefix, text);
+      t.literal = Value(*prefix);
+      return t;
+    }
+    auto ip = Ipv4::parse(text);
+    if (!ip) fail("malformed IP literal: " + text);
+    Token t = make(TokenKind::kIp, text);
+    t.literal = Value(*ip);
+    return t;
+  }
+
+  Token lex_ident() {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      text.push_back(advance());
+    }
+    const char first = text[0];
+    if (std::isupper(static_cast<unsigned char>(first)) || first == '_') {
+      return make(TokenKind::kVar, text);
+    }
+    return make(TokenKind::kIdent, text);
+  }
+
+  Token lex_string() {
+    advance();  // opening quote
+    std::string text;
+    while (true) {
+      if (eof()) fail("unterminated string literal");
+      const char c = advance();
+      if (c == '"') break;
+      if (c == '\\') {
+        if (eof()) fail("unterminated escape");
+        const char esc = advance();
+        switch (esc) {
+          case 'n': text.push_back('\n'); break;
+          case 't': text.push_back('\t'); break;
+          case '"': text.push_back('"'); break;
+          case '\\': text.push_back('\\'); break;
+          default: fail(std::string("bad escape '\\") + esc + "'");
+        }
+      } else {
+        text.push_back(c);
+      }
+    }
+    Token t = make(TokenKind::kString, text);
+    t.literal = Value(text);
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int token_line_ = 1;
+  int token_column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace dp

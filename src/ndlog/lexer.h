@@ -1,0 +1,56 @@
+// Tokenizer for the NDlog surface syntax.
+//
+// Literal forms: integers (42), doubles (4.2), strings ("web1"), IPv4
+// addresses (4.3.2.1) and CIDR prefixes (4.3.2.0/24). Identifiers starting
+// with an uppercase letter (or `_`) are variables; lowercase identifiers are
+// table/function names or keywords. `//` and `#` start line comments.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ndlog/value.h"
+
+namespace dp {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,    // lowercase identifier / keyword
+  kVar,      // Uppercase identifier or _
+  kInt,
+  kDouble,
+  kString,
+  kIp,
+  kPrefix,
+  kLParen,   // (
+  kRParen,   // )
+  kComma,    // ,
+  kPeriod,   // .
+  kAt,       // @
+  kTurnstile,  // :-
+  kAssign,   // :=
+  kOp,       // an operator spelling: + - * / % & | ^ << >> == != < <= > >= && || !
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier / operator spelling
+  Value literal;      // for literal kinds
+  int line = 1;
+  int column = 1;
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line, int column)
+      : std::runtime_error("lex error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message) {}
+};
+
+/// Tokenizes the whole input; the final token is kEnd. Throws LexError.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace dp

@@ -1,0 +1,382 @@
+#include "ndlog/parser.h"
+
+#include <map>
+
+#include "ndlog/lexer.h"
+#include "util/strings.h"
+
+namespace dp {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  Program parse_program() {
+    Program program;
+    while (!at(TokenKind::kEnd)) {
+      if (at_keyword("table")) {
+        program.declare(parse_table_decl());
+      } else if (at_keyword("rule")) {
+        program.add_rule(parse_rule());
+      } else {
+        fail("expected 'table' or 'rule'");
+      }
+    }
+    program.validate();
+    return program;
+  }
+
+  ExprPtr parse_standalone_expression() {
+    ExprPtr expr = parse_expr();
+    expect(TokenKind::kEnd, "end of input");
+    return expr;
+  }
+
+  Tuple parse_ground_tuple() {
+    const std::string table = expect(TokenKind::kIdent, "table name").text;
+    expect(TokenKind::kLParen, "'('");
+    std::vector<Value> values;
+    if (at(TokenKind::kAt)) advance();  // optional '@' on the location
+    values.push_back(parse_ground_value(/*allow_node_name=*/true));
+    while (at(TokenKind::kComma)) {
+      advance();
+      values.push_back(parse_ground_value(/*allow_node_name=*/false));
+    }
+    expect(TokenKind::kRParen, "')'");
+    expect(TokenKind::kEnd, "end of input");
+    return Tuple(table, std::move(values));
+  }
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  [[nodiscard]] bool at_keyword(std::string_view kw) const {
+    return at(TokenKind::kIdent) && peek().text == kw;
+  }
+  [[nodiscard]] bool at_op(std::string_view op) const {
+    return at(TokenKind::kOp) && peek().text == op;
+  }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message + " (got '" + describe(peek()) + "')",
+                     peek().line, peek().column);
+  }
+
+  static std::string describe(const Token& token) {
+    switch (token.kind) {
+      case TokenKind::kEnd: return "<end>";
+      case TokenKind::kLParen: return "(";
+      case TokenKind::kRParen: return ")";
+      case TokenKind::kComma: return ",";
+      case TokenKind::kPeriod: return ".";
+      case TokenKind::kAt: return "@";
+      case TokenKind::kTurnstile: return ":-";
+      case TokenKind::kAssign: return ":=";
+      default: return token.text.empty() ? token.literal.to_string()
+                                         : token.text;
+    }
+  }
+
+  const Token& expect(TokenKind kind, const std::string& what) {
+    if (!at(kind)) fail("expected " + what);
+    return advance();
+  }
+
+  void expect_keyword(std::string_view kw) {
+    if (!at_keyword(kw)) fail("expected '" + std::string(kw) + "'");
+    advance();
+  }
+
+  std::int64_t expect_int() {
+    const Token& t = expect(TokenKind::kInt, "integer");
+    return t.literal.as_int();
+  }
+
+  // table NAME(ARITY) [keys(...)] [base|derived] [mutable|immutable] [event].
+  TableDecl parse_table_decl() {
+    expect_keyword("table");
+    TableDecl decl;
+    decl.name = expect(TokenKind::kIdent, "table name").text;
+    expect(TokenKind::kLParen, "'('");
+    decl.arity = static_cast<std::size_t>(expect_int());
+    expect(TokenKind::kRParen, "')'");
+    while (!at(TokenKind::kPeriod)) {
+      if (at_keyword("keys")) {
+        advance();
+        expect(TokenKind::kLParen, "'('");
+        decl.key_columns.push_back(static_cast<std::size_t>(expect_int()));
+        while (at(TokenKind::kComma)) {
+          advance();
+          decl.key_columns.push_back(static_cast<std::size_t>(expect_int()));
+        }
+        expect(TokenKind::kRParen, "')'");
+      } else if (at_keyword("base")) {
+        advance();
+        decl.kind = TupleKind::kBase;
+      } else if (at_keyword("derived")) {
+        advance();
+        decl.kind = TupleKind::kDerived;
+      } else if (at_keyword("mutable")) {
+        advance();
+        decl.mutability = Mutability::kMutable;
+      } else if (at_keyword("immutable")) {
+        advance();
+        decl.mutability = Mutability::kImmutable;
+      } else if (at_keyword("event")) {
+        advance();
+        decl.materialized = false;
+      } else {
+        fail("expected table qualifier or '.'");
+      }
+    }
+    advance();  // '.'
+    return decl;
+  }
+
+  // rule NAME [argmax Var] head :- body.
+  Rule parse_rule() {
+    expect_keyword("rule");
+    Rule rule;
+    rule.name = expect(TokenKind::kIdent, "rule name").text;
+    if (at_keyword("argmax")) {
+      advance();
+      rule.argmax_var = expect(TokenKind::kVar, "argmax variable").text;
+    }
+    if (at_keyword("agg")) {
+      advance();
+      AggSpec agg;
+      if (at_keyword("count")) {
+        advance();
+        agg.kind = AggSpec::Kind::kCount;
+        agg.var = expect(TokenKind::kVar, "aggregate variable").text;
+      } else if (at_keyword("sum")) {
+        advance();
+        agg.kind = AggSpec::Kind::kSum;
+        agg.var = expect(TokenKind::kVar, "aggregate variable").text;
+        agg.sum_var = expect(TokenKind::kVar, "summed variable").text;
+      } else {
+        fail("expected 'count' or 'sum' after 'agg'");
+      }
+      rule.agg = std::move(agg);
+    }
+    rule.head = parse_head();
+    expect(TokenKind::kTurnstile, "':-'");
+    parse_body_element(rule);
+    while (at(TokenKind::kComma)) {
+      advance();
+      parse_body_element(rule);
+    }
+    expect(TokenKind::kPeriod, "'.'");
+    return rule;
+  }
+
+  HeadAtom parse_head() {
+    HeadAtom head;
+    head.table = expect(TokenKind::kIdent, "head table name").text;
+    expect(TokenKind::kLParen, "'('");
+    expect(TokenKind::kAt, "'@' before head location");
+    head.args.push_back(parse_expr());
+    while (at(TokenKind::kComma)) {
+      advance();
+      head.args.push_back(parse_expr());
+    }
+    expect(TokenKind::kRParen, "')'");
+    return head;
+  }
+
+  void parse_body_element(Rule& rule) {
+    // Assignment?
+    if (at(TokenKind::kVar) && peek(1).kind == TokenKind::kAssign) {
+      Assignment assign;
+      assign.var = advance().text;
+      advance();  // ':='
+      assign.expr = parse_expr();
+      rule.assigns.push_back(std::move(assign));
+      return;
+    }
+    // Atom? (lowercase identifier that is not a builtin call)
+    if (at(TokenKind::kIdent) && !starts_with(peek().text, "f_")) {
+      rule.body.push_back(parse_atom());
+      return;
+    }
+    rule.constraints.push_back(parse_expr());
+  }
+
+  BodyAtom parse_atom() {
+    BodyAtom atom;
+    atom.table = expect(TokenKind::kIdent, "table name").text;
+    expect(TokenKind::kLParen, "'('");
+    expect(TokenKind::kAt, "'@' before atom location");
+    atom.args.push_back(parse_atom_arg());
+    while (at(TokenKind::kComma)) {
+      advance();
+      atom.args.push_back(parse_atom_arg());
+    }
+    expect(TokenKind::kRParen, "')'");
+    return atom;
+  }
+
+  AtomArg parse_atom_arg() {
+    if (at(TokenKind::kVar)) {
+      std::string name = advance().text;
+      if (name == "_") {
+        // Anonymous variable: fresh name per occurrence, never referenced.
+        name = "_anon" + std::to_string(anon_counter_++);
+      }
+      return AtomArg::variable(std::move(name));
+    }
+    switch (peek().kind) {
+      case TokenKind::kInt:
+      case TokenKind::kDouble:
+      case TokenKind::kString:
+      case TokenKind::kIp:
+      case TokenKind::kPrefix:
+        return AtomArg::constant_value(advance().literal);
+      default:
+        fail("expected variable or literal atom argument");
+    }
+  }
+
+  // Expression precedence climbing. Levels from loosest to tightest:
+  // || ; && ; ==/!= ; </<=/>/>= ; | ; ^ ; & ; <</>> ; +/- ; * / % ; unary.
+  ExprPtr parse_expr() { return parse_binary(0); }
+
+  struct Level {
+    std::map<std::string, BinOp> ops;
+  };
+
+  static const std::vector<Level>& levels() {
+    static const std::vector<Level> kLevels = {
+        {{{"||", BinOp::kOr}}},
+        {{{"&&", BinOp::kAnd}}},
+        {{{"==", BinOp::kEq}, {"!=", BinOp::kNe}}},
+        {{{"<", BinOp::kLt},
+          {"<=", BinOp::kLe},
+          {">", BinOp::kGt},
+          {">=", BinOp::kGe}}},
+        {{{"|", BinOp::kBitOr}}},
+        {{{"^", BinOp::kBitXor}}},
+        {{{"&", BinOp::kBitAnd}}},
+        {{{"<<", BinOp::kShl}, {">>", BinOp::kShr}}},
+        {{{"+", BinOp::kAdd}, {"-", BinOp::kSub}}},
+        {{{"*", BinOp::kMul}, {"/", BinOp::kDiv}, {"%", BinOp::kMod}}},
+    };
+    return kLevels;
+  }
+
+  ExprPtr parse_binary(std::size_t level) {
+    if (level >= levels().size()) return parse_unary();
+    ExprPtr lhs = parse_binary(level + 1);
+    while (at(TokenKind::kOp)) {
+      auto it = levels()[level].ops.find(peek().text);
+      if (it == levels()[level].ops.end()) break;
+      advance();
+      ExprPtr rhs = parse_binary(level + 1);
+      lhs = Expr::make_binary(it->second, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    if (at_op("-")) {
+      advance();
+      return Expr::make_neg(parse_unary());
+    }
+    if (at_op("!")) {
+      advance();
+      return Expr::make_not(parse_unary());
+    }
+    return parse_primary();
+  }
+
+  /// A literal value; bare identifiers are accepted as node-name strings
+  /// when `allow_node_name` is set (so `delivered(@w2, ...)` round-trips).
+  Value parse_ground_value(bool allow_node_name) {
+    bool negate = false;
+    if (at_op("-")) {
+      advance();
+      negate = true;
+    }
+    switch (peek().kind) {
+      case TokenKind::kInt:
+        return negate ? Value(-advance().literal.as_int())
+                      : advance().literal;
+      case TokenKind::kDouble:
+        return negate ? Value(-advance().literal.as_double())
+                      : advance().literal;
+      case TokenKind::kString:
+      case TokenKind::kIp:
+      case TokenKind::kPrefix:
+        if (negate) fail("cannot negate this literal");
+        return advance().literal;
+      case TokenKind::kIdent:
+      case TokenKind::kVar:
+        if (!allow_node_name) fail("expected a literal value");
+        return Value(advance().text);
+      default:
+        fail("expected a literal value");
+    }
+  }
+
+  ExprPtr parse_primary() {
+    switch (peek().kind) {
+      case TokenKind::kInt:
+      case TokenKind::kDouble:
+      case TokenKind::kString:
+      case TokenKind::kIp:
+      case TokenKind::kPrefix:
+        return Expr::make_const(advance().literal);
+      case TokenKind::kVar:
+        return Expr::make_var(advance().text);
+      case TokenKind::kIdent: {
+        const std::string name = advance().text;
+        expect(TokenKind::kLParen, "'(' after function name");
+        std::vector<ExprPtr> args;
+        if (!at(TokenKind::kRParen)) {
+          args.push_back(parse_expr());
+          while (at(TokenKind::kComma)) {
+            advance();
+            args.push_back(parse_expr());
+          }
+        }
+        expect(TokenKind::kRParen, "')'");
+        return Expr::make_call(name, std::move(args));
+      }
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::kRParen, "')'");
+        return inner;
+      }
+      default:
+        fail("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  return Parser(source).parse_program();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  return Parser(source).parse_standalone_expression();
+}
+
+Tuple parse_tuple(std::string_view source) {
+  return Parser(source).parse_ground_tuple();
+}
+
+}  // namespace dp

@@ -1,0 +1,49 @@
+// Recursive-descent parser for NDlog programs.
+//
+// Surface syntax (see also Program::to_string, which round-trips):
+//
+//   table flowEntry(5) keys(0, 2) base mutable.
+//   table packet(4) base immutable event.
+//   table packetOut(4) derived.
+//   rule r1 argmax Prio
+//     packetOut(@Next, Pkt, Dst) :-
+//       packet(@Sw, Pkt, Dst),
+//       flowEntry(@Sw, Prio, Prefix, Next),
+//       f_matches(Dst, Prefix) == 1.
+//
+// Body elements are disambiguated as follows: an element starting with a
+// lowercase identifier is an atom unless the identifier begins with "f_"
+// (builtin call => constraint); `Var := expr` is an assignment; anything
+// else is a constraint expression.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ndlog/program.h"
+#include "ndlog/tuple.h"
+
+namespace dp {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : std::runtime_error("parse error at " + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message) {}
+};
+
+/// Parses and validates a complete program. Throws LexError / ParseError /
+/// ProgramError.
+Program parse_program(std::string_view source);
+
+/// Parses a standalone expression (testing / tooling convenience).
+ExprPtr parse_expression(std::string_view source);
+
+/// Parses a ground tuple, e.g. `delivered(@w2, 2, 4.3.3.1, "x")`. The
+/// leading '@' on the location is optional; all arguments must be literals
+/// (the location may also be a bare identifier, read as a node name).
+/// Used by the CLI debugger and the text event-log format.
+Tuple parse_tuple(std::string_view source);
+
+}  // namespace dp

@@ -1,0 +1,60 @@
+// A validated NDlog program: table declarations plus derivation rules.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ndlog/ast.h"
+#include "ndlog/schema.h"
+
+namespace dp {
+
+class ProgramError : public std::runtime_error {
+ public:
+  explicit ProgramError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Container for declarations and rules. `validate()` enforces the static
+/// well-formedness conditions that the runtime and DiffProv rely on:
+///   * every atom's table is declared with matching arity;
+///   * rules are localized (all body atoms share one location variable);
+///   * rules are safe (head/assignment/constraint variables are bound);
+///   * only derived tables appear in rule heads, and base tables never do;
+///   * every tuple's location field is field 0.
+class Program {
+ public:
+  /// Declares a table; throws ProgramError on redeclaration.
+  void declare(TableDecl decl);
+
+  /// Adds a rule (validated lazily by validate()).
+  void add_rule(Rule rule);
+
+  /// Validates the whole program; throws ProgramError on the first problem.
+  void validate() const;
+
+  [[nodiscard]] const TableDecl* find_table(const std::string& name) const;
+  [[nodiscard]] const TableDecl& table(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, TableDecl>& tables() const {
+    return tables_;
+  }
+  [[nodiscard]] const std::vector<Rule>& rules() const { return rules_; }
+  [[nodiscard]] const Rule* find_rule(const std::string& name) const;
+
+  /// Indices of rules with at least one body atom over `table`; used by the
+  /// runtime's delta evaluator to react to tuple arrivals.
+  [[nodiscard]] std::vector<std::size_t> rules_listening_to(
+      const std::string& table) const;
+
+  /// Pretty-prints the whole program back to (re-parseable) source text.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void validate_rule(const Rule& rule) const;
+
+  std::map<std::string, TableDecl> tables_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace dp

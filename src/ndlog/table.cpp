@@ -1,0 +1,104 @@
+#include "ndlog/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dp {
+
+std::vector<Value> Table::key_of(const Tuple& t) const {
+  if (decl_.key_columns.empty()) return t.values();
+  std::vector<Value> key;
+  key.reserve(decl_.key_columns.size());
+  for (std::size_t col : decl_.key_columns) {
+    assert(col < t.arity());
+    key.push_back(t.at(col));
+  }
+  return key;
+}
+
+Table::InsertResult Table::insert(const Tuple& t, LogicalTime now) {
+  InsertResult result;
+  const std::vector<Value> key = key_of(t);
+  auto it = live_.find(key);
+  if (it != live_.end()) {
+    if (it->second == t) return result;  // identical tuple already live
+    // Key collision: displace the current holder (upsert semantics).
+    result.displaced = it->second;
+    auto& intervals = rows_[it->second];
+    assert(!intervals.empty() && intervals.back().open_ended());
+    intervals.back().end = now;
+    live_.erase(it);
+  }
+  rows_[t].push_back(TimeInterval{now, kTimeInfinity});
+  live_.emplace(key, t);
+  result.inserted = true;
+  return result;
+}
+
+bool Table::remove(const Tuple& t, LogicalTime now) {
+  const std::vector<Value> key = key_of(t);
+  auto it = live_.find(key);
+  if (it == live_.end() || !(it->second == t)) return false;
+  auto& intervals = rows_[t];
+  assert(!intervals.empty() && intervals.back().open_ended());
+  intervals.back().end = now;
+  live_.erase(it);
+  return true;
+}
+
+bool Table::is_live(const Tuple& t) const {
+  auto it = live_.find(key_of(t));
+  return it != live_.end() && it->second == t;
+}
+
+bool Table::existed_at(const Tuple& t, LogicalTime at) const {
+  auto it = rows_.find(t);
+  if (it == rows_.end()) return false;
+  for (const TimeInterval& iv : it->second) {
+    if (iv.contains(at)) return true;
+  }
+  return false;
+}
+
+std::optional<LogicalTime> Table::live_since(const Tuple& t) const {
+  auto it = rows_.find(t);
+  if (it == rows_.end() || it->second.empty()) return std::nullopt;
+  const TimeInterval& last = it->second.back();
+  if (!last.open_ended()) return std::nullopt;
+  return last.start;
+}
+
+std::vector<TimeInterval> Table::history(const Tuple& t) const {
+  auto it = rows_.find(t);
+  if (it == rows_.end()) return {};
+  return it->second;
+}
+
+void Table::for_each_live(const std::function<void(const Tuple&)>& fn) const {
+  for (const auto& [key, tuple] : live_) {
+    fn(tuple);
+  }
+}
+
+void Table::for_each_at(LogicalTime at,
+                        const std::function<void(const Tuple&)>& fn) const {
+  for (const auto& [tuple, intervals] : rows_) {
+    for (const TimeInterval& iv : intervals) {
+      if (iv.contains(at)) {
+        fn(tuple);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<Tuple> Table::live_snapshot() const {
+  std::vector<Tuple> out;
+  out.reserve(live_.size());
+  // live_ is keyed by projected key; re-sort by full tuple for determinism.
+  for (const auto& [key, tuple] : live_) out.push_back(tuple);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dp

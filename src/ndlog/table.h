@@ -1,0 +1,92 @@
+// Temporal tuple tables.
+//
+// Every tuple carries a history of validity intervals [t1, t2). This is the
+// temporal dimension the paper inherits from DTaP (section 3.2): it lets the
+// provenance graph "remember" past events, which matters when the reference
+// event happened in the past (e.g. scenario SDN3, where the good packet was
+// observed before a multicast rule expired).
+//
+// Insertion follows RapidNet materialized-table semantics: tables declare key
+// columns, and inserting a tuple whose key collides with a live row displaces
+// that row (it is deleted at the same timestamp). Event tables (materialized
+// = false) are not stored at all; they exist for a single instant.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ndlog/schema.h"
+#include "ndlog/tuple.h"
+#include "util/time.h"
+
+namespace dp {
+
+class Table {
+ public:
+  explicit Table(TableDecl decl) : decl_(std::move(decl)) {}
+
+  [[nodiscard]] const TableDecl& decl() const { return decl_; }
+
+  /// Outcome of an insert: whether the tuple was new, and which live tuple
+  /// (if any) was displaced by key-based upsert.
+  struct InsertResult {
+    bool inserted = false;            // false if the identical tuple was live
+    std::optional<Tuple> displaced;   // key collision victim, already removed
+  };
+
+  /// Starts a validity interval for `t` at `now`. No-op if the identical
+  /// tuple is already live.
+  InsertResult insert(const Tuple& t, LogicalTime now);
+
+  /// Ends the live interval of `t` at `now`. Returns false if not live.
+  bool remove(const Tuple& t, LogicalTime now);
+
+  /// True if `t` is live now (interval still open).
+  [[nodiscard]] bool is_live(const Tuple& t) const;
+
+  /// True if `t` existed at logical time `at`.
+  [[nodiscard]] bool existed_at(const Tuple& t, LogicalTime at) const;
+
+  /// Live interval start of `t`, if live.
+  [[nodiscard]] std::optional<LogicalTime> live_since(const Tuple& t) const;
+
+  /// Full interval history of `t` (empty if never seen).
+  [[nodiscard]] std::vector<TimeInterval> history(const Tuple& t) const;
+
+  /// Deterministic iteration over live tuples (sorted by tuple value).
+  void for_each_live(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Deterministic iteration over tuples alive at time `at`.
+  void for_each_at(LogicalTime at,
+                   const std::function<void(const Tuple&)>& fn) const;
+
+  /// All live tuples, sorted.
+  [[nodiscard]] std::vector<Tuple> live_snapshot() const;
+
+  /// Number of live tuples.
+  [[nodiscard]] std::size_t live_count() const { return live_.size(); }
+
+  /// Number of distinct tuples ever seen (live or dead).
+  [[nodiscard]] std::size_t total_count() const { return rows_.size(); }
+
+  /// Key projection for upsert (per decl). Exposed for testing.
+  [[nodiscard]] std::vector<Value> key_of(const Tuple& t) const;
+
+  /// The live tuple holding `key`, if any (aggregation reads the previous
+  /// value through this).
+  [[nodiscard]] const Tuple* live_by_key(const std::vector<Value>& key) const {
+    auto it = live_.find(key);
+    return it == live_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  TableDecl decl_;
+  // Full temporal history; intervals are append-only and non-overlapping.
+  std::map<Tuple, std::vector<TimeInterval>> rows_;
+  // Live view keyed by the declared key columns (whole tuple if none).
+  std::map<std::vector<Value>, Tuple> live_;
+};
+
+}  // namespace dp

@@ -1,0 +1,34 @@
+#include "ndlog/tuple.h"
+
+namespace dp {
+
+Tuple Tuple::with_field(std::size_t i, Value v) const {
+  Tuple copy = *this;
+  copy.values_[i] = std::move(v);
+  return copy;
+}
+
+std::uint64_t Tuple::hash() const {
+  std::uint64_t h = fnv1a(table_);
+  for (const Value& v : values_) {
+    h = hash_mix(h, v.hash());
+  }
+  return h;
+}
+
+std::string Tuple::to_string() const {
+  std::string out = table_ + "(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    // Render the location specifier with a leading '@' for readability.
+    if (i == 0 && values_[0].is_string()) {
+      out += "@" + values_[0].as_string();
+    } else {
+      out += values_[i].to_string();
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dp

@@ -1,0 +1,64 @@
+// Tuples: the unit of state and event in the system model (paper section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ndlog/value.h"
+
+namespace dp {
+
+/// Nodes are identified by name (e.g. "S2", "controller", "reducer3").
+using NodeName = std::string;
+
+/// A tuple is a table name plus a value list. By NDlog convention the first
+/// field is the *location specifier* (the node the tuple lives on) -- the `@`
+/// argument in rule syntax. Tuple is a regular value type.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::string table, std::vector<Value> values)
+      : table_(std::move(table)), values_(std::move(values)) {}
+
+  [[nodiscard]] const std::string& table() const { return table_; }
+  [[nodiscard]] const std::vector<Value>& values() const { return values_; }
+  [[nodiscard]] std::size_t arity() const { return values_.size(); }
+  [[nodiscard]] const Value& at(std::size_t i) const { return values_[i]; }
+
+  /// The location specifier (field 0). Must be a string node name; enforced
+  /// by program validation before any tuple is injected.
+  [[nodiscard]] const NodeName& location() const {
+    return values_.front().as_string();
+  }
+
+  /// Returns a copy with field `i` replaced; used by DiffProv when it
+  /// constructs the "expected" tuples of the bad tree.
+  [[nodiscard]] Tuple with_field(std::size_t i, Value v) const;
+
+  /// Stable structural hash over table name and all fields.
+  [[nodiscard]] std::uint64_t hash() const;
+
+  /// Renders "table(v1, v2, ...)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.table_ == b.table_ && a.values_ == b.values_;
+  }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    if (a.table_ != b.table_) return a.table_ < b.table_;
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::string table_;
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    return static_cast<std::size_t>(t.hash());
+  }
+};
+
+}  // namespace dp

@@ -1,0 +1,103 @@
+#include "ndlog/value.h"
+
+#include <cstdio>
+
+namespace dp {
+
+std::string_view value_type_name(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kIp:
+      return "ip";
+    case ValueType::kPrefix:
+      return "prefix";
+  }
+  return "?";
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      // Keep a decimal marker so the rendering parses back as a double
+      // (integral doubles would otherwise read as ints).
+      std::string out = buf;
+      if (out.find('.') == std::string::npos &&
+          out.find('e') == std::string::npos &&
+          out.find("inf") == std::string::npos &&
+          out.find("nan") == std::string::npos) {
+        out += ".0";
+      }
+      return out;
+    }
+    case ValueType::kString:
+      return "\"" + as_string() + "\"";
+    case ValueType::kIp:
+      return as_ip().to_string();
+    case ValueType::kPrefix:
+      return as_prefix().to_string();
+  }
+  return "?";
+}
+
+std::uint64_t Value::hash() const {
+  std::uint64_t h = hash_mix(0x517cc1b727220a95ULL,
+                             static_cast<std::uint64_t>(type()));
+  switch (type()) {
+    case ValueType::kInt:
+      return hash_mix(h, static_cast<std::uint64_t>(as_int()));
+    case ValueType::kDouble: {
+      // Bit-pattern hash; NaNs are not used as tuple fields.
+      double d = as_double();
+      std::uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return hash_mix(h, bits);
+    }
+    case ValueType::kString:
+      return hash_mix(h, fnv1a(as_string()));
+    case ValueType::kIp:
+      return hash_mix(h, as_ip().value());
+    case ValueType::kPrefix:
+      return hash_mix(hash_mix(h, as_prefix().base().value()),
+                      static_cast<std::uint64_t>(as_prefix().length()));
+  }
+  return h;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return a.type() < b.type();
+  switch (a.type()) {
+    case ValueType::kInt:
+      return a.as_int() < b.as_int();
+    case ValueType::kDouble:
+      return a.as_double() < b.as_double();
+    case ValueType::kString:
+      return a.as_string() < b.as_string();
+    case ValueType::kIp:
+      return a.as_ip() < b.as_ip();
+    case ValueType::kPrefix:
+      return a.as_prefix() < b.as_prefix();
+  }
+  return false;
+}
+
+std::string values_to_string(const std::vector<Value>& values) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values[i].to_string();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dp

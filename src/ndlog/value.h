@@ -1,0 +1,89 @@
+// Dynamically-typed values carried in NDlog tuples.
+//
+// The paper's system model (section 3.1) represents all system state as
+// tuples whose fields are typed values: integers, strings, IP addresses and
+// ranges, switch ports, etc. We model those with a closed variant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/ip.h"
+
+namespace dp {
+
+enum class ValueType : std::uint8_t {
+  kInt,
+  kDouble,
+  kString,
+  kIp,
+  kPrefix,
+};
+
+/// Human-readable type name ("int", "string", ...).
+std::string_view value_type_name(ValueType type);
+
+/// A single tuple field. Value is a regular type: copyable, comparable,
+/// hashable, printable. Ordering across different types is by type tag first
+/// (total order, needed for deterministic table iteration).
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  Value(std::int64_t v) : data_(v) {}                    // NOLINT(google-explicit-constructor)
+  Value(int v) : data_(std::int64_t{v}) {}               // NOLINT(google-explicit-constructor)
+  Value(double v) : data_(v) {}                          // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}          // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}        // NOLINT(google-explicit-constructor)
+  Value(Ipv4 v) : data_(v) {}                            // NOLINT(google-explicit-constructor)
+  Value(IpPrefix v) : data_(v) {}                        // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+
+  [[nodiscard]] bool is_int() const { return type() == ValueType::kInt; }
+  [[nodiscard]] bool is_double() const { return type() == ValueType::kDouble; }
+  [[nodiscard]] bool is_string() const { return type() == ValueType::kString; }
+  [[nodiscard]] bool is_ip() const { return type() == ValueType::kIp; }
+  [[nodiscard]] bool is_prefix() const { return type() == ValueType::kPrefix; }
+
+  /// Accessors; calling the wrong one throws std::bad_variant_access, which
+  /// indicates a bug in the caller (rule typing is validated upstream).
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(data_);
+  }
+  [[nodiscard]] double as_double() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] Ipv4 as_ip() const { return std::get<Ipv4>(data_); }
+  [[nodiscard]] IpPrefix as_prefix() const { return std::get<IpPrefix>(data_); }
+
+  /// Numeric value as double (int or double), for mixed arithmetic.
+  [[nodiscard]] double numeric() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+  [[nodiscard]] bool is_numeric() const { return is_int() || is_double(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Stable structural hash (independent of process / run).
+  [[nodiscard]] std::uint64_t hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::int64_t, double, std::string, Ipv4, IpPrefix> data_;
+};
+
+/// Renders a value list as "(v1, v2, ...)".
+std::string values_to_string(const std::vector<Value>& values);
+
+}  // namespace dp

@@ -1,0 +1,244 @@
+#include "netcore/netcore.h"
+
+#include <cctype>
+
+#include "ndlog/tuple.h"
+#include "sdn/program.h"
+
+namespace dp::netcore {
+
+PolicyPtr Policy::fwd(std::string out) {
+  auto p = std::make_shared<Policy>();
+  p->kind = Kind::kFwd;
+  p->out = std::move(out);
+  return p;
+}
+
+PolicyPtr Policy::mirror(std::string out, std::string copy) {
+  auto p = std::make_shared<Policy>();
+  p->kind = Kind::kMirror;
+  p->out = std::move(out);
+  p->mirror_to = std::move(copy);
+  return p;
+}
+
+PolicyPtr Policy::drop() {
+  auto p = std::make_shared<Policy>();
+  p->kind = Kind::kDrop;
+  return p;
+}
+
+PolicyPtr Policy::branch(IpPrefix src, PolicyPtr then_branch,
+                         PolicyPtr else_branch) {
+  auto p = std::make_shared<Policy>();
+  p->kind = Kind::kIf;
+  p->src_prefix = src;
+  p->then_branch = std::move(then_branch);
+  p->else_branch = std::move(else_branch);
+  return p;
+}
+
+std::string Policy::to_string() const {
+  switch (kind) {
+    case Kind::kIf:
+      return "if src in " + src_prefix.to_string() + " then " +
+             then_branch->to_string() + " else " + else_branch->to_string();
+    case Kind::kFwd:
+      return "fwd(" + out + ")";
+    case Kind::kMirror:
+      return "mirror(" + out + ", " + mirror_to + ")";
+    case Kind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------- parser --
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : src_(source) {}
+
+  std::vector<SwitchPolicy> parse() {
+    std::vector<SwitchPolicy> program;
+    skip_space();
+    while (!eof()) {
+      expect_word("switch");
+      SwitchPolicy sw;
+      sw.switch_name = parse_name();
+      expect_char('{');
+      sw.policy = parse_policy();
+      expect_char('}');
+      program.push_back(std::move(sw));
+      skip_space();
+    }
+    if (program.empty()) fail("empty program");
+    return program;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek() const { return eof() ? '\0' : src_[pos_]; }
+
+  void skip_space() {
+    while (!eof()) {
+      if (std::isspace(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      } else if (peek() == '#' ||
+                 (peek() == '/' && pos_ + 1 < src_.size() &&
+                  src_[pos_ + 1] == '/')) {
+        while (!eof() && peek() != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw NetCoreError("netcore parse error at offset " +
+                       std::to_string(pos_) + ": " + message);
+  }
+
+  std::string parse_word() {
+    skip_space();
+    std::string word;
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_')) {
+      word.push_back(src_[pos_++]);
+    }
+    if (word.empty()) fail("expected a word");
+    return word;
+  }
+
+  void expect_word(const std::string& expected) {
+    const std::string word = parse_word();
+    if (word != expected) {
+      fail("expected '" + expected + "', got '" + word + "'");
+    }
+  }
+
+  void expect_char(char expected) {
+    skip_space();
+    if (peek() != expected) {
+      fail(std::string("expected '") + expected + "'");
+    }
+    ++pos_;
+  }
+
+  std::string parse_name() { return parse_word(); }
+
+  IpPrefix parse_prefix() {
+    skip_space();
+    std::string text;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == '/')) {
+      text.push_back(src_[pos_++]);
+    }
+    const auto prefix = IpPrefix::parse(text);
+    if (!prefix) fail("malformed prefix '" + text + "'");
+    return *prefix;
+  }
+
+  PolicyPtr parse_policy() {
+    const std::string word = parse_word();
+    if (word == "if") {
+      expect_word("src");
+      expect_word("in");
+      const IpPrefix prefix = parse_prefix();
+      expect_word("then");
+      PolicyPtr then_branch = parse_policy();
+      expect_word("else");
+      PolicyPtr else_branch = parse_policy();
+      return Policy::branch(prefix, std::move(then_branch),
+                            std::move(else_branch));
+    }
+    if (word == "fwd") {
+      expect_char('(');
+      std::string out = parse_name();
+      expect_char(')');
+      return Policy::fwd(std::move(out));
+    }
+    if (word == "mirror") {
+      expect_char('(');
+      std::string out = parse_name();
+      expect_char(',');
+      std::string copy = parse_name();
+      expect_char(')');
+      return Policy::mirror(std::move(out), std::move(copy));
+    }
+    if (word == "drop") return Policy::drop();
+    fail("unknown policy form '" + word + "'");
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+/// Restricts every entry of `entries` to `scope` (prefix intersection);
+/// disjoint entries vanish -- the standard NetCore classifier restriction.
+std::vector<ClassifierEntry> restrict_to(
+    const IpPrefix& scope, const std::vector<ClassifierEntry>& entries) {
+  std::vector<ClassifierEntry> out;
+  for (const ClassifierEntry& entry : entries) {
+    if (scope.covers(entry.src)) {
+      out.push_back(entry);  // already at least as specific
+    } else if (entry.src.covers(scope)) {
+      out.push_back({scope, entry.action});
+    }
+    // else: disjoint, no packets can match inside the scope
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SwitchPolicy> parse_netcore(std::string_view source) {
+  return Parser(source).parse();
+}
+
+std::vector<ClassifierEntry> compile_policy(const Policy& policy) {
+  switch (policy.kind) {
+    case Policy::Kind::kFwd:
+      return {{IpPrefix(Ipv4(0, 0, 0, 0), 0), policy.out}};
+    case Policy::Kind::kMirror:
+      return {{IpPrefix(Ipv4(0, 0, 0, 0), 0),
+               policy.out + "+" + policy.mirror_to}};
+    case Policy::Kind::kDrop:
+      return {{IpPrefix(Ipv4(0, 0, 0, 0), 0), "dr"}};
+    case Policy::Kind::kIf: {
+      // First-match semantics: the then-branch, restricted to the predicate,
+      // shadows the else-branch.
+      std::vector<ClassifierEntry> out = restrict_to(
+          policy.src_prefix, compile_policy(*policy.then_branch));
+      for (ClassifierEntry& entry : compile_policy(*policy.else_branch)) {
+        out.push_back(std::move(entry));
+      }
+      return out;
+    }
+  }
+  throw NetCoreError("corrupt policy");
+}
+
+void emit_policy_routes(const std::vector<SwitchPolicy>& program,
+                        EventLog& log, LogicalTime at, int top_priority) {
+  for (const SwitchPolicy& sw : program) {
+    const std::vector<ClassifierEntry> classifier =
+        compile_policy(*sw.policy);
+    if (static_cast<int>(classifier.size()) > top_priority) {
+      throw NetCoreError("classifier for " + sw.switch_name +
+                         " exceeds the priority budget");
+    }
+    int priority = top_priority;
+    for (const ClassifierEntry& entry : classifier) {
+      log.append_insert(
+          Tuple("policyRoute",
+                {Value(dp::sdn::kController), Value(sw.switch_name),
+                 Value(priority--), Value(entry.src), Value(entry.action)}),
+          at);
+    }
+  }
+}
+
+}  // namespace dp::netcore

@@ -1,0 +1,86 @@
+// A NetCore/Pyretic-style policy front-end (paper section 5: "we have built
+// a front-end for controller programs that accepts programs written either
+// in native NDlog or in NetCore (part of Pyretic); when a NetCore program is
+// provided, our front-end internally converts it to NDlog rules and tuples
+// using a technique from Y!").
+//
+// The language is a small but faithful NetCore subset over source-prefix
+// predicates (our data plane classifies on the packet source, as in the
+// paper's Figure-1 policy):
+//
+//   program   := { "switch" NAME "{" policy "}" }
+//   policy    := "if" "src" "in" PREFIX "then" policy "else" policy
+//              | "fwd" "(" NAME ")"
+//              | "mirror" "(" NAME "," NAME ")"     // deliver + copy
+//              | "drop"
+//
+// Compilation classifies each switch's policy into a first-match list of
+// (source prefix, action) pairs -- the standard NetCore classifier
+// construction -- and then emits them as the controller's policyRoute base
+// tuples, i.e. exactly the tuples the NDlog model of src/sdn derives flow
+// entries from.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "replay/event_log.h"
+#include "util/ip.h"
+
+namespace dp::netcore {
+
+class NetCoreError : public std::runtime_error {
+ public:
+  explicit NetCoreError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Policy;
+using PolicyPtr = std::shared_ptr<const Policy>;
+
+struct Policy {
+  enum class Kind : std::uint8_t { kIf, kFwd, kMirror, kDrop };
+  Kind kind = Kind::kDrop;
+  IpPrefix src_prefix;     // kIf
+  PolicyPtr then_branch;   // kIf
+  PolicyPtr else_branch;   // kIf
+  std::string out;         // kFwd / kMirror (primary)
+  std::string mirror_to;   // kMirror (copy)
+
+  static PolicyPtr fwd(std::string out);
+  static PolicyPtr mirror(std::string out, std::string copy);
+  static PolicyPtr drop();
+  static PolicyPtr branch(IpPrefix src, PolicyPtr then_branch,
+                          PolicyPtr else_branch);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct SwitchPolicy {
+  std::string switch_name;
+  PolicyPtr policy;
+};
+
+/// One row of a compiled classifier: first-match order.
+struct ClassifierEntry {
+  IpPrefix src;
+  std::string action;  // "sw3", "w1+d1", "dr"
+
+  friend bool operator==(const ClassifierEntry&,
+                         const ClassifierEntry&) = default;
+};
+
+/// Parses the textual form above. Throws NetCoreError with position info.
+std::vector<SwitchPolicy> parse_netcore(std::string_view source);
+
+/// Classifies one policy into a first-match entry list.
+std::vector<ClassifierEntry> compile_policy(const Policy& policy);
+
+/// Emits the compiled program as controller policyRoute base tuples into
+/// `log` (priorities descend in first-match order from `top_priority`).
+void emit_policy_routes(const std::vector<SwitchPolicy>& program,
+                        EventLog& log, LogicalTime at = 0,
+                        int top_priority = 100);
+
+}  // namespace dp::netcore

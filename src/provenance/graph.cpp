@@ -1,0 +1,205 @@
+#include "provenance/graph.h"
+
+#include <cassert>
+
+namespace dp {
+
+std::string_view vertex_kind_name(VertexKind kind) {
+  switch (kind) {
+    case VertexKind::kInsert: return "INSERT";
+    case VertexKind::kDelete: return "DELETE";
+    case VertexKind::kExist: return "EXIST";
+    case VertexKind::kDerive: return "DERIVE";
+    case VertexKind::kUnderive: return "UNDERIVE";
+    case VertexKind::kAppear: return "APPEAR";
+    case VertexKind::kDisappear: return "DISAPPEAR";
+  }
+  return "?";
+}
+
+std::string Vertex::label() const {
+  std::string out(vertex_kind_name(kind));
+  out += " ";
+  out += tuple.to_string();
+  if (!rule.empty()) out += " via " + rule;
+  if (kind == VertexKind::kExist) {
+    out += " @[" + std::to_string(interval.start) + ", " +
+           (interval.open_ended() ? "inf" : std::to_string(interval.end)) +
+           ")";
+  } else {
+    out += " @" + std::to_string(time);
+  }
+  return out;
+}
+
+VertexId ProvenanceGraph::add_vertex(Vertex v) {
+  nodes_.push_back(std::move(v));
+  return static_cast<VertexId>(nodes_.size() - 1);
+}
+
+std::optional<VertexId> ProvenanceGraph::live_exist(const Tuple& tuple) const {
+  auto it = exist_index_.find(tuple);
+  if (it == exist_index_.end() || it->second.empty()) return std::nullopt;
+  const VertexId last = it->second.back();
+  if (!nodes_[last].interval.open_ended()) return std::nullopt;
+  return last;
+}
+
+void ProvenanceGraph::close_exist(const Tuple& tuple, LogicalTime t) {
+  auto live = live_exist(tuple);
+  if (live) nodes_[*live].interval.end = t;
+}
+
+VertexId ProvenanceGraph::record_base_insert(const Tuple& tuple, LogicalTime t,
+                                             bool is_event) {
+  Vertex insert;
+  insert.kind = VertexKind::kInsert;
+  insert.tuple = tuple;
+  insert.time = t;
+  const VertexId insert_id = add_vertex(std::move(insert));
+
+  Vertex appear;
+  appear.kind = VertexKind::kAppear;
+  appear.tuple = tuple;
+  appear.time = t;
+  appear.children = {insert_id};
+  const VertexId appear_id = add_vertex(std::move(appear));
+
+  Vertex exist;
+  exist.kind = VertexKind::kExist;
+  exist.tuple = tuple;
+  exist.time = t;
+  exist.interval = is_event ? TimeInterval{t, t + 1}
+                            : TimeInterval{t, kTimeInfinity};
+  exist.children = {appear_id};
+  const VertexId exist_id = add_vertex(std::move(exist));
+  exist_index_[tuple].push_back(exist_id);
+  return exist_id;
+}
+
+VertexId ProvenanceGraph::record_derive(const Tuple& head,
+                                        const std::string& rule,
+                                        const std::vector<Tuple>& body,
+                                        std::size_t trigger_index,
+                                        LogicalTime t, bool is_event) {
+  // Resolve the body tuples to their EXIST vertices as of `t`. A body tuple
+  // must have been recorded before it can support a derivation; event
+  // triggers have a one-instant interval, so fall back to the latest EXIST.
+  std::vector<VertexId> body_ids;
+  body_ids.reserve(body.size());
+  for (const Tuple& b : body) {
+    std::optional<VertexId> id = exist_at(b, t);
+    if (!id) id = latest_exist_before(b, t);
+    if (!id) {
+      // Only possible under selective (filtered) recording: the body tuple's
+      // own provenance was pruned. Record a boundary EXIST so the projected
+      // tree remains well-formed; it reads as an unexpanded base fact.
+      id = record_base_insert(b, t, false);
+    }
+    body_ids.push_back(*id);
+  }
+
+  Vertex derive;
+  derive.kind = VertexKind::kDerive;
+  derive.tuple = head;
+  derive.rule = rule;
+  derive.time = t;
+  derive.children = body_ids;
+  derive.trigger_index = static_cast<std::int32_t>(trigger_index);
+  const VertexId derive_id = add_vertex(std::move(derive));
+  trigger_index_[body_ids[trigger_index]].push_back(derive_id);
+
+  // Additional support for an already-live head: attach the new DERIVE to
+  // the existing APPEAR and keep the open EXIST.
+  if (auto live = live_exist(head)) {
+    const VertexId appear_id = nodes_[*live].children.front();
+    nodes_[appear_id].children.push_back(derive_id);
+    return *live;
+  }
+
+  Vertex appear;
+  appear.kind = VertexKind::kAppear;
+  appear.tuple = head;
+  appear.time = t;
+  appear.children = {derive_id};
+  const VertexId appear_id = add_vertex(std::move(appear));
+
+  Vertex exist;
+  exist.kind = VertexKind::kExist;
+  exist.tuple = head;
+  exist.time = t;
+  exist.interval = is_event ? TimeInterval{t, t + 1}
+                            : TimeInterval{t, kTimeInfinity};
+  exist.children = {appear_id};
+  const VertexId exist_id = add_vertex(std::move(exist));
+  exist_index_[head].push_back(exist_id);
+  return exist_id;
+}
+
+void ProvenanceGraph::record_base_delete(const Tuple& tuple, LogicalTime t) {
+  Vertex del;
+  del.kind = VertexKind::kDelete;
+  del.tuple = tuple;
+  del.time = t;
+  const VertexId del_id = add_vertex(std::move(del));
+
+  Vertex disappear;
+  disappear.kind = VertexKind::kDisappear;
+  disappear.tuple = tuple;
+  disappear.time = t;
+  disappear.children = {del_id};
+  add_vertex(std::move(disappear));
+  close_exist(tuple, t);
+}
+
+void ProvenanceGraph::record_underive(const Tuple& tuple,
+                                      const std::string& rule,
+                                      LogicalTime t) {
+  Vertex underive;
+  underive.kind = VertexKind::kUnderive;
+  underive.tuple = tuple;
+  underive.rule = rule;
+  underive.time = t;
+  const VertexId underive_id = add_vertex(std::move(underive));
+
+  Vertex disappear;
+  disappear.kind = VertexKind::kDisappear;
+  disappear.tuple = tuple;
+  disappear.time = t;
+  disappear.children = {underive_id};
+  add_vertex(std::move(disappear));
+  close_exist(tuple, t);
+}
+
+std::optional<VertexId> ProvenanceGraph::exist_at(const Tuple& tuple,
+                                                  LogicalTime at) const {
+  auto it = exist_index_.find(tuple);
+  if (it == exist_index_.end()) return std::nullopt;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (nodes_[*rit].interval.contains(at)) return *rit;
+  }
+  return std::nullopt;
+}
+
+std::optional<VertexId> ProvenanceGraph::latest_exist_before(
+    const Tuple& tuple, LogicalTime at) const {
+  auto it = exist_index_.find(tuple);
+  if (it == exist_index_.end()) return std::nullopt;
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (nodes_[*rit].interval.start <= at) return *rit;
+  }
+  return std::nullopt;
+}
+
+std::vector<VertexId> ProvenanceGraph::exists_of(const Tuple& tuple) const {
+  auto it = exist_index_.find(tuple);
+  return it == exist_index_.end() ? std::vector<VertexId>{} : it->second;
+}
+
+std::vector<VertexId> ProvenanceGraph::derivations_triggered_by(
+    VertexId exist) const {
+  auto it = trigger_index_.find(exist);
+  return it == trigger_index_.end() ? std::vector<VertexId>{} : it->second;
+}
+
+}  // namespace dp

@@ -1,0 +1,89 @@
+// Append-only temporal provenance graph.
+//
+// Built incrementally while the (primary or replayed) system runs. Supports
+// the lookups DiffProv needs: the EXIST vertex of a tuple alive at a given
+// time, the latest derivation "triggered by" a tuple (to climb the spine
+// from a seed), and tree projection (see tree.h).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "provenance/vertex.h"
+
+namespace dp {
+
+class ProvenanceGraph {
+ public:
+  /// Records INSERT -> APPEAR -> EXIST for a base tuple. Event tuples get a
+  /// closed one-instant EXIST interval [t, t+1). Returns the EXIST vertex.
+  VertexId record_base_insert(const Tuple& tuple, LogicalTime t,
+                              bool is_event);
+
+  /// Records DERIVE -> APPEAR -> EXIST for a derived tuple, with the DERIVE
+  /// pointing at the live EXIST vertices of the body tuples. If the head is
+  /// already alive (additional support), only a DERIVE vertex is added and
+  /// attached to the existing APPEAR. Returns the head's EXIST vertex.
+  VertexId record_derive(const Tuple& head, const std::string& rule,
+                         const std::vector<Tuple>& body,
+                         std::size_t trigger_index, LogicalTime t,
+                         bool is_event);
+
+  /// Records DELETE -> DISAPPEAR and closes the live EXIST interval.
+  void record_base_delete(const Tuple& tuple, LogicalTime t);
+
+  /// Records UNDERIVE -> DISAPPEAR and closes the live EXIST interval.
+  void record_underive(const Tuple& tuple, const std::string& rule,
+                       LogicalTime t);
+
+  [[nodiscard]] const Vertex& vertex(VertexId id) const { return nodes_[id]; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// EXIST vertex of `tuple` alive at `at` (interval contains `at`), if any.
+  [[nodiscard]] std::optional<VertexId> exist_at(const Tuple& tuple,
+                                                 LogicalTime at) const;
+
+  /// EXIST vertex of `tuple` with the latest interval start <= `at`
+  /// (regardless of whether it is still alive at `at`). Used to locate event
+  /// tuples, whose EXIST closes immediately.
+  [[nodiscard]] std::optional<VertexId> latest_exist_before(
+      const Tuple& tuple, LogicalTime at) const;
+
+  /// All EXIST vertices of `tuple`, in insertion (time) order.
+  [[nodiscard]] std::vector<VertexId> exists_of(const Tuple& tuple) const;
+
+  /// Iterates every distinct tuple the graph has seen, with its EXIST
+  /// vertices (deterministic order). Used by the reference finder.
+  void for_each_tuple(
+      const std::function<void(const Tuple&, const std::vector<VertexId>&)>&
+          fn) const {
+    for (const auto& [tuple, exists] : exist_index_) fn(tuple, exists);
+  }
+
+  /// DERIVE vertices whose *trigger* child is the EXIST vertex `exist`.
+  /// Climbing these edges from a seed reaches the event the seed caused
+  /// (used to re-root the bad tree after a replay round).
+  [[nodiscard]] std::vector<VertexId> derivations_triggered_by(
+      VertexId exist) const;
+
+  /// The APPEAR time of the tuple behind an EXIST vertex (== interval
+  /// start); the quantity compared when looking for the "last" precondition.
+  [[nodiscard]] LogicalTime appear_time(VertexId exist) const {
+    return nodes_[exist].interval.start;
+  }
+
+ private:
+  VertexId add_vertex(Vertex v);
+  [[nodiscard]] std::optional<VertexId> live_exist(const Tuple& tuple) const;
+  void close_exist(const Tuple& tuple, LogicalTime t);
+
+  std::vector<Vertex> nodes_;
+  // All EXIST vertices per tuple, in chronological order.
+  std::map<Tuple, std::vector<VertexId>> exist_index_;
+  // trigger EXIST -> DERIVE vertices it triggered.
+  std::map<VertexId, std::vector<VertexId>> trigger_index_;
+};
+
+}  // namespace dp

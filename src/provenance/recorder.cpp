@@ -1,0 +1,32 @@
+#include "provenance/recorder.h"
+
+namespace dp {
+
+void ProvenanceRecorder::on_base_insert(const Tuple& tuple, LogicalTime t,
+                                        bool is_event) {
+  if (!wanted(tuple)) return;
+  graph_.record_base_insert(tuple, t, is_event);
+}
+
+void ProvenanceRecorder::on_base_delete(const Tuple& tuple, LogicalTime t) {
+  if (!wanted(tuple)) return;
+  graph_.record_base_delete(tuple, t);
+}
+
+void ProvenanceRecorder::on_derive(const Tuple& head, const std::string& rule,
+                                   const std::vector<Tuple>& body,
+                                   std::size_t trigger_index, LogicalTime t,
+                                   bool is_event) {
+  if (!wanted(head)) return;
+  graph_.record_derive(head, rule, body, trigger_index, t, is_event);
+}
+
+void ProvenanceRecorder::on_underive(const Tuple& head,
+                                     const std::string& rule,
+                                     const Tuple& cause, LogicalTime t) {
+  (void)cause;
+  if (!wanted(head)) return;
+  graph_.record_underive(head, rule, t);
+}
+
+}  // namespace dp

@@ -1,0 +1,103 @@
+#include "provenance/sharded.h"
+
+#include <set>
+
+namespace dp {
+
+ProvenanceGraph& ShardedProvenance::shard_for(const Tuple& tuple) {
+  return shards_[tuple.location()];
+}
+
+void ShardedProvenance::on_base_insert(const Tuple& tuple, LogicalTime t,
+                                       bool is_event) {
+  shard_for(tuple).record_base_insert(tuple, t, is_event);
+}
+
+void ShardedProvenance::on_base_delete(const Tuple& tuple, LogicalTime t) {
+  shard_for(tuple).record_base_delete(tuple, t);
+}
+
+void ShardedProvenance::on_derive(const Tuple& head, const std::string& rule,
+                                  const std::vector<Tuple>& body,
+                                  std::size_t trigger_index, LogicalTime t,
+                                  bool is_event) {
+  // The head's shard records the derivation; body tuples that live on other
+  // nodes appear as local stub EXISTs (record_derive creates boundaries for
+  // tuples the shard never saw), which project() resolves on demand.
+  shard_for(head).record_derive(head, rule, body, trigger_index, t, is_event);
+}
+
+void ShardedProvenance::on_underive(const Tuple& head, const std::string& rule,
+                                    const Tuple& cause, LogicalTime t) {
+  (void)cause;
+  shard_for(head).record_underive(head, rule, t);
+}
+
+const ProvenanceGraph* ShardedProvenance::shard(const NodeName& node) const {
+  auto it = shards_.find(node);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+std::map<NodeName, std::size_t> ShardedProvenance::shard_sizes() const {
+  std::map<NodeName, std::size_t> out;
+  for (const auto& [node, graph] : shards_) {
+    out.emplace(node, graph.size());
+  }
+  return out;
+}
+
+std::optional<ProvTree> ShardedProvenance::project(const Tuple& event) {
+  stats_ = QueryStats{};
+  const auto owner = shards_.find(event.location());
+  if (owner == shards_.end()) return std::nullopt;
+  const auto root = owner->second.latest_exist_before(event, kTimeInfinity);
+  if (!root) return std::nullopt;
+
+  std::set<NodeName> touched = {owner->first};
+  ProvTreeBuilder builder;
+  struct Frame {
+    const ProvenanceGraph* graph;
+    const NodeName* shard;
+    VertexId id;
+    ProvTree::NodeIndex parent;
+  };
+  std::vector<Frame> stack = {
+      {&owner->second, &owner->first, *root, ProvTree::kNoNode}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Vertex* v = &frame.graph->vertex(frame.id);
+
+    // A local stub for a remote tuple: materialize the owning shard's
+    // vertex on demand and continue the walk there.
+    if (v->kind == VertexKind::kExist && v->tuple.location() != *frame.shard) {
+      const auto remote_it = shards_.find(v->tuple.location());
+      if (remote_it != shards_.end()) {
+        auto remote = remote_it->second.exist_at(v->tuple, v->interval.start);
+        if (!remote) {
+          remote = remote_it->second.latest_exist_before(v->tuple,
+                                                         v->interval.start);
+        }
+        if (remote) {
+          ++stats_.remote_fetches;
+          touched.insert(remote_it->first);
+          frame.graph = &remote_it->second;
+          frame.shard = &remote_it->first;
+          frame.id = *remote;
+          v = &frame.graph->vertex(frame.id);
+        }
+      }
+    }
+
+    ++stats_.vertices_visited;
+    const ProvTree::NodeIndex index = builder.add(*v, frame.parent);
+    const auto& children = v->children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({frame.graph, frame.shard, *it, index});
+    }
+  }
+  stats_.shards_touched = touched.size();
+  return std::move(builder).take();
+}
+
+}  // namespace dp

@@ -1,0 +1,82 @@
+// Provenance tree projection.
+//
+// The provenance of an event is the tree rooted at its vertex in the
+// provenance graph (paper section 2.1): shared sub-DAGs are expanded, so a
+// vertex reused by two derivations appears twice, exactly as in the paper's
+// vertex counts (e.g. Figure 2's 201-vertex tree).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "provenance/graph.h"
+
+namespace dp {
+
+class ProvTree {
+ public:
+  /// Index of a node within this tree (not a graph VertexId).
+  using NodeIndex = std::int32_t;
+  static constexpr NodeIndex kNoNode = -1;
+
+  struct Node {
+    VertexId vertex = kNoVertex;
+    NodeIndex parent = kNoNode;
+    std::vector<NodeIndex> children;
+  };
+
+  /// Projects the tree rooted at `root` out of `graph`. The tree is
+  /// self-contained: it copies the vertices it references, so it remains
+  /// valid after the graph (e.g. a replay's recorder) is gone -- DiffProv
+  /// routinely compares trees across independent replays.
+  static ProvTree project(const ProvenanceGraph& graph, VertexId root);
+
+  [[nodiscard]] NodeIndex root() const { return 0; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const Node& node(NodeIndex i) const {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] const Vertex& vertex_of(NodeIndex i) const {
+    return vertices_[static_cast<std::size_t>(i)];
+  }
+
+  /// Count of nodes per vertex kind (Table 1 reports total vertex counts).
+  [[nodiscard]] std::map<VertexKind, std::size_t> kind_histogram() const;
+
+  /// Depth of the deepest leaf (root = 1).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Indented human-readable rendering (one vertex per line).
+  [[nodiscard]] std::string to_text(std::size_t max_nodes = 0) const;
+
+  /// Graphviz rendering for inspection.
+  [[nodiscard]] std::string to_dot() const;
+
+  /// Pre-order traversal.
+  void visit(const std::function<void(NodeIndex)>& fn) const;
+
+ private:
+  friend class ProvTreeBuilder;
+  std::vector<Node> nodes_;
+  std::vector<Vertex> vertices_;  // one copy per node, aligned with nodes_
+};
+
+/// Incremental construction of a ProvTree from vertices gathered elsewhere --
+/// used by the distributed (sharded) provenance store, whose trees span
+/// several per-node graphs (paper section 4.8). Nodes must be added in
+/// pre-order: the parent before any of its children.
+class ProvTreeBuilder {
+ public:
+  /// Adds a node and returns its index. `parent` is kNoNode for the root.
+  ProvTree::NodeIndex add(Vertex vertex, ProvTree::NodeIndex parent);
+
+  /// Finalizes the tree (must contain at least the root).
+  [[nodiscard]] ProvTree take() &&;
+
+ private:
+  ProvTree tree_;
+};
+
+}  // namespace dp

@@ -1,0 +1,56 @@
+// The seven vertex types of the temporal provenance graph (paper section
+// 3.2, following DTaP [35]):
+//
+//   INSERT / DELETE    base tuple inserted / deleted on a node at time t
+//   EXIST              tuple existed on a node during [t1, t2)
+//   DERIVE / UNDERIVE  tuple (under)derived via a rule at time t
+//   APPEAR / DISAPPEAR tuple appeared / disappeared on a node at time t
+//
+// Edges run from effects to their direct causes: EXIST -> APPEAR ->
+// (INSERT | DERIVE), and DERIVE -> the EXIST vertices of the rule body. The
+// graph is append-only; deletions add negative vertices rather than removing
+// anything (paper section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ndlog/tuple.h"
+#include "util/time.h"
+
+namespace dp {
+
+enum class VertexKind : std::uint8_t {
+  kInsert,
+  kDelete,
+  kExist,
+  kDerive,
+  kUnderive,
+  kAppear,
+  kDisappear,
+};
+
+std::string_view vertex_kind_name(VertexKind kind);
+
+using VertexId = std::uint32_t;
+inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
+
+struct Vertex {
+  VertexKind kind = VertexKind::kInsert;
+  Tuple tuple;
+  std::string rule;        // DERIVE / UNDERIVE only
+  LogicalTime time = 0;    // instant kinds; for EXIST, == interval.start
+  TimeInterval interval;   // EXIST only
+  // Direct causes, in causal order. For DERIVE vertices these are the EXIST
+  // vertices of the body tuples, in rule body order.
+  std::vector<VertexId> children;
+  // For DERIVE: index into `children` of the body tuple whose appearance
+  // triggered the rule (the paper's "last precondition"; section 4.2).
+  std::int32_t trigger_index = -1;
+
+  [[nodiscard]] const NodeName& node() const { return tuple.location(); }
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace dp

@@ -1,0 +1,43 @@
+#include "replay/checkpoint.h"
+
+#include "replay/event_log.h"
+
+namespace dp {
+
+Checkpoint Checkpoint::capture(const Engine& engine) {
+  Checkpoint checkpoint;
+  checkpoint.captured_at_ = engine.now();
+  for (const auto& [table_name, decl] : engine.program().tables()) {
+    if (decl.kind != TupleKind::kBase || decl.is_event()) continue;
+    for (Tuple& t : engine.live_tuples(table_name)) {
+      checkpoint.tuples_.push_back(std::move(t));
+    }
+  }
+  return checkpoint;
+}
+
+void Checkpoint::schedule_into(Engine& engine, LogicalTime at) const {
+  for (const Tuple& t : tuples_) {
+    engine.schedule_insert(t, at);
+  }
+}
+
+void Checkpoint::serialize(std::ostream& out) const {
+  EventLog log;
+  for (const Tuple& t : tuples_) {
+    log.append_insert(t, captured_at_);
+  }
+  log.serialize(out);
+}
+
+Checkpoint Checkpoint::deserialize(std::istream& in) {
+  const EventLog log = EventLog::deserialize(in);
+  Checkpoint checkpoint;
+  for (const LogRecord& record : log.records()) {
+    checkpoint.captured_at_ = record.time;
+    checkpoint.tuples_.push_back(record.tuple);
+  }
+  return checkpoint;
+}
+
+}  // namespace dp

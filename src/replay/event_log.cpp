@@ -1,0 +1,243 @@
+#include "replay/event_log.h"
+
+#include "ndlog/parser.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dp {
+
+namespace {
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+  put_u8(out, static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  const int c = in.get();
+  if (c == EOF) throw std::runtime_error("event log: truncated input");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint16_t get_u16(std::istream& in) {
+  const auto hi = get_u8(in);
+  return static_cast<std::uint16_t>((hi << 8) | get_u8(in));
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  const auto hi = get_u16(in);
+  return (static_cast<std::uint32_t>(hi) << 16) | get_u16(in);
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  const auto hi = get_u32(in);
+  return (static_cast<std::uint64_t>(hi) << 32) | get_u32(in);
+}
+
+std::string get_string(std::istream& in) {
+  const std::uint32_t size = get_u32(in);
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("event log: truncated string");
+  return s;
+}
+
+void put_value(std::ostream& out, const Value& v) {
+  put_u8(out, static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kInt:
+      put_u64(out, static_cast<std::uint64_t>(v.as_int()));
+      break;
+    case ValueType::kDouble: {
+      double d = v.as_double();
+      std::uint64_t bits = 0;
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      put_u64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      put_string(out, v.as_string());
+      break;
+    case ValueType::kIp:
+      put_u32(out, v.as_ip().value());
+      break;
+    case ValueType::kPrefix:
+      put_u32(out, v.as_prefix().base().value());
+      put_u8(out, static_cast<std::uint8_t>(v.as_prefix().length()));
+      break;
+  }
+}
+
+Value get_value(std::istream& in) {
+  const auto type = static_cast<ValueType>(get_u8(in));
+  switch (type) {
+    case ValueType::kInt:
+      return Value(static_cast<std::int64_t>(get_u64(in)));
+    case ValueType::kDouble: {
+      const std::uint64_t bits = get_u64(in);
+      double d = 0;
+      __builtin_memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case ValueType::kString:
+      return Value(get_string(in));
+    case ValueType::kIp:
+      return Value(Ipv4(get_u32(in)));
+    case ValueType::kPrefix: {
+      const Ipv4 base(get_u32(in));
+      return Value(IpPrefix(base, get_u8(in)));
+    }
+  }
+  throw std::runtime_error("event log: corrupt value tag");
+}
+
+std::uint64_t value_size(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 1 + 8;
+    case ValueType::kString:
+      return 1 + 4 + v.as_string().size();
+    case ValueType::kIp:
+      return 1 + 4;
+    case ValueType::kPrefix:
+      return 1 + 5;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::uint64_t EventLog::record_size(const LogRecord& record) {
+  std::uint64_t size = 1 + 8;  // op + time
+  size += 4 + record.tuple.table().size();
+  size += 2;  // field count
+  for (const Value& v : record.tuple.values()) size += value_size(v);
+  return size;
+}
+
+void EventLog::append(LogRecord record) {
+  byte_size_ += record_size(record);
+  records_.push_back(std::move(record));
+}
+
+void EventLog::append_insert(Tuple tuple, LogicalTime t) {
+  append(LogRecord{LogRecord::Op::kInsert, t, std::move(tuple)});
+}
+
+void EventLog::append_delete(Tuple tuple, LogicalTime t) {
+  append(LogRecord{LogRecord::Op::kDelete, t, std::move(tuple)});
+}
+
+void EventLog::serialize(std::ostream& out) const {
+  for (const LogRecord& record : records_) {
+    put_u8(out, static_cast<std::uint8_t>(record.op));
+    put_u64(out, static_cast<std::uint64_t>(record.time));
+    put_string(out, record.tuple.table());
+    put_u16(out, static_cast<std::uint16_t>(record.tuple.arity()));
+    for (const Value& v : record.tuple.values()) put_value(out, v);
+  }
+}
+
+std::string EventLog::to_text() const {
+  std::string out;
+  for (const LogRecord& record : records_) {
+    out += record.op == LogRecord::Op::kInsert ? "+ " : "- ";
+    out += record.tuple.to_string();
+    out += " @ " + std::to_string(record.time) + "\n";
+  }
+  return out;
+}
+
+EventLog EventLog::from_text(std::string_view text) {
+  EventLog log;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    // Strip comments and whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+    auto fail = [line_no](const std::string& what) -> std::runtime_error {
+      return std::runtime_error("event log text, line " +
+                                std::to_string(line_no) + ": " + what);
+    };
+    LogRecord record;
+    if (line.front() == '+') {
+      record.op = LogRecord::Op::kInsert;
+    } else if (line.front() == '-') {
+      record.op = LogRecord::Op::kDelete;
+    } else {
+      throw fail("expected '+' or '-'");
+    }
+    line.remove_prefix(1);
+    const std::size_t at = line.rfind('@');
+    if (at == std::string_view::npos) throw fail("missing '@ <time>'");
+    // The '@' of the timestamp is the one after the closing paren.
+    const std::size_t paren = line.rfind(')');
+    if (paren == std::string_view::npos || at < paren) {
+      throw fail("missing '@ <time>' after the tuple");
+    }
+    try {
+      record.time = std::stoll(std::string(line.substr(at + 1)));
+    } catch (...) {
+      throw fail("malformed timestamp");
+    }
+    record.tuple = parse_tuple(line.substr(0, paren + 1));
+    log.append(std::move(record));
+  }
+  return log;
+}
+
+EventLog EventLog::deserialize(std::istream& in) {
+  EventLog log;
+  while (in.peek() != EOF) {
+    LogRecord record;
+    record.op = static_cast<LogRecord::Op>(get_u8(in));
+    record.time = static_cast<LogicalTime>(get_u64(in));
+    std::string table = get_string(in);
+    const std::uint16_t arity = get_u16(in);
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (std::uint16_t i = 0; i < arity; ++i) values.push_back(get_value(in));
+    record.tuple = Tuple(std::move(table), std::move(values));
+    log.append(std::move(record));
+  }
+  return log;
+}
+
+}  // namespace dp

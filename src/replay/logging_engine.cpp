@@ -1,0 +1,29 @@
+#include "replay/logging_engine.h"
+
+namespace dp {
+
+void LoggingEngine::on_base_insert(const Tuple& tuple, LogicalTime t,
+                                   bool is_event) {
+  if (is_event && !logs_events_at(tuple.location())) return;
+  log_.append_insert(tuple, t);
+}
+
+void LoggingEngine::on_base_delete(const Tuple& tuple, LogicalTime t) {
+  log_.append_delete(tuple, t);
+}
+
+void LoggingEngine::on_derive(const Tuple& head, const std::string& rule,
+                              const std::vector<Tuple>& body,
+                              std::size_t trigger_index, LogicalTime t,
+                              bool is_event) {
+  (void)body;
+  (void)trigger_index;
+  (void)is_event;
+  if (mode_ != LoggingMode::kRuntime) return;
+  // Runtime mode writes a derivation record: head tuple + rule name. We
+  // account its size but keep it out of the replayable base log.
+  LogRecord record{LogRecord::Op::kInsert, t, head};
+  derivation_bytes_ += EventLog::record_size(record) + rule.size();
+}
+
+}  // namespace dp

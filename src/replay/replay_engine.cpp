@@ -1,0 +1,55 @@
+#include "replay/replay_engine.h"
+
+namespace dp {
+
+std::string DeltaOp::to_string() const {
+  return (kind == Kind::kInsert ? "+ " : "- ") + tuple.to_string() + " @" +
+         std::to_string(at);
+}
+
+std::string delta_to_string(const Delta& delta) {
+  std::string out;
+  for (const DeltaOp& op : delta) {
+    out += "  " + op.to_string() + "\n";
+  }
+  return out;
+}
+
+ReplayResult replay(const Program& program, const Topology& topology,
+                    const EventLog& log, const Delta& delta,
+                    const ReplayOptions& options) {
+  ReplayResult result;
+  result.engine = std::make_unique<Engine>(program, options.engine_config);
+  result.recorder = std::make_unique<ProvenanceRecorder>();
+  if (options.provenance_filter) {
+    result.recorder->set_filter(options.provenance_filter);
+  }
+  for (const Topology::Link& link : topology.links) {
+    result.engine->add_link(link.a, link.b, link.delay);
+  }
+  result.engine->add_observer(result.recorder.get());
+
+  for (const LogRecord& record : log.records()) {
+    if (record.op == LogRecord::Op::kInsert) {
+      result.engine->schedule_insert(record.tuple, record.time);
+    } else {
+      result.engine->schedule_delete(record.tuple, record.time);
+    }
+  }
+  for (const DeltaOp& op : delta) {
+    if (op.kind == DeltaOp::Kind::kInsert) {
+      result.engine->schedule_insert(op.tuple, op.at);
+    } else {
+      result.engine->schedule_delete(op.tuple, op.at);
+    }
+  }
+
+  if (options.until == kTimeInfinity) {
+    result.engine->run();
+  } else {
+    result.engine->run_until(options.until);
+  }
+  return result;
+}
+
+}  // namespace dp

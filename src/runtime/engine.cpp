@@ -1,0 +1,493 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dp {
+
+Engine::Engine(Program program, EngineConfig config)
+    : program_(std::move(program)), config_(config) {
+  program_.validate();
+  for (const auto& [name, decl] : program_.tables()) {
+    listeners_.emplace(name, program_.rules_listening_to(name));
+  }
+}
+
+void Engine::add_link(const NodeName& a, const NodeName& b,
+                      LogicalTime delay) {
+  links_[{a, b}] = delay;
+  links_[{b, a}] = delay;
+}
+
+void Engine::add_observer(RuntimeObserver* observer) {
+  observers_.push_back(observer);
+}
+
+LogicalTime Engine::delivery_delay(const NodeName& from,
+                                   const NodeName& to) const {
+  if (from == to) return config_.derive_delay;
+  auto it = links_.find({from, to});
+  return it == links_.end() ? config_.default_link_delay : it->second;
+}
+
+Table& Engine::table_for(const Tuple& tuple) {
+  auto& node_tables = state_[tuple.location()];
+  auto it = node_tables.find(tuple.table());
+  if (it == node_tables.end()) {
+    it = node_tables.emplace(tuple.table(), Table(program_.table(tuple.table())))
+             .first;
+  }
+  return it->second;
+}
+
+const Table* Engine::find_table(const NodeName& node,
+                                const std::string& table) const {
+  auto node_it = state_.find(node);
+  if (node_it == state_.end()) return nullptr;
+  auto it = node_it->second.find(table);
+  return it == node_it->second.end() ? nullptr : &it->second;
+}
+
+bool Engine::is_live(const Tuple& tuple) const {
+  const Table* table = find_table(tuple.location(), tuple.table());
+  return table != nullptr && table->is_live(tuple);
+}
+
+bool Engine::existed_at(const Tuple& tuple, LogicalTime at) const {
+  const Table* table = find_table(tuple.location(), tuple.table());
+  return table != nullptr && table->existed_at(tuple, at);
+}
+
+std::vector<Tuple> Engine::live_tuples(const std::string& table) const {
+  std::vector<Tuple> out;
+  for (const auto& [node, tables] : state_) {
+    auto it = tables.find(table);
+    if (it == tables.end()) continue;
+    it->second.for_each_live([&out](const Tuple& t) { out.push_back(t); });
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeName> Engine::nodes() const {
+  std::vector<NodeName> out;
+  out.reserve(state_.size());
+  for (const auto& [node, tables] : state_) out.push_back(node);
+  return out;
+}
+
+void Engine::push_event(Event event) {
+  event.seq = next_seq_++;
+  queue_.push(std::move(event));
+}
+
+void Engine::schedule_insert(Tuple tuple, LogicalTime at) {
+  const TableDecl& decl = program_.table(tuple.table());
+  if (decl.kind != TupleKind::kBase) {
+    throw ProgramError("external insert into derived table " + tuple.table());
+  }
+  if (tuple.arity() != decl.arity) {
+    throw ProgramError("arity mismatch inserting into " + tuple.table());
+  }
+  if (!tuple.values().front().is_string()) {
+    throw ProgramError("tuple location (field 0) must be a node name string");
+  }
+  if (at < now_) throw ProgramError("insert scheduled in the past");
+  Event event;
+  event.time = at;
+  event.kind = Event::Kind::kBaseInsert;
+  event.tuple = std::move(tuple);
+  push_event(std::move(event));
+}
+
+void Engine::schedule_delete(Tuple tuple, LogicalTime at) {
+  const TableDecl& decl = program_.table(tuple.table());
+  if (decl.kind != TupleKind::kBase) {
+    throw ProgramError("external delete from derived table " + tuple.table());
+  }
+  if (decl.is_event()) {
+    throw ProgramError("cannot delete event tuple " + tuple.table());
+  }
+  if (at < now_) throw ProgramError("delete scheduled in the past");
+  Event event;
+  event.time = at;
+  event.kind = Event::Kind::kBaseDelete;
+  event.tuple = std::move(tuple);
+  push_event(std::move(event));
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    process(event);
+  }
+}
+
+void Engine::run_until(LogicalTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    const Event event = queue_.top();
+    queue_.pop();
+    process(event);
+  }
+  now_ = std::max(now_, until);
+}
+
+void Engine::process(const Event& event) {
+  assert(event.time >= now_);
+  now_ = event.time;
+  ++stats_.events_processed;
+  if (config_.max_events != 0 && stats_.events_processed > config_.max_events) {
+    throw ProgramError(
+        "event budget exceeded (" + std::to_string(config_.max_events) +
+        "): the program is probably deriving forever (e.g. a forwarding "
+        "loop); raise EngineConfig::max_events if the workload is genuinely "
+        "this large");
+  }
+  switch (event.kind) {
+    case Event::Kind::kBaseInsert:
+    case Event::Kind::kDerivedInsert:
+      process_insert(event);
+      break;
+    case Event::Kind::kAggregate:
+      process_aggregate(event);
+      break;
+    case Event::Kind::kBaseDelete:
+      process_delete(event.tuple, event.time);
+      break;
+  }
+}
+
+void Engine::process_aggregate(const Event& event) {
+  const Rule* rule = program_.find_rule(event.rule);
+  if (rule == nullptr || !rule->agg) return;  // defensive: validated upstream
+  // Resolve the aggregate column (the head argument that is the agg var).
+  std::size_t agg_index = event.tuple.arity();
+  for (std::size_t i = 0; i < rule->head.args.size(); ++i) {
+    if (rule->head.args[i]->kind == Expr::Kind::kVar &&
+        rule->head.args[i]->var == rule->agg->var) {
+      agg_index = i;
+      break;
+    }
+  }
+  if (agg_index == event.tuple.arity()) return;
+
+  Table& table = table_for(event.tuple);
+  const Tuple* previous = table.live_by_key(table.key_of(event.tuple));
+  const std::int64_t old_value =
+      previous != nullptr && previous->at(agg_index).is_int()
+          ? previous->at(agg_index).as_int()
+          : 0;
+
+  Event resolved;
+  resolved.time = event.time;
+  resolved.kind = Event::Kind::kDerivedInsert;
+  resolved.rule = event.rule;
+  resolved.trigger_index = event.trigger_index;
+  resolved.body = event.body;
+  // The previous aggregate value joins the provenance as the tail of the
+  // contribution chain.
+  if (previous != nullptr) resolved.body.push_back(*previous);
+  resolved.tuple =
+      event.tuple.with_field(agg_index, Value(old_value + event.agg_delta));
+  process_insert(resolved);
+}
+
+void Engine::process_insert(const Event& event) {
+  const Tuple& tuple = event.tuple;
+  const TableDecl& decl = program_.table(tuple.table());
+  const bool is_base = event.kind == Event::Kind::kBaseInsert;
+  const bool is_event = decl.is_event();
+
+  bool newly_appeared = true;
+  if (!is_event) {
+    Table& table = table_for(tuple);
+    const Table::InsertResult result = table.insert(tuple, event.time);
+    if (result.displaced) {
+      // Key upsert displaced a live row: observers see its disappearance
+      // first, and its dependents are underived at the same timestamp.
+      ++stats_.base_deletes;
+      for (RuntimeObserver* obs : observers_) {
+        obs->on_base_delete(*result.displaced, event.time);
+      }
+      retract_dependents_of(*result.displaced, event.time);
+    }
+    newly_appeared = result.inserted;
+  }
+
+  // Notify observers and maintain support bookkeeping.
+  if (is_base) {
+    ++stats_.base_inserts;
+    for (RuntimeObserver* obs : observers_) {
+      obs->on_base_insert(tuple, event.time, is_event);
+    }
+  } else {
+    ++stats_.derivations;
+    for (RuntimeObserver* obs : observers_) {
+      obs->on_derive(tuple, event.rule, event.body, event.trigger_index,
+                     event.time, is_event);
+    }
+    // Derivations triggered by an event tuple are one-shot: the event is
+    // gone the instant after, so the head is a fact about something that
+    // happened (e.g. "this packet was delivered") and is not subject to
+    // incremental view maintenance. Only derivations whose entire body is
+    // materialized state participate in support counting.
+    bool event_triggered = false;
+    for (const Tuple& b : event.body) {
+      if (program_.table(b.table()).is_event()) {
+        event_triggered = true;
+        break;
+      }
+    }
+    if (!is_event && !event_triggered) {
+      const std::size_t record_id = records_.size();
+      records_.push_back(DerivRecord{tuple, event.rule, event.body, true});
+      records_by_head_[tuple].push_back(record_id);
+      for (const Tuple& b : event.body) {
+        records_by_body_[b].push_back(record_id);
+      }
+      ++support_[tuple];
+    }
+  }
+
+  if (!newly_appeared && !is_event) return;  // no new appearance: no firing
+
+  // Delta evaluation: the new tuple may trigger any rule with a body atom
+  // over its table.
+  for (std::size_t rule_index : listeners_.at(tuple.table())) {
+    const Rule& rule = program_.rules()[rule_index];
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      if (rule.body[i].table == tuple.table()) {
+        fire_rule(rule, i, tuple, event.time);
+      }
+    }
+  }
+}
+
+void Engine::process_delete(const Tuple& tuple, LogicalTime t) {
+  Table& table = table_for(tuple);
+  if (!table.remove(tuple, t)) {
+    DP_WARN << "external delete of non-live tuple " << tuple.to_string();
+    return;
+  }
+  ++stats_.base_deletes;
+  for (RuntimeObserver* obs : observers_) {
+    obs->on_base_delete(tuple, t);
+  }
+  retract_dependents_of(tuple, t);
+}
+
+void Engine::retract_dependents_of(const Tuple& tuple, LogicalTime t) {
+  // Deactivate this tuple's own derivation records (it is gone).
+  if (auto it = records_by_head_.find(tuple); it != records_by_head_.end()) {
+    for (std::size_t id : it->second) records_[id].active = false;
+    support_[tuple] = 0;
+  }
+  // Derivations that consumed the tuple lose one unit of support.
+  auto it = records_by_body_.find(tuple);
+  if (it == records_by_body_.end()) return;
+  // Copy: retraction can recurse and grow/invalidate the map.
+  const std::vector<std::size_t> record_ids = it->second;
+  for (std::size_t id : record_ids) {
+    DerivRecord& record = records_[id];
+    if (!record.active) continue;
+    record.active = false;
+    auto support_it = support_.find(record.head);
+    if (support_it == support_.end() || support_it->second <= 0) continue;
+    if (--support_it->second > 0) continue;
+    // Support exhausted: underive the head now (same timestamp).
+    Table& head_table = table_for(record.head);
+    if (!head_table.remove(record.head, t)) continue;
+    ++stats_.underivations;
+    for (RuntimeObserver* obs : observers_) {
+      obs->on_underive(record.head, record.rule, tuple, t);
+    }
+    retract_dependents_of(record.head, t);
+  }
+}
+
+bool Engine::unify(const BodyAtom& atom, const Tuple& tuple,
+                   Bindings& bindings) {
+  for (std::size_t i = 0; i < atom.args.size(); ++i) {
+    const AtomArg& arg = atom.args[i];
+    const Value& v = tuple.at(i);
+    if (arg.is_var) {
+      auto [it, inserted] = bindings.emplace(arg.var, v);
+      if (!inserted && !(it->second == v)) return false;
+    } else if (!(arg.constant == v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
+                       const Tuple& arrival, LogicalTime t) {
+  const NodeName& node = arrival.location();
+
+  // Depth-first join over the remaining body atoms, in body order.
+  std::vector<Bindings> complete;
+  Bindings initial;
+  if (!unify(rule.body[atom_index], arrival, initial)) return;
+
+  struct Frame {
+    std::size_t atom = 0;
+    Bindings bindings;
+  };
+  std::vector<Frame> stack = {{0, std::move(initial)}};
+  std::vector<std::pair<std::string, Value>> new_bindings;
+  while (!stack.empty()) {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    // Skip the already-bound trigger atom.
+    while (frame.atom == atom_index) ++frame.atom;
+    if (frame.atom >= rule.body.size()) {
+      complete.push_back(std::move(frame.bindings));
+      continue;
+    }
+    const BodyAtom& atom = rule.body[frame.atom];
+    const Table* table = find_table(node, atom.table);
+    if (table == nullptr) continue;
+    table->for_each_live([&](const Tuple& candidate) {
+      // Two-phase unification: validate against the current bindings and
+      // collect the new variable bindings *before* paying for a map copy.
+      // With selective rules (e.g. constant join keys) almost every
+      // candidate fails cheaply here.
+      new_bindings.clear();
+      bool ok = true;
+      for (std::size_t i = 0; ok && i < atom.args.size(); ++i) {
+        const AtomArg& arg = atom.args[i];
+        const Value& v = candidate.at(i);
+        if (!arg.is_var) {
+          ok = arg.constant == v;
+          continue;
+        }
+        auto bound = frame.bindings.find(arg.var);
+        if (bound != frame.bindings.end()) {
+          ok = bound->second == v;
+          continue;
+        }
+        for (const auto& [var, value] : new_bindings) {
+          if (var == arg.var) {
+            ok = value == v;
+            break;
+          }
+        }
+        if (ok) new_bindings.emplace_back(arg.var, v);
+      }
+      if (!ok) return;
+      Bindings extended = frame.bindings;
+      for (auto& [var, value] : new_bindings) {
+        extended.emplace(std::move(var), std::move(value));
+      }
+      stack.push_back({frame.atom + 1, std::move(extended)});
+    });
+  }
+  if (complete.empty()) return;
+
+  // Assignments and constraints.
+  std::vector<Bindings> satisfying;
+  for (Bindings& bindings : complete) {
+    bool ok = true;
+    try {
+      for (const Assignment& assign : rule.assigns) {
+        bindings[assign.var] = eval_expr(*assign.expr, bindings);
+      }
+      for (const ExprPtr& constraint : rule.constraints) {
+        if (!is_truthy(eval_expr(*constraint, bindings))) {
+          ok = false;
+          break;
+        }
+      }
+    } catch (const EvalError& e) {
+      if (config_.strict_eval) throw;
+      DP_WARN << "rule " << rule.name << ": constraint error: " << e.what();
+      ok = false;
+    }
+    if (ok) satisfying.push_back(std::move(bindings));
+  }
+  if (satisfying.empty()) return;
+
+  // argmax selection (OpenFlow priority semantics): keep only the binding
+  // maximizing the declared variable; deterministic tie-break by binding
+  // content.
+  if (rule.argmax_var) {
+    const Bindings* best = nullptr;
+    for (const Bindings& bindings : satisfying) {
+      if (best == nullptr) {
+        best = &bindings;
+        continue;
+      }
+      const Value& current = bindings.at(*rule.argmax_var);
+      const Value& best_value = best->at(*rule.argmax_var);
+      if (best_value < current ||
+          (!(current < best_value) && bindings < *best)) {
+        best = &bindings;
+      }
+    }
+    std::vector<Bindings> winner = {*best};
+    satisfying = std::move(winner);
+  }
+
+  // Fire: evaluate the head and schedule its arrival. For aggregate rules
+  // the aggregate column gets a placeholder; the value is resolved when the
+  // event is processed (serialized, so contributions never race).
+  for (const Bindings& bindings : satisfying) {
+    std::vector<Value> head_values;
+    head_values.reserve(rule.head.args.size());
+    try {
+      for (const ExprPtr& arg : rule.head.args) {
+        if (rule.agg && arg->kind == Expr::Kind::kVar &&
+            arg->var == rule.agg->var) {
+          head_values.emplace_back(std::int64_t{0});  // placeholder
+          continue;
+        }
+        head_values.push_back(eval_expr(*arg, bindings));
+      }
+    } catch (const EvalError& e) {
+      if (config_.strict_eval) throw;
+      DP_WARN << "rule " << rule.name << ": head error: " << e.what();
+      continue;
+    }
+    if (!head_values.front().is_string()) {
+      DP_WARN << "rule " << rule.name << ": head location is not a node name";
+      continue;
+    }
+    Tuple head(rule.head.table, std::move(head_values));
+    const NodeName& target = head.location();
+    if (target != node) ++stats_.remote_messages;
+
+    // Reconstruct the body instantiation, in body order, for provenance.
+    Event event;
+    event.time = t + delivery_delay(node, target);
+    event.kind = rule.agg ? Event::Kind::kAggregate
+                          : Event::Kind::kDerivedInsert;
+    if (rule.agg) {
+      event.agg_delta =
+          rule.agg->kind == AggSpec::Kind::kCount
+              ? 1
+              : bindings.at(rule.agg->sum_var).as_int();
+    }
+    event.rule = rule.name;
+    event.trigger_index = atom_index;
+    event.body.reserve(rule.body.size());
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      if (i == atom_index) {
+        event.body.push_back(arrival);
+        continue;
+      }
+      std::vector<Value> values;
+      values.reserve(rule.body[i].args.size());
+      for (const AtomArg& arg : rule.body[i].args) {
+        values.push_back(arg.is_var ? bindings.at(arg.var) : arg.constant);
+      }
+      event.body.emplace_back(rule.body[i].table, std::move(values));
+    }
+    event.tuple = std::move(head);
+    push_event(std::move(event));
+  }
+}
+
+}  // namespace dp

@@ -1,0 +1,191 @@
+// Deterministic distributed NDlog runtime (the RapidNet substitute).
+//
+// The engine executes a validated Program over a set of named nodes joined
+// by links with fixed delays. It is a discrete-event simulator: external
+// base-tuple insertions/deletions are scheduled at logical times, rule
+// firings are evaluated delta-style (each arriving tuple is joined against
+// the materialized state of its node), and derived heads travel to their
+// destination node with the link delay. Event ordering is fully
+// deterministic -- (time, sequence) -- which is what makes replay-based tree
+// updating (paper sections 4.6/4.8) sound.
+//
+// Deletions use counting semantics: each derivation contributes one unit of
+// support to its head; when a (base or derived) tuple disappears, dependent
+// derivations are deactivated and heads whose support reaches zero are
+// underived, recursively (the paper models this as insertion of "delete"
+// tuples into an append-only provenance; our observer interface reports the
+// same UNDERIVE/DISAPPEAR information).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "ndlog/eval.h"
+#include "ndlog/program.h"
+#include "ndlog/table.h"
+#include "runtime/observer.h"
+#include "util/time.h"
+
+namespace dp {
+
+struct EngineConfig {
+  /// Latency of a rule firing whose head stays on the same node.
+  LogicalTime derive_delay = 1;
+  /// Latency of delivering a head tuple to a different node when no explicit
+  /// link was configured.
+  LogicalTime default_link_delay = 10;
+  /// If true, a constraint that throws EvalError aborts the run instead of
+  /// being treated as a non-match.
+  bool strict_eval = false;
+  /// Runaway guard: run() throws ProgramError after this many processed
+  /// events. A forwarding loop in a recursive program (e.g. a routing cycle)
+  /// would otherwise derive forever; real RapidNet deployments hit the same
+  /// issue via TTLs. 0 disables the guard.
+  std::uint64_t max_events = 100'000'000;
+};
+
+class Engine {
+ public:
+  explicit Engine(Program program, EngineConfig config = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Declares a bidirectional link with the given delay. Undeclared pairs
+  /// fall back to config.default_link_delay.
+  void add_link(const NodeName& a, const NodeName& b, LogicalTime delay);
+
+  /// Observers see base inserts/deletes, derivations and underivations in
+  /// deterministic order. Not owned; must outlive the engine.
+  void add_observer(RuntimeObserver* observer);
+
+  /// Schedules an external base tuple insertion at logical time `at`
+  /// (>= now). Throws ProgramError if the table is unknown/not base or the
+  /// tuple is malformed.
+  void schedule_insert(Tuple tuple, LogicalTime at);
+
+  /// Schedules an external base tuple deletion.
+  void schedule_delete(Tuple tuple, LogicalTime at);
+
+  /// Processes events until the queue is empty (quiescence).
+  void run();
+
+  /// Processes events with time <= `until`.
+  void run_until(LogicalTime until);
+
+  /// Logical time of the last processed event.
+  [[nodiscard]] LogicalTime now() const { return now_; }
+
+  [[nodiscard]] const Program& program() const { return program_; }
+
+  /// Node-local table (nullptr if nothing was ever stored there).
+  [[nodiscard]] const Table* find_table(const NodeName& node,
+                                        const std::string& table) const;
+
+  /// True if `tuple` is live on its location node.
+  [[nodiscard]] bool is_live(const Tuple& tuple) const;
+
+  /// True if `tuple` existed at time `at`.
+  [[nodiscard]] bool existed_at(const Tuple& tuple, LogicalTime at) const;
+
+  /// Live tuples of `table` across all nodes, deterministically ordered.
+  [[nodiscard]] std::vector<Tuple> live_tuples(const std::string& table) const;
+
+  /// All node names that currently hold any state.
+  [[nodiscard]] std::vector<NodeName> nodes() const;
+
+  struct Stats {
+    std::uint64_t base_inserts = 0;
+    std::uint64_t base_deletes = 0;
+    std::uint64_t derivations = 0;
+    std::uint64_t underivations = 0;
+    std::uint64_t remote_messages = 0;  // head shipped across a link
+    std::uint64_t events_processed = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Event {
+    LogicalTime time = 0;
+    std::uint64_t seq = 0;
+    enum class Kind : std::uint8_t {
+      kBaseInsert,
+      kBaseDelete,
+      kDerivedInsert,
+      kAggregate,  // head carries a placeholder at the aggregate column
+    } kind = Kind::kBaseInsert;
+    Tuple tuple;
+    // For kDerivedInsert/kAggregate: provenance of the firing.
+    std::string rule;
+    std::vector<Tuple> body;
+    std::size_t trigger_index = 0;
+    std::int64_t agg_delta = 0;  // kAggregate: the contribution
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct DerivRecord {
+    Tuple head;
+    std::string rule;
+    std::vector<Tuple> body;
+    bool active = true;
+  };
+
+  void push_event(Event event);
+  void process(const Event& event);
+  void process_insert(const Event& event);
+  void process_delete(const Tuple& tuple, LogicalTime t);
+
+  /// Resolves an aggregate firing: reads the group's previous value, builds
+  /// the new head tuple, chains the previous aggregate into the provenance
+  /// body, and hands over to process_insert. Serialized through the event
+  /// queue, so concurrent contributions never lose updates.
+  void process_aggregate(const Event& event);
+
+  /// Cascades support-count maintenance after `tuple` disappeared:
+  /// derivations that consumed it are deactivated and heads whose support
+  /// reaches zero are underived, recursively (same timestamp).
+  void retract_dependents_of(const Tuple& tuple, LogicalTime t);
+
+  /// Joins `arrival` (already bound at body position `atom_index` of
+  /// `rule`) against node-local state and fires the rule for every
+  /// satisfying binding (after argmax selection).
+  void fire_rule(const Rule& rule, std::size_t atom_index,
+                 const Tuple& arrival, LogicalTime t);
+
+  /// Attempts to unify `tuple` with `atom` under `bindings`; returns false
+  /// on mismatch, otherwise extends `bindings`.
+  static bool unify(const BodyAtom& atom, const Tuple& tuple,
+                    Bindings& bindings);
+
+  Table& table_for(const Tuple& tuple);
+  [[nodiscard]] LogicalTime delivery_delay(const NodeName& from,
+                                           const NodeName& to) const;
+
+  Program program_;
+  EngineConfig config_;
+  // rules_listening_to() result per table, precomputed: the per-event hot
+  // path must not rescan (and reallocate) the rule list.
+  std::map<std::string, std::vector<std::size_t>> listeners_;
+  std::map<NodeName, std::map<std::string, Table>> state_;
+  std::map<std::pair<NodeName, NodeName>, LogicalTime> links_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+  LogicalTime now_ = 0;
+  std::vector<RuntimeObserver*> observers_;
+
+  std::vector<DerivRecord> records_;
+  std::map<Tuple, std::vector<std::size_t>> records_by_body_;
+  std::map<Tuple, std::vector<std::size_t>> records_by_head_;
+  std::map<Tuple, std::int64_t> support_;
+
+  Stats stats_;
+};
+
+}  // namespace dp

@@ -1,0 +1,53 @@
+// Observer interface through which the runtime reports execution events.
+//
+// Both the provenance recorder (paper section 5, "provenance recorder") and
+// the logging engine (section 5, "logging engine") attach here. Observers
+// are notified synchronously, in registration order, in deterministic event
+// order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ndlog/tuple.h"
+#include "util/time.h"
+
+namespace dp {
+
+class RuntimeObserver {
+ public:
+  virtual ~RuntimeObserver() = default;
+
+  /// A base tuple was inserted on `tuple.location()` at `t`. `is_event` is
+  /// true for non-materialized (event) tables whose tuples exist only for an
+  /// instant.
+  virtual void on_base_insert(const Tuple& tuple, LogicalTime t,
+                              bool is_event) {
+    (void)tuple; (void)t; (void)is_event;
+  }
+
+  /// A base tuple was deleted (externally, or displaced by key upsert).
+  virtual void on_base_delete(const Tuple& tuple, LogicalTime t) {
+    (void)tuple; (void)t;
+  }
+
+  /// `head` was derived via `rule` from `body` (in rule body order); body
+  /// tuple `trigger_index` is the one whose appearance triggered the firing.
+  virtual void on_derive(const Tuple& head, const std::string& rule,
+                         const std::vector<Tuple>& body,
+                         std::size_t trigger_index, LogicalTime t,
+                         bool is_event) {
+    (void)head; (void)rule; (void)body; (void)trigger_index; (void)t;
+    (void)is_event;
+  }
+
+  /// `head` lost its last remaining derivation (support reached zero)
+  /// because `cause` was deleted; `rule` is the rule of the removed
+  /// derivation.
+  virtual void on_underive(const Tuple& head, const std::string& rule,
+                           const Tuple& cause, LogicalTime t) {
+    (void)head; (void)rule; (void)cause; (void)t;
+  }
+};
+
+}  // namespace dp

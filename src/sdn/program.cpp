@@ -1,0 +1,67 @@
+#include "sdn/program.h"
+
+#include "ndlog/parser.h"
+
+namespace dp::sdn {
+
+std::string_view program_source() {
+  return R"(
+    // ---------------------------------------------------------- data plane
+    table packet(4) base immutable event.       // (@Sw, Pkt, Src, Dst)
+    table packetAt(4) derived event.
+    table matched(5) derived event.             // (@Sw, Pkt, Src, Dst, Act)
+    table delivered(4) derived.                 // (@Host, Pkt, Src, Dst)
+    table dropped(4) derived.                   // (@Sw, Pkt, Src, Dst)
+    table flowEntry(4) derived keys(0, 1).      // (@Sw, Prio, Prefix, Act)
+
+    // -------------------------------------------------------- control plane
+    table policyRoute(5) base mutable keys(0, 1, 2).  // (@C, Sw, Prio, Pfx, Act)
+    table switchUp(2) base mutable.                   // (@C, Sw)
+    table link(3) base immutable.                     // (@C, Sw, Out)
+    table compiled(5) derived keys(0, 1, 2).
+
+    // Policy compilation: a route is only installed if the switch is up and
+    // its primary output is physically adjacent; drop rules need no output.
+    rule c1 compiled(@Ctl, Sw, Prio, Prefix, Act) :-
+        policyRoute(@Ctl, Sw, Prio, Prefix, Act),
+        switchUp(@Ctl, Sw),
+        link(@Ctl, Sw, Out),
+        Out == f_out(Act, 0).
+    rule c2 compiled(@Ctl, Sw, Prio, Prefix, Act) :-
+        policyRoute(@Ctl, Sw, Prio, Prefix, Act),
+        switchUp(@Ctl, Sw),
+        Act == "dr".
+    rule c3 flowEntry(@Sw, Prio, Prefix, Act) :-
+        compiled(@Ctl, Sw, Prio, Prefix, Act).
+
+    // ------------------------------------------------------------ switches
+    rule s1 packetAt(@Sw, Pkt, Src, Dst) :- packet(@Sw, Pkt, Src, Dst).
+
+    // OpenFlow semantics: the highest-priority matching entry wins.
+    rule s2 argmax Prio
+      matched(@Sw, Pkt, Src, Dst, Act) :-
+        packetAt(@Sw, Pkt, Src, Dst),
+        flowEntry(@Sw, Prio, Prefix, Act),
+        f_matches(Src, Prefix) == 1.
+
+    // Actions: forward to a switch, deliver to a host, mirror, or drop.
+    rule s3 packetAt(@Out, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act),
+        Out := f_out(Act, 0), f_strlen(Out) > 2.
+    rule s4 delivered(@Out, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act),
+        Out := f_out(Act, 0), f_strlen(Out) <= 2, Out != "dr".
+    rule s5 delivered(@Mir, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act),
+        Mir := f_out(Act, 1), f_strlen(Mir) > 0, f_strlen(Mir) <= 2.
+    rule s6 dropped(@Sw, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act), Act == "dr".
+    rule s7 packetAt(@Mir, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act),
+        Mir := f_out(Act, 1), f_strlen(Mir) > 2.
+  )";
+}
+
+Program make_program() { return parse_program(program_source()); }
+
+}  // namespace dp::sdn

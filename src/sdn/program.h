@@ -1,0 +1,44 @@
+// The SDN system model: an OpenFlow-style data plane plus a small controller
+// that compiles operator policy into flow entries (paper sections 2 and 6.1).
+//
+// Data plane (per switch):
+//   packet(@Sw, Pkt, Src, Dst)         -- external stimulus (immutable event)
+//   flowEntry(@Sw, Prio, Prefix, Act)  -- the flow table (derived from the
+//                                         controller's compiled policy)
+//   matched(...)                       -- the highest-priority matching entry
+//                                         wins (argmax = OpenFlow priority)
+//   action strings: "sw3" forwards to a switch, "w1" delivers to a host,
+//   "w1+d1" delivers and mirrors (multi-output action), "dr" drops.
+//   The match field is the packet's *source* address: the paper's SDN1
+//   scenario steers traffic from untrusted source subnets.
+//
+// Control plane (on node "ctl"):
+//   policyRoute(@Ctl, Sw, Prio, Prefix, Act) -- operator intent (mutable!)
+//   switchUp(@Ctl, Sw)                       -- liveness view (mutable)
+//   link(@Ctl, Sw, Out)                      -- physical adjacency
+//                                               (immutable: you cannot fix a
+//                                               bug by inventing a cable)
+//   compiled(...) -> flowEntry(...)          -- the compilation pipeline
+//
+// Root causes therefore live in policyRoute: DiffProv's repairs propagate
+// down through flowEntry -> compiled -> policyRoute via head-expression
+// inversion, exactly the downward taint propagation of paper section 4.5.
+#pragma once
+
+#include <string_view>
+
+#include "ndlog/program.h"
+
+namespace dp::sdn {
+
+/// NDlog source of the switch + controller model.
+std::string_view program_source();
+
+/// Parsed and validated program (fresh instance).
+Program make_program();
+
+/// Node-name conventions: switches have names longer than 2 characters
+/// ("sw1"), hosts exactly 2 ("w1", "d1", "h1"), the controller is "ctl".
+inline constexpr const char* kController = "ctl";
+
+}  // namespace dp::sdn

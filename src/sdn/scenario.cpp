@@ -1,0 +1,246 @@
+#include "sdn/scenario.h"
+
+#include "sdn/program.h"
+
+namespace dp::sdn {
+
+namespace {
+
+Tuple make(const std::string& table, std::vector<Value> values) {
+  return Tuple(table, std::move(values));
+}
+
+Value ip(const std::string& text) { return Value(*Ipv4::parse(text)); }
+Value prefix(const std::string& text) {
+  return Value(*IpPrefix::parse(text));
+}
+
+constexpr LogicalTime kFirstPacketTime = 1000;
+
+}  // namespace
+
+void add_policy(EventLog& log, const std::string& sw, int prio,
+                const std::string& pfx, const std::string& act,
+                LogicalTime t) {
+  log.append_insert(
+      make("policyRoute", {kController, sw, prio, prefix(pfx), act}), t);
+}
+
+void add_link(EventLog& log, const std::string& sw, const std::string& out,
+              LogicalTime t) {
+  log.append_insert(make("link", {kController, sw, out}), t);
+}
+
+void add_switch_up(EventLog& log, const std::string& sw, LogicalTime t) {
+  log.append_insert(make("switchUp", {kController, sw}), t);
+}
+
+void add_packet(EventLog& log, const std::string& ingress, int pkt,
+                const std::string& src, const std::string& dst,
+                LogicalTime t) {
+  log.append_insert(make("packet", {ingress, pkt, ip(src), ip(dst)}), t);
+}
+
+Scenario figure1_network(const std::string& untrusted_prefix_on_sw2) {
+  Scenario s;
+  s.program = make_program();
+
+  // Figure 1: requests enter at sw1 and pass sw2. Untrusted sources go
+  // sw2 -> sw6 -> web server w1 (mirrored to the DPI box d1); everything
+  // else goes sw2 -> sw3 -> sw4 -> sw5 -> web server w2.
+  const std::vector<std::pair<std::string, std::string>> links = {
+      {"sw1", "sw2"}, {"sw2", "sw6"}, {"sw2", "sw3"}, {"sw3", "sw4"},
+      {"sw4", "sw5"}, {"sw5", "w2"},  {"sw6", "w1"},  {"sw6", "d1"},
+  };
+  for (const auto& [a, b] : links) {
+    add_link(s.log, a, b);
+    s.topology.connect(a, b);
+  }
+  s.topology.connect("ctl", "sw1");
+  for (const char* sw : {"sw1", "sw2", "sw3", "sw4", "sw5", "sw6"}) {
+    add_switch_up(s.log, sw);
+  }
+
+  add_policy(s.log, "sw1", 1, "0.0.0.0/0", "sw2");
+  add_policy(s.log, "sw2", 100, untrusted_prefix_on_sw2, "sw6");  // R1
+  add_policy(s.log, "sw2", 1, "0.0.0.0/0", "sw3");                // R2
+  add_policy(s.log, "sw3", 1, "0.0.0.0/0", "sw4");
+  add_policy(s.log, "sw4", 1, "0.0.0.0/0", "sw5");
+  add_policy(s.log, "sw5", 1, "0.0.0.0/0", "w2");
+  add_policy(s.log, "sw6", 1, "0.0.0.0/0", "w1+d1");  // deliver + mirror
+  return s;
+}
+
+Scenario sdn1() {
+  // The operator wrote 4.3.2.0/24 instead of 4.3.2.0/23 (paper section 2).
+  Scenario s = figure1_network("4.3.2.0/24");
+  s.name = "SDN1";
+  s.description =
+      "Broken flow entry: untrusted subnet 4.3.2.0/23 written as /24; "
+      "requests from 4.3.3.x reach web server w2 instead of w1.";
+  add_packet(s.log, "sw1", 1, "4.3.2.1", "8.8.1.1", kFirstPacketTime);
+  add_packet(s.log, "sw1", 2, "4.3.3.1", "8.8.1.1", kFirstPacketTime + 100);
+  s.good_event =
+      make("delivered", {"w1", 1, ip("4.3.2.1"), ip("8.8.1.1")});
+  s.bad_event = make("delivered", {"w2", 2, ip("4.3.3.1"), ip("8.8.1.1")});
+  s.expected_root_cause = "4.3.2.0/23";
+  return s;
+}
+
+Scenario sdn2() {
+  // Two controller apps, unaware of each other, install overlapping rules
+  // on sw2: app A's low-priority route to the web path, app B's
+  // high-priority route to the scrubber (via sw6). Traffic from 4.3.x.x is
+  // hijacked even when legitimate.
+  Scenario s = figure1_network("4.3.0.0/16");
+  s.name = "SDN2";
+  s.description =
+      "Multi-controller inconsistency: a higher-priority scrubber rule "
+      "overlaps the web rule; legitimate traffic is sent to the scrubber.";
+  add_packet(s.log, "sw1", 1, "9.9.9.9", "8.8.1.1", kFirstPacketTime);
+  add_packet(s.log, "sw1", 2, "4.3.9.9", "8.8.1.1", kFirstPacketTime + 100);
+  s.good_event = make("delivered", {"w2", 1, ip("9.9.9.9"), ip("8.8.1.1")});
+  s.bad_event = make("delivered", {"w1", 2, ip("4.3.9.9"), ip("8.8.1.1")});
+  // Root cause: the overlapping high-priority policy route.
+  s.expected_root_cause = "policyRoute(@ctl, \"sw2\", 100, 4.3.0.0/16";
+  return s;
+}
+
+Scenario sdn3() {
+  // Multicast video: the stream crosses sw1..sw3 and fans out at sw4 to two
+  // receivers (h1, h2). The multicast rule expires mid-run; later packets of
+  // the *same flow* fall through to a lower-priority unicast rule and reach
+  // h3 instead. The reference event lies in the past, and the two trees
+  // share the whole sw1..sw3 path -- which is why even the plain diff is
+  // smaller than the trees here (as in the paper's Table 1).
+  Scenario s;
+  s.program = make_program();
+  s.name = "SDN3";
+  s.description =
+      "Unexpected rule expiration: after the multicast rule expires, video "
+      "traffic is delivered to the wrong host. The reference event is in "
+      "the past (temporal provenance).";
+  const std::vector<std::pair<std::string, std::string>> links = {
+      {"sw1", "sw2"}, {"sw2", "sw3"}, {"sw3", "sw4"},
+      {"sw4", "h1"},  {"sw4", "h2"},  {"sw4", "h3"}};
+  for (const auto& [a, b] : links) {
+    add_link(s.log, a, b);
+    s.topology.connect(a, b);
+  }
+  for (const char* sw : {"sw1", "sw2", "sw3", "sw4"}) {
+    add_switch_up(s.log, sw);
+  }
+  add_policy(s.log, "sw1", 1, "0.0.0.0/0", "sw2");
+  add_policy(s.log, "sw2", 1, "0.0.0.0/0", "sw3");
+  add_policy(s.log, "sw3", 1, "0.0.0.0/0", "sw4");
+  add_policy(s.log, "sw4", 100, "5.5.0.0/16", "h1+h2");  // multicast rule
+  add_policy(s.log, "sw4", 1, "0.0.0.0/0", "h3");
+
+  // Same flow, before and after the expiration: identical headers, so the
+  // only differences between the trees are the expired rule's consequences.
+  add_packet(s.log, "sw1", 7, "5.5.1.1", "9.0.0.1", kFirstPacketTime);
+  s.log.append_delete(
+      make("policyRoute",
+           {kController, "sw4", 100, prefix("5.5.0.0/16"), "h1+h2"}),
+      kFirstPacketTime + 50);
+  add_packet(s.log, "sw1", 7, "5.5.1.1", "9.0.0.1", kFirstPacketTime + 100);
+
+  s.good_event = make("delivered", {"h2", 7, ip("5.5.1.1"), ip("9.0.0.1")});
+  s.bad_event = make("delivered", {"h3", 7, ip("5.5.1.1"), ip("9.0.0.1")});
+  s.expected_root_cause = "policyRoute(@ctl, \"sw4\", 100, 5.5.0.0/16";
+  return s;
+}
+
+Scenario sdn4() {
+  // SDN1 extended: a larger topology with two overly specific entries on two
+  // consecutive hops (sw2 and sw3a). After the first fault is repaired, the
+  // traffic is misrouted by the second; DiffProv proceeds in two rounds.
+  Scenario s;
+  s.program = make_program();
+  s.name = "SDN4";
+  s.description =
+      "Two faulty entries on consecutive hops; DiffProv identifies both in "
+      "two rounds.";
+  const std::vector<std::pair<std::string, std::string>> links = {
+      {"sw1", "sw2"},  {"sw2", "sw3a"}, {"sw2", "sw4"}, {"sw3a", "sw6"},
+      {"sw3a", "sw4"}, {"sw4", "sw5"},  {"sw5", "w2"},  {"sw6", "w1"},
+      {"sw6", "d1"}};
+  for (const auto& [a, b] : links) {
+    add_link(s.log, a, b);
+    s.topology.connect(a, b);
+  }
+  for (const char* sw : {"sw1", "sw2", "sw3a", "sw4", "sw5", "sw6"}) {
+    add_switch_up(s.log, sw);
+  }
+  add_policy(s.log, "sw1", 1, "0.0.0.0/0", "sw2");
+  add_policy(s.log, "sw2", 100, "4.3.2.0/24", "sw3a");  // fault 1 (want /23)
+  add_policy(s.log, "sw2", 1, "0.0.0.0/0", "sw4");
+  add_policy(s.log, "sw3a", 100, "4.3.2.0/24", "sw6");  // fault 2 (want /23)
+  add_policy(s.log, "sw3a", 1, "0.0.0.0/0", "sw4");
+  add_policy(s.log, "sw4", 1, "0.0.0.0/0", "sw5");
+  add_policy(s.log, "sw5", 1, "0.0.0.0/0", "w2");
+  add_policy(s.log, "sw6", 1, "0.0.0.0/0", "w1+d1");
+
+  add_packet(s.log, "sw1", 1, "4.3.2.1", "8.8.1.1", kFirstPacketTime);
+  add_packet(s.log, "sw1", 2, "4.3.3.1", "8.8.1.1", kFirstPacketTime + 100);
+  s.good_event = make("delivered", {"w1", 1, ip("4.3.2.1"), ip("8.8.1.1")});
+  s.bad_event = make("delivered", {"w2", 2, ip("4.3.3.1"), ip("8.8.1.1")});
+  s.expected_root_cause = "4.3.2.0/23";
+  s.expected_changes = 2;
+  s.expected_rounds = 2;
+  return s;
+}
+
+std::vector<Scenario> all_scenarios() {
+  std::vector<Scenario> out;
+  out.push_back(sdn1());
+  out.push_back(sdn2());
+  out.push_back(sdn3());
+  out.push_back(sdn4());
+  return out;
+}
+
+Scenario sdn1_with_reference_traffic() {
+  Scenario s = sdn1();
+  // The additional (well-behaved) flows used as unsuitable references: they
+  // enter the network at sw3 / sw4 and reach w2 over paths sw1 never sees.
+  for (int i = 0; i < 7; ++i) {
+    const std::string ingress = i % 2 == 0 ? "sw3" : "sw4";
+    add_packet(s.log, ingress, 100 + i, "7.7.7." + std::to_string(i + 1),
+               "8.8.1.1", kFirstPacketTime + 500 + 10 * i);
+  }
+  return s;
+}
+
+std::vector<BadReferenceCase> sdn1_bad_references() {
+  std::vector<BadReferenceCase> cases;
+  // Three references whose provenance springs from a non-packet seed:
+  // configuration state instead of traffic (seed-type mismatch).
+  cases.push_back({"flow-entry-as-reference",
+                   make("flowEntry",
+                        {"sw5", 1, prefix("0.0.0.0/0"), "w2"}),
+                   /*expect_seed_mismatch=*/true});
+  cases.push_back({"compiled-policy-as-reference",
+                   make("compiled", {kController, "sw3", 1,
+                                     prefix("0.0.0.0/0"), "sw4"}),
+                   true});
+  cases.push_back({"policy-route-as-reference",
+                   make("policyRoute", {kController, "sw1", 1,
+                                        prefix("0.0.0.0/0"), "sw2"}),
+                   true});
+  // Seven references that are packets, but whose alignment would require
+  // changes to immutable state. We inject extra reference traffic at other
+  // ingress points (sw3..sw6): aligning the bad event with such a reference
+  // would require sw1 to gain the reference path's links.
+  for (int i = 0; i < 7; ++i) {
+    const std::string ingress = i % 2 == 0 ? "sw3" : "sw4";
+    cases.push_back({"packet-from-" + ingress + "-" + std::to_string(i),
+                     make("delivered", {"w2", 100 + i,
+                                        ip("7.7.7." + std::to_string(i + 1)),
+                                        ip("8.8.1.1")}),
+                     false});
+  }
+  return cases;
+}
+
+}  // namespace dp::sdn

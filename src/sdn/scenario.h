@@ -1,0 +1,96 @@
+// The paper's four SDN diagnostic scenarios (section 6.2), built on the
+// Figure-1 network: six switches (sw1..sw6), two web servers (w1, w2), a DPI
+// device (d1), and a controller (ctl).
+//
+//   SDN1  Broken flow entry: the untrusted-subnet route on sw2 was written
+//         4.3.2.0/24 instead of 4.3.2.0/23, so traffic from 4.3.3.x falls
+//         through to the general rule and reaches the wrong server.
+//   SDN2  Multi-controller inconsistency: two apps install overlapping rules
+//         with different priorities; legitimate traffic is hijacked by the
+//         higher-priority (scrubber) rule.
+//   SDN3  Unexpected rule expiration: a multicast rule expires; later
+//         traffic is handled by a lower-priority rule and delivered to the
+//         wrong host. The reference event lies in the past (temporal
+//         provenance).
+//   SDN4  Multiple faulty entries on two consecutive hops; DiffProv needs
+//         two rounds.
+//
+// Each scenario carries everything a bench or test needs: the program, the
+// topology, the recorded event log, the good/bad events, and a substring the
+// root-cause report must contain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ndlog/program.h"
+#include "replay/replay_engine.h"
+
+namespace dp::sdn {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  Program program;
+  Topology topology;
+  EventLog log;
+  Tuple good_event;
+  Tuple bad_event;
+  /// A substring that must appear in DiffProv's change report (the root
+  /// cause), used by tests and the Table-1 bench's sanity check.
+  std::string expected_root_cause;
+  /// Expected number of change records (1 for SDN1-3, 2 for SDN4).
+  std::size_t expected_changes = 1;
+  /// Expected number of DiffProv rounds.
+  int expected_rounds = 1;
+};
+
+Scenario sdn1();
+Scenario sdn2();
+Scenario sdn3();
+Scenario sdn4();
+
+/// All four, in order.
+std::vector<Scenario> all_scenarios();
+
+/// Unsuitable-reference queries for the section 6.3 experiment: each case is
+/// a (reference event, expected failure) pair over the SDN1 network. Three
+/// have seeds of the wrong type; the rest require immutable changes (e.g.
+/// the reference packet entered at a different ingress, so aligning would
+/// need new physical links).
+struct BadReferenceCase {
+  std::string name;
+  Tuple reference_event;
+  bool expect_seed_mismatch = false;  // else: expect immutable-change
+};
+std::vector<BadReferenceCase> sdn1_bad_references();
+
+/// SDN1 plus the extra reference traffic (packets entering at sw3/sw4) that
+/// sdn1_bad_references() points at.
+Scenario sdn1_with_reference_traffic();
+
+// --- building blocks shared with benches ---
+
+/// Appends controller facts for one policy route.
+void add_policy(EventLog& log, const std::string& sw, int prio,
+                const std::string& prefix, const std::string& act,
+                LogicalTime t = 0);
+
+/// Appends a link fact (controller's adjacency view).
+void add_link(EventLog& log, const std::string& sw, const std::string& out,
+              LogicalTime t = 1);
+
+/// Appends a switch-liveness fact.
+void add_switch_up(EventLog& log, const std::string& sw, LogicalTime t = 2);
+
+/// Appends a packet arrival.
+void add_packet(EventLog& log, const std::string& ingress, int pkt,
+                const std::string& src, const std::string& dst,
+                LogicalTime t);
+
+/// Builds the Figure-1 network (topology + control state) into a scenario
+/// shell; scenarios then add their packets and faults. `first_fault_prefix`
+/// is the (buggy) prefix installed on sw2's untrusted-subnet rule.
+Scenario figure1_network(const std::string& untrusted_prefix_on_sw2);
+
+}  // namespace dp::sdn

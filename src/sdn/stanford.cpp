@@ -1,0 +1,434 @@
+#include "sdn/stanford.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ndlog/parser.h"
+#include "util/rng.h"
+
+namespace dp::sdn {
+
+namespace {
+
+Tuple make(const std::string& table, std::vector<Value> values) {
+  return Tuple(table, std::move(values));
+}
+
+/// Zone host names: 2 characters ("z1".."z9", "za".."ze").
+std::string zone_host(int zone) {
+  static constexpr char kDigits[] = "0123456789abcdefghijklmnopqrstuvwxyz";
+  return std::string("z") + kDigits[zone % 36];
+}
+
+std::string oz_name(int zone) {
+  return "oz" + std::string(zone < 10 ? "0" : "") + std::to_string(zone);
+}
+
+/// Adds an entry with a per-router unique priority (argmax determinism).
+void add_entry(StanfordNetwork& net, std::set<std::pair<NodeName, int>>& used,
+               const NodeName& node, int prio, const IpPrefix& prefix,
+               const std::string& action) {
+  while (used.count({node, prio}) != 0) ++prio;
+  used.insert({node, prio});
+  net.tables[node].push_back(
+      TimedEntry{prio, prefix, action, TimeInterval{0, kTimeInfinity}});
+  ++net.total_entries;
+}
+
+}  // namespace
+
+std::string_view stanford_spec_source() {
+  // External specification of the black box: destination-based OpenFlow
+  // match-action. flowEntry is *base* here -- the black box's config is
+  // opaque state, not something a modeled controller derives.
+  return R"(
+    table packet(4) base immutable event.     // (@Sw, Pkt, Src, Dst)
+    table packetAt(4) derived event.
+    table matched(5) derived event.           // (@Sw, Pkt, Src, Dst, Act)
+    table delivered(4) derived.
+    table dropped(4) derived.
+    table flowEntry(4) base mutable keys(0, 1).  // (@Sw, Prio, Prefix, Act)
+
+    rule s1 packetAt(@Sw, Pkt, Src, Dst) :- packet(@Sw, Pkt, Src, Dst).
+    rule s2 argmax Prio
+      matched(@Sw, Pkt, Src, Dst, Act) :-
+        packetAt(@Sw, Pkt, Src, Dst),
+        flowEntry(@Sw, Prio, Prefix, Act),
+        f_matches(Dst, Prefix) == 1.
+    rule s3 packetAt(@Out, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act),
+        Out := f_out(Act, 0), f_strlen(Out) > 2.
+    rule s4 delivered(@Out, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act),
+        Out := f_out(Act, 0), f_strlen(Out) <= 2, Out != "dr".
+    rule s6 dropped(@Sw, Pkt, Src, Dst) :-
+        matched(@Sw, Pkt, Src, Dst, Act), Act == "dr".
+  )";
+}
+
+Program make_stanford_spec() { return parse_program(stanford_spec_source()); }
+
+StanfordNetwork build_stanford(const StanfordConfig& config) {
+  StanfordNetwork net;
+  net.config = config;
+  Rng rng(config.seed);
+  std::set<std::pair<NodeName, int>> used_prios;
+
+  // ---- routing structure: OZ routers around two backbones -------------
+  for (int zone = 1; zone <= config.oz_routers; ++zone) {
+    const NodeName oz = oz_name(zone);
+    // Zone subnet 10.<zone>.0.0/16 delivered locally; everything else goes
+    // to the primary backbone.
+    add_entry(net, used_prios, oz, 20,
+              IpPrefix(Ipv4(10, static_cast<std::uint8_t>(zone), 0, 0), 16),
+              zone_host(zone));
+    add_entry(net, used_prios, oz, 10, IpPrefix(Ipv4(0, 0, 0, 0), 0), "bb01");
+  }
+  for (int zone = 1; zone <= config.oz_routers; ++zone) {
+    add_entry(net, used_prios, "bb01", 20 + zone,
+              IpPrefix(Ipv4(10, static_cast<std::uint8_t>(zone), 0, 0), 16),
+              oz_name(zone));
+    add_entry(net, used_prios, "bb02", 20 + zone,
+              IpPrefix(Ipv4(10, static_cast<std::uint8_t>(zone), 0, 0), 16),
+              oz_name(zone));
+  }
+  // H2's zone (oz02) additionally owns the campus subnets of the paper's
+  // Forwarding Error: 172.20.0.0/16 (containing H2's 172.20.10.32/27).
+  add_entry(net, used_prios, "oz02", 60, *IpPrefix::parse("172.20.0.0/16"),
+            "h2");
+  add_entry(net, used_prios, "bb01", 60, *IpPrefix::parse("172.20.0.0/16"),
+            "oz02");
+  add_entry(net, used_prios, "bb02", 60, *IpPrefix::parse("172.20.0.0/16"),
+            "oz02");
+
+  // ---- THE fault: a high-priority drop rule for H2's subnet on oz02 ----
+  add_entry(net, used_prios, "oz02", 200, *IpPrefix::parse("172.20.10.32/27"),
+            "dr");
+  net.fault_entry = make("flowEntry", {"oz02", 200,
+                                       *IpPrefix::parse("172.20.10.32/27"),
+                                       "dr"});
+
+  // ---- filler forwarding entries (757 k in the paper, scaled) ----------
+  // Kept in address space disjoint from the zone and campus subnets so they
+  // add matching work and table bulk without touching the diagnosed flows.
+  const std::vector<NodeName> routers = [&] {
+    std::vector<NodeName> out;
+    for (int zone = 1; zone <= config.oz_routers; ++zone) {
+      out.push_back(oz_name(zone));
+    }
+    out.emplace_back("bb01");
+    out.emplace_back("bb02");
+    return out;
+  }();
+  for (const NodeName& router : routers) {
+    for (int i = 0; i < config.filler_entries_per_router; ++i) {
+      const IpPrefix prefix(
+          Ipv4(203, static_cast<std::uint8_t>(rng.next_below(256)),
+               static_cast<std::uint8_t>(rng.next_below(256)), 0),
+          24);
+      const NodeName out = routers[rng.next_below(routers.size())];
+      add_entry(net, used_prios, router, 1000 + i, prefix,
+                out == router ? "bb02" : out);
+    }
+  }
+
+  // ---- ACL drop rules (1.5 k in the paper, scaled) ----------------------
+  for (int i = 0; i < config.acl_rules; ++i) {
+    const NodeName router = routers[rng.next_below(routers.size())];
+    const IpPrefix prefix(
+        Ipv4(198, 18, static_cast<std::uint8_t>(rng.next_below(256)), 0), 24);
+    add_entry(net, used_prios, router, 5000 + i, prefix, "dr");
+    ++net.acl_entries;
+  }
+
+  // ---- 20 extra injected faults: 10 on-path, 10 elsewhere --------------
+  // Misconfigurations that are causally unrelated to the diagnosed flows:
+  // bogus drops and wrong routes for prefixes the two flows never carry.
+  const std::vector<NodeName> on_path = {"oz01", "bb01", "oz02"};
+  for (int i = 0; i < config.extra_faults; ++i) {
+    const bool place_on_path = i < config.extra_faults / 2;
+    const NodeName router =
+        place_on_path ? on_path[static_cast<std::size_t>(i) % on_path.size()]
+                      : routers[3 + rng.next_below(routers.size() - 3)];
+    if (i % 2 == 0) {
+      add_entry(net, used_prios, router, 7000 + i,
+                IpPrefix(Ipv4(10, 77, static_cast<std::uint8_t>(i), 0), 24),
+                "dr");
+    } else {
+      add_entry(net, used_prios, router, 7000 + i,
+                IpPrefix(Ipv4(203, 99, static_cast<std::uint8_t>(i), 0), 24),
+                "bb02");
+    }
+  }
+
+  // ---- background traffic: the four applications of section 6.7 --------
+  auto rand_host = [&rng](const IpPrefix& subnet) {
+    const std::uint32_t host_bits =
+        subnet.length() >= 32
+            ? 0
+            : static_cast<std::uint32_t>(rng.next_below(
+                  1ull << (32 - static_cast<unsigned>(subnet.length()))));
+    return Ipv4(subnet.base().value() | host_bits);
+  };
+  const auto zone_subnet = [](int zone) {
+    return IpPrefix(Ipv4(10, static_cast<std::uint8_t>(zone), 0, 0), 16);
+  };
+  std::int64_t next_id = 1000;
+  LogicalTime t = 10'000;
+  const int n = config.background_packets;
+  for (int i = 0; i < n; ++i) {
+    PacketEvent pkt;
+    pkt.time = t;
+    t += 200 + static_cast<LogicalTime>(rng.next_below(400));
+    pkt.id = next_id++;
+    switch (i % 4) {
+      case 0:  // HTTP client: zone-1 hosts fetching from the campus web net
+        pkt.ingress = oz_name(1);
+        pkt.src = rand_host(zone_subnet(1));
+        pkt.dst = rand_host(*IpPrefix::parse("172.20.9.0/24"));
+        break;
+      case 1:  // bulk download: zone 3 -> zone 5
+        pkt.ingress = oz_name(3);
+        pkt.src = rand_host(zone_subnet(3));
+        pkt.dst = rand_host(zone_subnet(5));
+        break;
+      case 2:  // NFS crawl: zone 4 -> zone 6, sequential host walk
+        pkt.ingress = oz_name(4);
+        pkt.src = rand_host(zone_subnet(4));
+        pkt.dst = Ipv4(10, 6, 0, static_cast<std::uint8_t>(i / 4 % 250 + 1));
+        break;
+      default:  // trace replay: random sources, mixed destinations
+        pkt.ingress = routers[rng.next_below(routers.size() - 2)];
+        pkt.src = rand_host(*IpPrefix::parse("203.0.0.0/8"));
+        pkt.dst = rng.next_bool(0.5)
+                      ? rand_host(zone_subnet(1 + static_cast<int>(
+                                      rng.next_below(static_cast<std::uint64_t>(
+                                          config.oz_routers)))))
+                      : rand_host(*IpPrefix::parse("198.18.0.0/15"));
+        break;
+    }
+    net.workload.push_back(pkt);
+  }
+
+  // ---- the diagnosed flows ---------------------------------------------
+  const Ipv4 h1_src(10, 1, 9, 9);
+  PacketEvent good;
+  good.time = t + 1'000;
+  good.ingress = oz_name(1);
+  good.id = 1;
+  good.src = h1_src;
+  good.dst = *Ipv4::parse("172.20.9.1");  // sibling subnet: works
+  net.workload.push_back(good);
+  PacketEvent bad;
+  bad.time = t + 2'000;
+  bad.ingress = oz_name(1);
+  bad.id = 2;
+  bad.src = h1_src;
+  bad.dst = *Ipv4::parse("172.20.10.33");  // H2's subnet: dropped at oz02
+  net.workload.push_back(bad);
+
+  std::sort(net.workload.begin(), net.workload.end(),
+            [](const PacketEvent& a, const PacketEvent& b) {
+              return a.time < b.time || (a.time == b.time && a.id < b.id);
+            });
+
+  net.good_event = make("delivered", {"h2", good.id, Value(good.src),
+                                      Value(good.dst)});
+  net.bad_event =
+      make("dropped", {"oz02", bad.id, Value(bad.src), Value(bad.dst)});
+  return net;
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// State produced by one black-box run: the (delta-adjusted) tables plus the
+/// delivered/dropped facts, with a StateView for DiffProv.
+struct StanfordRun {
+  std::map<NodeName, std::vector<TimedEntry>> tables;
+  std::map<Tuple, LogicalTime> facts;  // delivered/dropped -> creation time
+  std::shared_ptr<ProvenanceRecorder> recorder =
+      std::make_shared<ProvenanceRecorder>();
+};
+
+class StanfordStateView final : public StateView {
+ public:
+  explicit StanfordStateView(std::shared_ptr<const StanfordRun> run)
+      : run_(std::move(run)) {}
+
+  [[nodiscard]] bool existed_at(const Tuple& tuple,
+                                LogicalTime at) const override {
+    if (tuple.table() == "flowEntry") {
+      auto it = run_->tables.find(tuple.location());
+      if (it == run_->tables.end()) return false;
+      for (const TimedEntry& entry : it->second) {
+        if (entry.valid.contains(at) && entry_tuple_matches(entry, tuple)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    auto it = run_->facts.find(tuple);
+    return it != run_->facts.end() && it->second <= at;
+  }
+
+  void scan_table(
+      const NodeName& node, const std::string& table, LogicalTime at,
+      const std::function<void(const Tuple&)>& fn) const override {
+    if (table == "flowEntry") {
+      auto it = run_->tables.find(node);
+      if (it == run_->tables.end()) return;
+      for (const TimedEntry& entry : it->second) {
+        if (entry.valid.contains(at)) fn(to_tuple(node, entry));
+      }
+      return;
+    }
+    for (const auto& [tuple, created] : run_->facts) {
+      if (tuple.table() == table && tuple.location() == node &&
+          created <= at) {
+        fn(tuple);
+      }
+    }
+  }
+
+  static Tuple to_tuple(const NodeName& node, const TimedEntry& entry) {
+    return Tuple("flowEntry", {Value(node), Value(entry.prio),
+                               Value(entry.prefix), Value(entry.action)});
+  }
+
+ private:
+  static bool entry_tuple_matches(const TimedEntry& entry,
+                                  const Tuple& tuple) {
+    return tuple.at(1).is_int() && tuple.at(1).as_int() == entry.prio &&
+           tuple.at(2).is_prefix() && tuple.at(2).as_prefix() == entry.prefix &&
+           tuple.at(3).is_string() && tuple.at(3).as_string() == entry.action;
+  }
+
+  std::shared_ptr<const StanfordRun> run_;
+};
+
+void apply_delta(StanfordRun& run, const Delta& delta) {
+  for (const DeltaOp& op : delta) {
+    if (!op.tuple.table().starts_with("flowEntry")) continue;
+    auto& entries = run.tables[op.tuple.location()];
+    const int prio = static_cast<int>(op.tuple.at(1).as_int());
+    const IpPrefix prefix = op.tuple.at(2).as_prefix();
+    const std::string& action = op.tuple.at(3).as_string();
+    if (op.kind == DeltaOp::Kind::kInsert) {
+      // Upsert on (node, prio): close any active same-priority entry.
+      for (TimedEntry& entry : entries) {
+        if (entry.prio == prio && entry.valid.contains(op.at)) {
+          entry.valid.end = op.at;
+        }
+      }
+      entries.push_back(
+          TimedEntry{prio, prefix, action, TimeInterval{op.at, kTimeInfinity}});
+    } else {
+      for (TimedEntry& entry : entries) {
+        if (entry.prio == prio && entry.prefix == prefix &&
+            entry.action == action && entry.valid.contains(op.at)) {
+          entry.valid.end = op.at;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BadRun StanfordReplayProvider::replay_bad(const Delta& delta) {
+  auto run = std::make_shared<StanfordRun>();
+  run->tables = net_->tables;
+  apply_delta(*run, delta);
+  stats_ = Stats{};
+
+  ProvenanceRecorder& recorder = *run->recorder;
+  std::set<Tuple> reported_entries;
+  // Reports a flow entry's INSERT (and DELETE, if its interval closed) the
+  // first time a trace touches it -- the external-specification recorder
+  // reconstructs exactly the relevant state (paper section 5).
+  const auto report_entry = [&](const NodeName& node, const TimedEntry& e) {
+    const Tuple t = StanfordStateView::to_tuple(node, e);
+    if (!reported_entries.insert(t).second) return t;
+    recorder.report_base(t, e.valid.start);
+    if (!e.valid.open_ended()) recorder.report_delete(t, e.valid.end);
+    return t;
+  };
+
+  for (const PacketEvent& pkt : net_->workload) {
+    ++stats_.packets;
+    LogicalTime t = pkt.time;
+    NodeName node = pkt.ingress;
+    const Tuple packet = Tuple(
+        "packet", {Value(node), Value(pkt.id), Value(pkt.src), Value(pkt.dst)});
+    recorder.report_base(packet, t, /*is_event=*/true);
+    t += 1;
+    Tuple packet_at = Tuple(
+        "packetAt", {Value(node), Value(pkt.id), Value(pkt.src), Value(pkt.dst)});
+    recorder.report_derivation(packet_at, "s1", {packet}, 0, t,
+                               /*is_event=*/true);
+
+    for (int hop = 0; hop < 32; ++hop) {
+      ++stats_.hops;
+      // Highest-priority active entry matching the destination.
+      const TimedEntry* best = nullptr;
+      auto table_it = run->tables.find(node);
+      if (table_it != run->tables.end()) {
+        for (const TimedEntry& entry : table_it->second) {
+          if (!entry.valid.contains(t) || !entry.prefix.contains(pkt.dst)) {
+            continue;
+          }
+          if (best == nullptr || entry.prio > best->prio) best = &entry;
+        }
+      }
+      if (best == nullptr) {
+        ++stats_.unmatched;
+        break;
+      }
+      const Tuple entry_tuple = report_entry(node, *best);
+      t += 1;
+      const Tuple matched =
+          Tuple("matched", {Value(node), Value(pkt.id), Value(pkt.src),
+                            Value(pkt.dst), Value(best->action)});
+      recorder.report_derivation(matched, "s2", {packet_at, entry_tuple}, 0,
+                                 t, /*is_event=*/true);
+      if (best->action == "dr") {
+        t += 1;
+        const Tuple dropped =
+            Tuple("dropped", {Value(node), Value(pkt.id), Value(pkt.src),
+                              Value(pkt.dst)});
+        recorder.report_derivation(dropped, "s6", {matched}, 0, t);
+        run->facts.emplace(dropped, t);
+        ++stats_.dropped;
+        break;
+      }
+      if (best->action.size() <= 2) {
+        t += 1;
+        const Tuple delivered =
+            Tuple("delivered", {Value(best->action), Value(pkt.id),
+                                Value(pkt.src), Value(pkt.dst)});
+        recorder.report_derivation(delivered, "s4", {matched}, 0, t);
+        run->facts.emplace(delivered, t);
+        ++stats_.delivered;
+        break;
+      }
+      // Forward to the next router.
+      node = best->action;
+      t += 10;
+      packet_at = Tuple("packetAt", {Value(node), Value(pkt.id),
+                                     Value(pkt.src), Value(pkt.dst)});
+      recorder.report_derivation(packet_at, "s3", {matched}, 0, t,
+                                 /*is_event=*/true);
+    }
+  }
+
+  BadRun result;
+  result.graph =
+      std::shared_ptr<const ProvenanceGraph>(run->recorder,
+                                             &run->recorder->graph());
+  result.state = std::make_shared<StanfordStateView>(run);
+  return result;
+}
+
+}  // namespace dp::sdn

@@ -1,0 +1,52 @@
+#include "sdn/trace.h"
+
+#include <cmath>
+
+namespace dp::sdn {
+
+TraceStats generate_trace(const TraceConfig& config, EventLog& log) {
+  TraceStats stats;
+  stats.packets_per_second =
+      config.rate_mbps * 1e6 / 8.0 / static_cast<double>(config.packet_bytes);
+  stats.simulated_seconds = config.duration_s;
+
+  const double total =
+      stats.packets_per_second * config.duration_s;
+  std::size_t count = static_cast<std::size_t>(std::llround(total));
+  if (config.max_packets != 0 && count > config.max_packets) {
+    count = config.max_packets;
+  }
+  const double interarrival_us = 1e6 / stats.packets_per_second;
+
+  Rng rng(config.seed);
+  std::vector<IpPrefix> subnets;
+  subnets.reserve(config.src_subnets.size());
+  for (const std::string& s : config.src_subnets) {
+    subnets.push_back(*IpPrefix::parse(s));
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const IpPrefix& subnet = subnets[rng.next_below(subnets.size())];
+    const std::uint32_t host_bits =
+        subnet.length() >= 32
+            ? 0
+            : static_cast<std::uint32_t>(rng.next_below(
+                  1ull << (32 - static_cast<unsigned>(subnet.length()))));
+    const Ipv4 src(subnet.base().value() | host_bits);
+    const Ipv4 dst(static_cast<std::uint32_t>(0x08080000u) |
+                   static_cast<std::uint32_t>(rng.next_below(1 << 16)));
+    const LogicalTime t =
+        config.start_time +
+        static_cast<LogicalTime>(std::llround(interarrival_us * double(i)));
+    log.append_insert(
+        Tuple("packet", {Value(config.ingress),
+                         Value(config.first_packet_id + std::int64_t(i)),
+                         Value(src), Value(dst)}),
+        t);
+    ++stats.packets;
+    stats.wire_bytes += config.packet_bytes;
+  }
+  return stats;
+}
+
+}  // namespace dp::sdn

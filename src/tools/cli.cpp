@@ -1,0 +1,285 @@
+#include "tools/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "diffprov/diffprov.h"
+#include "diffprov/reference.h"
+#include "dns/dns.h"
+#include "mapred/scenario.h"
+#include "ndlog/parser.h"
+#include "sdn/scenario.h"
+
+namespace dp::cli {
+
+namespace {
+
+struct Options {
+  std::string scenario;
+  std::string program_path;
+  std::string log_path;
+  std::optional<Tuple> good_event;
+  std::optional<Tuple> bad_event;
+  bool auto_reference = false;
+  bool minimize = false;
+  std::string show_tree;  // "good" | "bad" | ""
+  std::string dot_path;
+  bool list_scenarios = false;
+  Topology topology;
+};
+
+struct Problem {
+  Program program;
+  Topology topology;
+  EventLog log;
+  std::optional<Tuple> good_event;
+  std::optional<Tuple> bad_event;
+};
+
+constexpr const char* kUsage =
+    "usage: diffprov_cli (--scenario NAME | --program FILE --log FILE)\n"
+    "                    --bad 'EVENT' (--good 'EVENT' | --auto-reference)\n"
+    "                    [--minimize] [--show-tree good|bad] [--dot FILE]\n"
+    "                    [--link A B DELAY]... [--list-scenarios]\n";
+
+std::optional<Problem> builtin_scenario(const std::string& name,
+                                        std::ostream& err) {
+  for (sdn::Scenario& s : sdn::all_scenarios()) {
+    std::string lower = s.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    if (lower == name) {
+      return Problem{std::move(s.program), std::move(s.topology),
+                     std::move(s.log), s.good_event, s.bad_event};
+    }
+  }
+  for (dns::Scenario& s : dns::all_scenarios()) {
+    if (s.name == name) {
+      return Problem{std::move(s.program), std::move(s.topology),
+                     std::move(s.log), s.good_event, s.bad_event};
+    }
+  }
+  for (const char* mr : {"mr1-d", "mr2-d"}) {
+    if (name != mr) continue;
+    mapred::Scenario s = name == "mr1-d" ? mapred::mr1_declarative()
+                                         : mapred::mr2_declarative();
+    // The CLI replays the *bad* job; the reference tree is queried out of
+    // the good job separately below, so merge both logs is not needed --
+    // use the bad log and let --good point at an event of the good job?
+    // For built-ins we keep it simple: log = bad job, reference = event
+    // that also exists in the bad execution is not available, so fold the
+    // good job in by shifting it before the bad one is NOT sound. Instead
+    // the MR built-ins expose only the bad job and require
+    // --auto-reference or an explicit good event from the same run.
+    return Problem{std::move(s.model), Topology{},
+                   mapred::declarative_job_log(s.store, s.bad_config),
+                   std::nullopt, s.bad_event};
+  }
+  err << "unknown scenario '" << name << "' (try --list-scenarios)\n";
+  return std::nullopt;
+}
+
+void list_scenarios(std::ostream& out) {
+  out << "built-in scenarios:\n";
+  for (const sdn::Scenario& s : sdn::all_scenarios()) {
+    std::string lower = s.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    out << "  " << lower << "  -- " << s.description << "\n";
+  }
+  for (const dns::Scenario& s : dns::all_scenarios()) {
+    out << "  " << s.name << "  -- " << s.description << "\n";
+  }
+  out << "  mr1-d  -- declarative MapReduce, changed reducer count "
+         "(use --auto-reference)\n";
+  out << "  mr2-d  -- declarative MapReduce, buggy mapper deployment "
+         "(use --auto-reference)\n";
+}
+
+std::optional<std::string> read_file(const std::string& path,
+                                     std::ostream& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  Options options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* what) -> std::optional<std::string> {
+      if (i + 1 >= args.size()) {
+        err << arg << " requires " << what << "\n" << kUsage;
+        return std::nullopt;
+      }
+      return args[++i];
+    };
+    try {
+      if (arg == "--scenario") {
+        auto v = next("a name");
+        if (!v) return 2;
+        options.scenario = *v;
+      } else if (arg == "--program") {
+        auto v = next("a path");
+        if (!v) return 2;
+        options.program_path = *v;
+      } else if (arg == "--log") {
+        auto v = next("a path");
+        if (!v) return 2;
+        options.log_path = *v;
+      } else if (arg == "--good") {
+        auto v = next("an event tuple");
+        if (!v) return 2;
+        options.good_event = parse_tuple(*v);
+      } else if (arg == "--bad") {
+        auto v = next("an event tuple");
+        if (!v) return 2;
+        options.bad_event = parse_tuple(*v);
+      } else if (arg == "--auto-reference") {
+        options.auto_reference = true;
+      } else if (arg == "--minimize") {
+        options.minimize = true;
+      } else if (arg == "--show-tree") {
+        auto v = next("good|bad");
+        if (!v) return 2;
+        options.show_tree = *v;
+      } else if (arg == "--dot") {
+        auto v = next("a path");
+        if (!v) return 2;
+        options.dot_path = *v;
+      } else if (arg == "--link") {
+        if (i + 3 >= args.size()) {
+          err << "--link requires: A B DELAY\n";
+          return 2;
+        }
+        const std::string a = args[++i];
+        const std::string b = args[++i];
+        options.topology.connect(a, b, std::stoll(args[++i]));
+      } else if (arg == "--list-scenarios") {
+        options.list_scenarios = true;
+      } else if (arg == "--help" || arg == "-h") {
+        out << kUsage;
+        return 0;
+      } else {
+        err << "unknown option '" << arg << "'\n" << kUsage;
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      err << "bad argument for " << arg << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (options.list_scenarios) {
+    list_scenarios(out);
+    return 0;
+  }
+
+  // Assemble the problem.
+  std::optional<Problem> problem;
+  if (!options.scenario.empty()) {
+    problem = builtin_scenario(options.scenario, err);
+    if (!problem) return 2;
+  } else if (!options.program_path.empty() && !options.log_path.empty()) {
+    const auto program_text = read_file(options.program_path, err);
+    const auto log_text = read_file(options.log_path, err);
+    if (!program_text || !log_text) return 2;
+    Problem p;
+    try {
+      p.program = parse_program(*program_text);
+      p.log = EventLog::from_text(*log_text);
+    } catch (const std::exception& e) {
+      err << e.what() << "\n";
+      return 2;
+    }
+    p.topology = options.topology;
+    problem = std::move(p);
+  } else {
+    err << kUsage;
+    return 2;
+  }
+  if (options.good_event) problem->good_event = options.good_event;
+  if (options.bad_event) problem->bad_event = options.bad_event;
+  // --auto-reference overrides a built-in scenario's default reference
+  // (an explicit --good still wins).
+  if (options.auto_reference && !options.good_event) {
+    problem->good_event.reset();
+  }
+  if (!problem->bad_event) {
+    err << "no event of interest: pass --bad 'EVENT'\n";
+    return 2;
+  }
+  if (!problem->good_event && !options.auto_reference) {
+    err << "no reference: pass --good 'EVENT' or --auto-reference\n";
+    return 2;
+  }
+
+  // Query the trees.
+  LogReplayProvider query_provider(problem->program, problem->topology,
+                                   problem->log);
+  const BadRun run = query_provider.replay_bad({});
+  const auto bad_tree = locate_tree(*run.graph, *problem->bad_event);
+  if (!bad_tree) {
+    err << "the event of interest " << problem->bad_event->to_string()
+        << " does not occur in the log\n";
+    return 1;
+  }
+  if (options.show_tree == "bad") {
+    out << "provenance of " << problem->bad_event->to_string() << " ("
+        << bad_tree->size() << " vertexes):\n"
+        << bad_tree->to_text() << "\n";
+  }
+  if (!options.dot_path.empty()) {
+    std::ofstream dot(options.dot_path);
+    dot << bad_tree->to_dot();
+    out << "wrote " << options.dot_path << "\n";
+  }
+
+  LogReplayProvider provider(problem->program, problem->topology,
+                             problem->log);
+  DiffProv diffprov(problem->program, provider);
+  DiffProvResult result;
+  if (problem->good_event) {
+    const auto good_tree = locate_tree(*run.graph, *problem->good_event);
+    if (!good_tree) {
+      err << "the reference event " << problem->good_event->to_string()
+          << " does not occur in the log\n";
+      return 1;
+    }
+    if (options.show_tree == "good") {
+      out << "provenance of " << problem->good_event->to_string() << " ("
+          << good_tree->size() << " vertexes):\n"
+          << good_tree->to_text() << "\n";
+    }
+    result = diffprov.diagnose(*good_tree, *problem->bad_event);
+    if (options.minimize && result.ok()) {
+      result = diffprov.minimize_delta(*good_tree, result);
+    }
+  } else {
+    const AutoDiagnosis auto_result = diagnose_with_auto_reference(
+        diffprov, *run.graph, *problem->bad_event);
+    if (auto_result.reference) {
+      out << "auto-selected reference: " << auto_result.reference->to_string()
+          << " (after trying " << auto_result.candidates_tried
+          << " candidate(s))\n";
+    }
+    result = auto_result.result;
+    if (options.minimize && result.ok() && auto_result.reference) {
+      const auto good_tree = locate_tree(*run.graph, *auto_result.reference);
+      if (good_tree) result = diffprov.minimize_delta(*good_tree, result);
+    }
+  }
+
+  out << result.to_string();
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace dp::cli

@@ -1,0 +1,33 @@
+// The DiffProv debugger front-end (the paper's section 5 "prototype
+// debugger"), factored as a library so tests can drive it.
+//
+// Two ways in:
+//   * built-in scenarios:  diffprov_cli --scenario sdn1
+//   * your own system:     diffprov_cli --program net.ndlog --log run.log
+//                            --bad 'delivered(@w2, 2, 4.3.3.1, 8.8.1.1)'
+//                            --good 'delivered(@w1, 1, 4.3.2.1, 8.8.1.1)'
+//
+// Event logs use the text format of EventLog::to_text():
+//   + policyRoute(@ctl, "sw2", 100, 4.3.2.0/24, "sw6") @ 0
+//
+// Options:
+//   --auto-reference        pick the reference automatically (section 4.9)
+//   --minimize              post-minimize the returned change set
+//   --show-tree good|bad    print the provenance tree before diagnosing
+//   --dot FILE              write the bad tree as Graphviz
+//   --link A B DELAY        declare a topology link (repeatable)
+//   --list-scenarios        print the built-in scenarios and exit
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dp::cli {
+
+/// Runs the CLI; returns the process exit code. All output goes to the
+/// provided streams.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace dp::cli

@@ -1,0 +1,11 @@
+// The DiffProv debugger binary. See src/tools/cli.h for usage.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return dp::cli::run(args, std::cout, std::cerr);
+}

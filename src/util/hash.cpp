@@ -1,0 +1,25 @@
+#include "util/hash.h"
+
+#include <array>
+
+namespace dp {
+
+std::string checksum_hex(std::string_view content) {
+  // Two passes with different seeds give a 128-bit-ish digest folded to 64
+  // bits; enough to make collisions implausible at reproduction scale.
+  const std::uint64_t a = fnv1a(content);
+  const std::uint64_t b = fnv1a(content, 0x84222325cbf29ce4ULL);
+  std::uint64_t h = hash_mix(a, b);
+
+  static constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5',
+                                                '6', '7', '8', '9', 'a', 'b',
+                                                'c', 'd', 'e', 'f'};
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace dp

@@ -1,0 +1,39 @@
+// Deterministic hashing and content checksums.
+//
+// Two distinct uses in this reproduction:
+//  * fast structural hashing (FNV-1a) for tuple identity, vertex ids, and
+//    the MapReduce partitioner;
+//  * content "checksums" mimicking the paper's use of HDFS file checksums
+//    and Java bytecode signatures (section 5). We render them as short hex
+//    digests; cryptographic strength is irrelevant to the reproduction, but
+//    the *shape* (content-addressed identity) is preserved.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dp {
+
+/// 64-bit FNV-1a over raw bytes.
+constexpr std::uint64_t fnv1a(std::string_view data,
+                              std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mix an integer into a running hash (for composite keys).
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Content checksum rendered as a 16-hex-digit digest string, e.g.
+/// "c0ffee0123456789". Used for mapper "bytecode" versions and input files.
+std::string checksum_hex(std::string_view content);
+
+}  // namespace dp

@@ -1,0 +1,65 @@
+#include "util/ip.h"
+
+#include <charconv>
+
+namespace dp {
+
+namespace {
+// Parses a decimal integer in [0, max] from the front of `text`, advancing it.
+std::optional<int> eat_int(std::string_view& text, int max) {
+  int v = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr == begin || v < 0 || v > max) {
+    return std::nullopt;
+  }
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return v;
+}
+
+bool eat_char(std::string_view& text, char c) {
+  if (text.empty() || text.front() != c) return false;
+  text.remove_prefix(1);
+  return true;
+}
+}  // namespace
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0 && !eat_char(text, '.')) return std::nullopt;
+    auto octet = eat_int(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4(value);
+}
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<IpPrefix> IpPrefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = Ipv4::parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  std::string_view rest = text.substr(slash + 1);
+  auto length = eat_int(rest, 32);
+  if (!length || !rest.empty()) return std::nullopt;
+  return IpPrefix(*base, *length);
+}
+
+std::string IpPrefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace dp

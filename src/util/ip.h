@@ -1,0 +1,79 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// The SDN substrate matches packets against prefix rules exactly the way the
+// paper's scenarios do (e.g. the SDN1 bug writes 4.3.2.0/23 as 4.3.2.0/24).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dp {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  explicit constexpr Ipv4(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Parses dotted-quad form; returns nullopt on malformed input.
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4&, const Ipv4&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 4.3.2.0/23. Normalizes host bits to zero.
+class IpPrefix {
+ public:
+  constexpr IpPrefix() = default;
+  constexpr IpPrefix(Ipv4 base, int length)
+      : base_(Ipv4(base.value() & mask_for(length))), length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4 base() const { return base_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  /// True if `addr` falls inside this prefix.
+  [[nodiscard]] constexpr bool contains(Ipv4 addr) const {
+    return (addr.value() & mask_for(length_)) == base_.value();
+  }
+
+  /// True if `other` is fully contained in this prefix.
+  [[nodiscard]] constexpr bool covers(const IpPrefix& other) const {
+    return length_ <= other.length_ && contains(other.base_);
+  }
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<IpPrefix> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IpPrefix&, const IpPrefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) {
+    return length <= 0 ? 0u
+           : length >= 32
+               ? 0xFFFFFFFFu
+               : ~((1u << (32 - static_cast<unsigned>(length))) - 1u);
+  }
+
+  Ipv4 base_{};
+  int length_ = 0;
+};
+
+}  // namespace dp

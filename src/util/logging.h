@@ -1,0 +1,46 @@
+// Minimal leveled diagnostics logger for the library itself.
+//
+// This is *not* the paper's "logging engine" (that lives in src/replay); it
+// is plain stderr diagnostics, off by default so benchmarks stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace dp
+
+#define DP_LOG(level) ::dp::internal::LogLine(::dp::LogLevel::level)
+#define DP_DEBUG DP_LOG(kDebug)
+#define DP_INFO DP_LOG(kInfo)
+#define DP_WARN DP_LOG(kWarn)
+#define DP_ERROR DP_LOG(kError)

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything stochastic in the reproduction (synthetic traces, fault
+// injection sites, background traffic mixes) draws from this generator so
+// that runs -- and therefore replays -- are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace dp {
+
+/// xorshift128+ generator. Small, fast, and fully deterministic given the
+/// seed; quality is more than sufficient for workload synthesis.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding to avoid weak all-zero / low-entropy states.
+    std::uint64_t z = seed;
+    auto split_mix = [&z]() {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t w = z;
+      w = (w ^ (w >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      w = (w ^ (w >> 27)) * 0x94d049bb133111ebULL;
+      return w ^ (w >> 31);
+    };
+    s0_ = split_mix();
+    s1_ = split_mix();
+  }
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Modulo bias is irrelevant for workload synthesis.
+    return next_u64() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  constexpr std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability `p`.
+  constexpr bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t s0_ = 1;
+  std::uint64_t s1_ = 2;
+};
+
+}  // namespace dp

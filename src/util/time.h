@@ -1,0 +1,42 @@
+// Logical time for the deterministic simulator.
+//
+// All timestamps in the runtime, the provenance graph and the event log are
+// *logical* microseconds. Wall-clock time never enters the system model (it
+// is only used by benchmarks to measure our own costs), which is what makes
+// deterministic replay (paper section 4.6/4.8) possible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dp {
+
+/// Logical time in microseconds since simulation start.
+using LogicalTime = std::int64_t;
+
+/// Sentinel meaning "still valid" / "has not ended" for temporal intervals.
+inline constexpr LogicalTime kTimeInfinity =
+    std::numeric_limits<LogicalTime>::max();
+
+/// A half-open validity interval [start, end). `end == kTimeInfinity` means
+/// the tuple still exists. This is the temporal dimension of the DTaP-style
+/// provenance graph (paper section 3.2).
+struct TimeInterval {
+  LogicalTime start = 0;
+  LogicalTime end = kTimeInfinity;
+
+  /// True if `t` falls inside [start, end).
+  [[nodiscard]] constexpr bool contains(LogicalTime t) const {
+    return t >= start && t < end;
+  }
+
+  /// True if the interval has not been closed yet.
+  [[nodiscard]] constexpr bool open_ended() const {
+    return end == kTimeInfinity;
+  }
+
+  friend constexpr bool operator==(const TimeInterval&,
+                                   const TimeInterval&) = default;
+};
+
+}  // namespace dp

@@ -1,0 +1,206 @@
+// Cross-variant consistency: the paper's recorder modes must agree.
+//
+// The declarative MapReduce runs through the NDlog engine ("infer" mode);
+// the imperative job reports its dependencies by hand ("report" mode). For
+// the same corpus and configuration, the two provenance graphs must contain
+// *structurally identical* trees for every event -- same vertices, same
+// rules, same child order, differing only in timestamps. This pins the
+// instrumentation against the model, the way the paper's Hadoop hooks had
+// to agree with its NDlog reasoning.
+//
+// Plus: property sweeps for the aggregation engine against a reference
+// oracle, and for sharded-vs-monolithic projection over randomized runs.
+#include <gtest/gtest.h>
+
+#include "diffprov/treediff.h"
+#include "mapred/scenario.h"
+#include "ndlog/parser.h"
+#include "provenance/recorder.h"
+#include "provenance/sharded.h"
+#include "runtime/engine.h"
+#include "util/rng.h"
+
+namespace dp {
+namespace {
+
+// ------------------------------------------------ infer vs report modes --
+
+class CrossVariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossVariant, InferAndReportModesAgreeStructurally) {
+  const mapred::Scenario s = GetParam() == 0 ? mapred::mr1_declarative()
+                                             : mapred::mr2_declarative();
+  // "Infer": the NDlog engine executes the model.
+  const EventLog log = mapred::declarative_job_log(s.store, s.good_config);
+  LogReplayProvider declarative(s.model, Topology{}, log);
+  const BadRun infer_run = declarative.replay_bad({});
+  // "Report": the imperative job reports its own derivations.
+  mapred::WordCountReplayProvider imperative(s.store, s.good_config);
+  const BadRun report_run = imperative.replay_bad({});
+
+  // Compare the full trees of a sample of events of every derived kind.
+  std::size_t compared = 0;
+  infer_run.graph->for_each_tuple([&](const Tuple& t, const auto& exists) {
+    if (t.table() != "wordCount" && t.table() != "wordAt" &&
+        t.table() != "jobSetup") {
+      return;
+    }
+    if (compared >= 25) return;
+    ++compared;
+    const ProvTree infer_tree =
+        ProvTree::project(*infer_run.graph, exists.back());
+    const auto report_root =
+        report_run.graph->latest_exist_before(t, kTimeInfinity);
+    ASSERT_TRUE(report_root.has_value()) << t.to_string();
+    const ProvTree report_tree =
+        ProvTree::project(*report_run.graph, *report_root);
+    ASSERT_EQ(infer_tree.size(), report_tree.size()) << t.to_string();
+    EXPECT_EQ(plain_tree_diff(infer_tree, report_tree).diff_size(), 0u)
+        << t.to_string();
+    // Same vertex sequence in pre-order: kinds, tuples and rules.
+    for (std::size_t i = 0; i < infer_tree.size(); ++i) {
+      const auto index = static_cast<ProvTree::NodeIndex>(i);
+      const Vertex& a = infer_tree.vertex_of(index);
+      const Vertex& b = report_tree.vertex_of(index);
+      ASSERT_EQ(a.kind, b.kind) << t.to_string() << " node " << i;
+      ASSERT_EQ(a.tuple, b.tuple) << t.to_string() << " node " << i;
+      ASSERT_EQ(a.rule, b.rule) << t.to_string() << " node " << i;
+    }
+  });
+  EXPECT_GE(compared, 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, CrossVariant, ::testing::Values(0, 1),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0 ? std::string("MR1")
+                                                  : std::string("MR2");
+                         });
+
+TEST(CrossVariant, FinalCountsMatchBetweenVariants) {
+  const mapred::Scenario s = mapred::mr1_declarative();
+  const mapred::JobOutput output =
+      mapred::run_wordcount(s.store, s.good_config);
+  const EventLog log = mapred::declarative_job_log(s.store, s.good_config);
+  LogReplayProvider declarative(s.model, Topology{}, log);
+  const BadRun run = declarative.replay_bad({});
+  // Every final count computed imperatively is live in the NDlog engine.
+  std::size_t checked = 0;
+  for (const auto& [reducer, words] : output.counts) {
+    for (const auto& [word, count] : words) {
+      const Tuple expected("wordCount",
+                           {Value(reducer), Value(word), Value(count)});
+      EXPECT_TRUE(run.state->existed_at(expected, kTimeInfinity - 1))
+          << expected.to_string();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 40u);
+}
+
+// ---------------------------------------------------- aggregation sweep --
+
+class AggregateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregateSweep, RunningValuesMatchAReferenceOracle) {
+  Rng rng(GetParam());
+  Engine engine(parse_program(R"(
+    table hit(3) base immutable event.
+    table hits(3) derived keys(0, 1).
+    table weight(3) derived keys(0, 1).
+    rule c agg count Total hits(@N, K, Total) :- hit(@N, K, W).
+    rule s agg sum Sum W weight(@N, K, Sum) :- hit(@N, K, W), W > 0.
+  )"));
+  std::map<std::pair<std::string, std::string>, std::int64_t> count_oracle;
+  std::map<std::pair<std::string, std::string>, std::int64_t> sum_oracle;
+  LogicalTime t = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string node = "n" + std::to_string(rng.next_below(3));
+    const std::string key = "k" + std::to_string(rng.next_below(4));
+    const std::int64_t weight = rng.next_in(-2, 9);
+    engine.schedule_insert(
+        Tuple("hit", {Value(node), Value(key), Value(weight)}), t += 5);
+    ++count_oracle[{node, key}];
+    if (weight > 0) sum_oracle[{node, key}] += weight;  // the W > 0 guard
+  }
+  engine.run();
+  for (const auto& [group, expected] : count_oracle) {
+    EXPECT_TRUE(engine.is_live(Tuple(
+        "hits", {Value(group.first), Value(group.second), Value(expected)})))
+        << group.first << "/" << group.second;
+  }
+  for (const auto& [group, expected] : sum_oracle) {
+    EXPECT_TRUE(engine.is_live(Tuple(
+        "weight",
+        {Value(group.first), Value(group.second), Value(expected)})))
+        << group.first << "/" << group.second;
+  }
+  // One live aggregate per (node, key) group and per rule.
+  EXPECT_EQ(engine.live_tuples("hits").size(), count_oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AggregateSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+// --------------------------------------------------- sharded projection --
+
+class ShardedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedSweep, ProjectionEqualsMonolithicOnRandomNetworks) {
+  Rng rng(GetParam());
+  const Program program = parse_program(R"(
+    table packet(3) base immutable event.
+    table flowEntry(4) keys(0, 2) base mutable.
+    table packetAt(3) derived event.
+    table fwd(4) derived event.
+    table delivered(3) derived.
+    rule r0 packetAt(@Sw, Pkt, Dst) :- packet(@Sw, Pkt, Dst).
+    rule r1 argmax Prio
+      fwd(@Sw, Pkt, Dst, Next) :-
+        packetAt(@Sw, Pkt, Dst), flowEntry(@Sw, Prio, Prefix, Next),
+        f_matches(Dst, Prefix) == 1.
+    rule r2 packetAt(@Next, Pkt, Dst) :- fwd(@Sw, Pkt, Dst, Next),
+        f_strlen(Next) > 2.
+    rule r3 delivered(@Next, Pkt, Dst) :- fwd(@Sw, Pkt, Dst, Next),
+        f_strlen(Next) <= 2.
+  )");
+  ProvenanceRecorder monolithic;
+  ShardedProvenance sharded;
+  Engine engine((Program(program)));
+  engine.add_observer(&monolithic);
+  engine.add_observer(&sharded);
+  const int chain = 2 + static_cast<int>(rng.next_below(4));
+  for (int i = 0; i < chain; ++i) {
+    const std::string self = "sws" + std::to_string(i);
+    const std::string next =
+        i + 1 == chain ? "h1" : "sws" + std::to_string(i + 1);
+    engine.schedule_insert(
+        Tuple("flowEntry", {Value(self), Value(1),
+                            Value(*IpPrefix::parse("0.0.0.0/0")),
+                            Value(next)}),
+        0);
+  }
+  const int packets = 5 + static_cast<int>(rng.next_below(10));
+  for (int i = 0; i < packets; ++i) {
+    engine.schedule_insert(
+        Tuple("packet",
+              {Value("sws0"), Value(std::int64_t(i)),
+               Value(Ipv4(static_cast<std::uint32_t>(rng.next_u64())))}),
+        100 + 10 * i);
+  }
+  engine.run();
+  int compared = 0;
+  monolithic.graph().for_each_tuple([&](const Tuple& t, const auto& exists) {
+    if (t.table() != "delivered") return;
+    const ProvTree mono = ProvTree::project(monolithic.graph(), exists.back());
+    const auto dist = sharded.project(t);
+    ASSERT_TRUE(dist.has_value()) << t.to_string();
+    EXPECT_EQ(mono.size(), dist->size()) << t.to_string();
+    EXPECT_EQ(plain_tree_diff(mono, *dist).diff_size(), 0u) << t.to_string();
+    ++compared;
+  });
+  EXPECT_EQ(compared, packets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShardedSweep, ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace dp

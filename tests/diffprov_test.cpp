@@ -1,0 +1,387 @@
+// Tests for the DiffProv core: formulas, inversion, seed finding, taint
+// annotation, tree equivalence, the baselines, and end-to-end diagnosis on a
+// minimal forwarding network (SDN1/SDN2/SDN3-shaped mini scenarios).
+#include <gtest/gtest.h>
+
+#include "diffprov/diffprov.h"
+#include "diffprov/treediff.h"
+#include "ndlog/parser.h"
+#include "replay/logging_engine.h"
+
+namespace dp {
+namespace {
+
+Tuple make(const std::string& table, std::vector<Value> values) {
+  return Tuple(table, std::move(values));
+}
+
+// -------------------------------------------------------------- formulas --
+
+TEST(Formula, EvalAndTaint) {
+  // 2 * Seed#1 + 1
+  const auto f = Formula::make_binary(
+      BinOp::kAdd,
+      Formula::make_binary(BinOp::kMul, Formula::make_const(Value(2)),
+                           Formula::make_seed_field(1)),
+      Formula::make_const(Value(1)));
+  EXPECT_TRUE(f->tainted());
+  EXPECT_EQ(f->eval({Value(0), Value(10)}).as_int(), 21);
+  EXPECT_EQ(f->to_string(), "((2 * Seed#1) + 1)");
+  EXPECT_FALSE(Formula::make_const(Value(5))->tainted());
+}
+
+TEST(Formula, FromExprSubstitutesEnv) {
+  FormulaEnv env;
+  env["X"] = Formula::make_seed_field(0);
+  const auto f = formula_from_expr(*parse_expression("X * 2 + 1"), env);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ((*f)->eval({Value(3)}).as_int(), 7);
+  // Unbound variable -> nullopt.
+  EXPECT_FALSE(formula_from_expr(*parse_expression("Y + 1"), env).has_value());
+}
+
+TEST(Formula, CallsEvaluateThroughRegistry) {
+  FormulaEnv env;
+  env["Ip"] = Formula::make_seed_field(0);
+  const auto f = formula_from_expr(*parse_expression("f_last_octet(Ip)"), env);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ((*f)->eval({Value(Ipv4(1, 2, 3, 9))}).as_int(), 9);
+}
+
+// The paper's section 4.5 example: abc(p, q) derived with q = x + 2 requires
+// inverting to x = q - 2.
+TEST(Formula, InvertsLinearChain) {
+  FormulaEnv env;  // no other vars needed
+  const auto inv = invert_expr_for_var(*parse_expression("X + 2"), "X",
+                                       Formula::make_const(Value(8)), env);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv)->eval({}).as_int(), 6);
+}
+
+TEST(Formula, InvertsNestedArithmetic) {
+  // 2 * (X - 3) + 1 == 11  =>  X == 8
+  const auto inv =
+      invert_expr_for_var(*parse_expression("2 * (X - 3) + 1"), "X",
+                          Formula::make_const(Value(11)), {});
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv)->eval({}).as_int(), 8);
+}
+
+TEST(Formula, InvertsXorAndNeg) {
+  const auto inv_xor = invert_expr_for_var(*parse_expression("X ^ 12"), "X",
+                                           Formula::make_const(Value(5)), {});
+  ASSERT_TRUE(inv_xor.has_value());
+  EXPECT_EQ((*inv_xor)->eval({}).as_int(), 5 ^ 12);
+
+  const auto inv_neg = invert_expr_for_var(*parse_expression("-X"), "X",
+                                           Formula::make_const(Value(4)), {});
+  ASSERT_TRUE(inv_neg.has_value());
+  EXPECT_EQ((*inv_neg)->eval({}).as_int(), -4);
+}
+
+TEST(Formula, RefusesNonInvertibleShapes) {
+  // Variable on both sides.
+  EXPECT_FALSE(invert_expr_for_var(*parse_expression("X + X"), "X",
+                                   Formula::make_const(Value(4)), {})
+                   .has_value());
+  // Hash has no registered solver.
+  EXPECT_FALSE(invert_expr_for_var(*parse_expression("f_hash(X)"), "X",
+                                   Formula::make_const(Value(4)), {})
+                   .has_value());
+  // Bit-and is not injective.
+  EXPECT_FALSE(invert_expr_for_var(*parse_expression("X & 7"), "X",
+                                   Formula::make_const(Value(4)), {})
+                   .has_value());
+}
+
+TEST(Formula, ModuloTakesTheCanonicalPreimage) {
+  // t = X % k has many preimages; DiffProv takes the canonical one (paper
+  // section 4.5: "DiffProv can try all of them").
+  const auto inv = invert_expr_for_var(*parse_expression("(X + 3) % 7"), "X",
+                                       Formula::make_const(Value(4)), {});
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv)->eval({}).as_int(), 1);  // (1 + 3) % 7 == 4
+}
+
+TEST(Formula, InvertsThroughRegisteredSolverWithCurrentValue) {
+  // f_matches(4.3.3.1, P) == 1 with current P = 4.3.2.0/24 in env.
+  FormulaEnv env;
+  env["P"] = Formula::make_const(Value(*IpPrefix::parse("4.3.2.0/24")));
+  const auto inv = invert_expr_for_var(
+      *parse_expression("f_matches(4.3.3.1, P)"), "P",
+      Formula::make_const(Value(1)), env);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ((*inv)->eval({}).as_prefix().to_string(), "4.3.2.0/23");
+}
+
+// ---------------------------------------------------- mini SDN scenarios --
+
+// A three-switch forwarding model matching the paper's scenario shapes.
+constexpr const char* kMiniProgram = R"(
+  table packet(3) base immutable event.       // packet(@Sw, PktId, Dst)
+  table flowEntry(4) keys(0, 2) base mutable. // (@Sw, Prio, Prefix, Next)
+  table packetAt(3) derived event.
+  table fwd(4) derived event.                 // the matched action
+  table delivered(3) derived.
+
+  rule r0 packetAt(@Sw, Pkt, Dst) :- packet(@Sw, Pkt, Dst).
+  // The flow table match: one winner per packet per switch (OpenFlow
+  // highest-priority semantics).
+  rule r1 argmax Prio
+    fwd(@Sw, Pkt, Dst, Next) :-
+      packetAt(@Sw, Pkt, Dst),
+      flowEntry(@Sw, Prio, Prefix, Next),
+      f_matches(Dst, Prefix) == 1.
+  // Action: forward to the next switch (names longer than 2 chars) or
+  // deliver to a host.
+  rule r2 packetAt(@Next, Pkt, Dst) :-
+      fwd(@Sw, Pkt, Dst, Next), f_strlen(Next) > 2.
+  rule r3 delivered(@Next, Pkt, Dst) :-
+      fwd(@Sw, Pkt, Dst, Next), f_strlen(Next) <= 2.
+)";
+
+struct MiniScenario {
+  Program program = parse_program(kMiniProgram);
+  Topology topology;
+  EventLog log;
+
+  void entry(const std::string& sw, int prio, const std::string& prefix,
+             const std::string& next, LogicalTime t = 0) {
+    log.append_insert(
+        make("flowEntry", {sw, prio, *IpPrefix::parse(prefix), next}), t);
+  }
+  void expire(const std::string& sw, int prio, const std::string& prefix,
+              const std::string& next, LogicalTime t) {
+    log.append_delete(
+        make("flowEntry", {sw, prio, *IpPrefix::parse(prefix), next}), t);
+  }
+  void packet(const std::string& sw, int id, const std::string& dst,
+              LogicalTime t) {
+    log.append_insert(make("packet", {sw, id, *Ipv4::parse(dst)}), t);
+  }
+
+  ProvTree tree_of(const Tuple& event) {
+    LogReplayProvider provider(program, topology, log);
+    auto run = provider.replay_bad({});
+    auto tree = locate_tree(*run.graph, event);
+    EXPECT_TRUE(tree.has_value()) << event.to_string();
+    return std::move(*tree);
+  }
+
+  DiffProvResult diagnose(const Tuple& good_event, const Tuple& bad_event) {
+    const ProvTree good = tree_of(good_event);
+    LogReplayProvider provider(program, topology, log);
+    DiffProv diffprov(program, provider);
+    return diffprov.diagnose(good, bad_event);
+  }
+};
+
+// SDN1 shape: overly specific flow entry. Good packet from 4.3.2.1 goes
+// S1 -> S2x -> h1; bad packet from 4.3.3.1 falls through to the general rule
+// and lands on h2. Root cause: the /24 should have been a /23.
+MiniScenario sdn1_mini() {
+  MiniScenario s;
+  s.entry("S1", 100, "4.3.2.0/24", "S2x");
+  s.entry("S1", 1, "0.0.0.0/0", "h2");
+  s.entry("S2x", 1, "0.0.0.0/0", "h1");
+  s.packet("S1", 1, "4.3.2.1", 100);   // good
+  s.packet("S1", 2, "4.3.3.1", 200);   // bad
+  return s;
+}
+
+TEST(DiffProvEndToEnd, Sdn1PinpointsOverlySpecificEntry) {
+  MiniScenario s = sdn1_mini();
+  const auto result = s.diagnose(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}),
+                                 make("delivered", {"h2", 2, Ipv4(4, 3, 3, 1)}));
+  ASSERT_EQ(result.status, DiffProvStatus::kSuccess) << result.to_string();
+  ASSERT_EQ(result.changes.size(), 1u) << result.to_string();
+  const ChangeRecord& change = result.changes[0];
+  ASSERT_TRUE(change.before && change.after);
+  EXPECT_EQ(change.before->to_string(),
+            "flowEntry(@S1, 100, 4.3.2.0/24, \"S2x\")");
+  EXPECT_EQ(change.after->to_string(),
+            "flowEntry(@S1, 100, 4.3.2.0/23, \"S2x\")");
+  EXPECT_EQ(result.rounds, 1);
+}
+
+// SDN2 shape: a higher-priority entry overlaps and hijacks traffic that the
+// lower-priority entry should carry. Root cause: the blocking entry.
+TEST(DiffProvEndToEnd, Sdn2RemovesBlockingHighPriorityEntry) {
+  MiniScenario s;
+  s.entry("S1", 1, "0.0.0.0/0", "h1");          // intended (to web server)
+  s.entry("S1", 50, "10.0.0.0/8", "h2");        // overlapping rule (scrubber)
+  s.packet("S1", 1, "9.9.9.9", 100);            // good: only matches /0
+  s.packet("S1", 2, "10.1.2.3", 200);           // bad: hijacked to h2
+  const auto result = s.diagnose(make("delivered", {"h1", 1, Ipv4(9, 9, 9, 9)}),
+                                 make("delivered", {"h2", 2, Ipv4(10, 1, 2, 3)}));
+  ASSERT_EQ(result.status, DiffProvStatus::kSuccess) << result.to_string();
+  ASSERT_EQ(result.changes.size(), 1u) << result.to_string();
+  const ChangeRecord& change = result.changes[0];
+  ASSERT_TRUE(change.before.has_value());
+  EXPECT_FALSE(change.after.has_value());  // a deletion
+  EXPECT_EQ(change.before->to_string(),
+            "flowEntry(@S1, 50, 10.0.0.0/8, \"h2\")");
+}
+
+// SDN3 shape: the good packet is in the past; a rule then expired and later
+// traffic is handled by a lower-priority entry. Root cause: the expired rule.
+TEST(DiffProvEndToEnd, Sdn3ReinstallsExpiredEntry) {
+  MiniScenario s;
+  s.entry("S1", 100, "7.7.0.0/16", "h1");  // the rule that will expire
+  s.entry("S1", 1, "0.0.0.0/0", "h2");
+  s.packet("S1", 1, "7.7.7.7", 100);       // good (rule still installed)
+  s.expire("S1", 100, "7.7.0.0/16", "h1", 150);
+  s.packet("S1", 2, "7.7.8.8", 200);       // bad (after expiry)
+  const auto result = s.diagnose(make("delivered", {"h1", 1, Ipv4(7, 7, 7, 7)}),
+                                 make("delivered", {"h2", 2, Ipv4(7, 7, 8, 8)}));
+  ASSERT_EQ(result.status, DiffProvStatus::kSuccess) << result.to_string();
+  ASSERT_EQ(result.changes.size(), 1u) << result.to_string();
+  const ChangeRecord& change = result.changes[0];
+  EXPECT_FALSE(change.before.has_value());  // pure (re-)insertion
+  ASSERT_TRUE(change.after.has_value());
+  EXPECT_EQ(change.after->to_string(),
+            "flowEntry(@S1, 100, 7.7.0.0/16, \"h1\")");
+}
+
+// SDN4 shape: two faults on consecutive hops; DiffProv needs two rounds.
+TEST(DiffProvEndToEnd, Sdn4FindsBothFaultsInTwoRounds) {
+  MiniScenario s;
+  s.entry("S1", 100, "4.3.2.0/24", "S2x");  // fault 1: should be /23
+  s.entry("S1", 1, "0.0.0.0/0", "h9");
+  s.entry("S2x", 100, "4.3.2.0/24", "S3x");  // fault 2: should be /23
+  s.entry("S2x", 1, "0.0.0.0/0", "h8");
+  s.entry("S3x", 1, "0.0.0.0/0", "h1");
+  s.packet("S1", 1, "4.3.2.1", 100);  // good: S1 -> S2x -> S3x -> h1
+  s.packet("S1", 2, "4.3.3.1", 200);  // bad: misrouted at S1 (then at S2x)
+  const auto result = s.diagnose(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}),
+                                 make("delivered", {"h9", 2, Ipv4(4, 3, 3, 1)}));
+  ASSERT_EQ(result.status, DiffProvStatus::kSuccess) << result.to_string();
+  EXPECT_EQ(result.changes.size(), 2u) << result.to_string();
+  EXPECT_EQ(result.rounds, 2);
+  ASSERT_EQ(result.changes_per_round.size(), 2u);
+}
+
+// A reference whose seed has a different type is rejected (section 4.7,
+// first failure mode).
+TEST(DiffProvEndToEnd, SeedTypeMismatchFailsCleanly) {
+  MiniScenario s = sdn1_mini();
+  // Use a flow entry's "tree" as the reference: its seed is a flowEntry.
+  const ProvTree good =
+      s.tree_of(make("flowEntry", {"S2x", 1, *IpPrefix::parse("0.0.0.0/0"),
+                                   "h1"}));
+  LogReplayProvider provider(s.program, s.topology, s.log);
+  DiffProv diffprov(s.program, provider);
+  const auto result =
+      diffprov.diagnose(good, make("delivered", {"h2", 2, Ipv4(4, 3, 3, 1)}));
+  EXPECT_EQ(result.status, DiffProvStatus::kSeedTypeMismatch);
+  EXPECT_NE(result.message.find("not comparable"), std::string::npos);
+}
+
+TEST(DiffProvEndToEnd, BadEventNotFoundFailsCleanly) {
+  MiniScenario s = sdn1_mini();
+  const ProvTree good = s.tree_of(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}));
+  LogReplayProvider provider(s.program, s.topology, s.log);
+  DiffProv diffprov(s.program, provider);
+  const auto result =
+      diffprov.diagnose(good, make("delivered", {"h5", 9, Ipv4(8, 8, 8, 8)}));
+  EXPECT_EQ(result.status, DiffProvStatus::kBadEventNotFound);
+}
+
+// Immutable tables stop the alignment with a helpful message (section 4.7,
+// second failure mode).
+TEST(DiffProvEndToEnd, ImmutableEntryFailsWithAttemptedChange) {
+  MiniScenario s;
+  // Same as SDN1 but the flow table is immutable ("static entries").
+  const std::string immutable_program = std::string(kMiniProgram);
+  Program program = parse_program(
+      std::string(kMiniProgram).replace(
+          std::string(kMiniProgram).find("base mutable"), 12,
+          "base immutable"));
+  s.program = std::move(program);
+  s.entry("S1", 100, "4.3.2.0/24", "S2x");
+  s.entry("S1", 1, "0.0.0.0/0", "h2");
+  s.entry("S2x", 1, "0.0.0.0/0", "h1");
+  s.packet("S1", 1, "4.3.2.1", 100);
+  s.packet("S1", 2, "4.3.3.1", 200);
+  const auto result = s.diagnose(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}),
+                                 make("delivered", {"h2", 2, Ipv4(4, 3, 3, 1)}));
+  EXPECT_EQ(result.status, DiffProvStatus::kImmutableChange)
+      << result.to_string();
+  EXPECT_FALSE(result.message.empty());
+}
+
+// Timing fields are populated (Figure 8's decomposition).
+TEST(DiffProvEndToEnd, TimingDecompositionPopulated) {
+  MiniScenario s = sdn1_mini();
+  const auto result = s.diagnose(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}),
+                                 make("delivered", {"h2", 2, Ipv4(4, 3, 3, 1)}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.timing.reasoning_us(), 0.0);
+  EXPECT_GT(result.timing.replay_us, 0.0);
+  EXPECT_GE(result.timing.replays, 2);  // initial + at least one UpdateTree
+  EXPECT_GT(result.good_tree_size, 0u);
+  EXPECT_GT(result.bad_tree_size, 0u);
+}
+
+// ----------------------------------------------------------- tree  diff --
+
+TEST(TreeDiff, PlainDiffCountsUnmatchedVertices) {
+  MiniScenario s = sdn1_mini();
+  const ProvTree good = s.tree_of(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}));
+  const ProvTree bad = s.tree_of(make("delivered", {"h2", 2, Ipv4(4, 3, 3, 1)}));
+  const TreeDiffStats stats = plain_tree_diff(good, bad);
+  EXPECT_EQ(stats.good_size, good.size());
+  EXPECT_EQ(stats.bad_size, bad.size());
+  EXPECT_EQ(stats.common + stats.only_in_good, stats.good_size);
+  EXPECT_EQ(stats.common + stats.only_in_bad, stats.bad_size);
+  // The butterfly effect: the diff dwarfs DiffProv's single-change answer.
+  EXPECT_GT(stats.diff_size(), 10u);
+}
+
+TEST(TreeDiff, IdenticalTreesHaveZeroDiff) {
+  MiniScenario s = sdn1_mini();
+  const ProvTree good = s.tree_of(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}));
+  const TreeDiffStats stats = plain_tree_diff(good, good);
+  EXPECT_EQ(stats.diff_size(), 0u);
+  EXPECT_EQ(tree_edit_distance(good, good), 0u);
+}
+
+TEST(TreeDiff, EditDistanceBoundedByDiff) {
+  MiniScenario s = sdn1_mini();
+  const ProvTree good = s.tree_of(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}));
+  const ProvTree bad = s.tree_of(make("delivered", {"h2", 2, Ipv4(4, 3, 3, 1)}));
+  const std::size_t distance = tree_edit_distance(good, bad);
+  EXPECT_GT(distance, 0u);
+  EXPECT_LE(distance, good.size() + bad.size());
+}
+
+// ------------------------------------------------------------ seeds etc --
+
+TEST(Seed, FindsPacketAsSeed) {
+  MiniScenario s = sdn1_mini();
+  const ProvTree good = s.tree_of(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}));
+  const auto seed = find_seed(good);
+  ASSERT_TRUE(seed.has_value());
+  EXPECT_EQ(seed->tuple.table(), "packet");
+  EXPECT_EQ(seed->tuple.at(1).as_int(), 1);
+  // The spine runs from the packet up through every hop.
+  const auto spine = spine_of(good, *seed);
+  EXPECT_GE(spine.size(), 3u);  // r0, r1 (one hop), r2
+}
+
+TEST(Annotate, TaintsFollowTheSeedThroughHops) {
+  MiniScenario s = sdn1_mini();
+  const ProvTree good = s.tree_of(make("delivered", {"h1", 1, Ipv4(4, 3, 2, 1)}));
+  const auto seed = find_seed(good);
+  ASSERT_TRUE(seed.has_value());
+  const auto ann = TreeAnnotations::annotate(good, s.program, *seed);
+  EXPECT_GT(ann.tainted_node_count(), 0u);
+  // The root (delivered@h1) translated to the bad seed's fields.
+  const auto expected = ann.expected_tuple(
+      good.root(), {Value("S1"), Value(2), Value(Ipv4(4, 3, 3, 1))});
+  ASSERT_TRUE(expected.has_value());
+  EXPECT_EQ(expected->to_string(), "delivered(@h1, 2, 4.3.3.1)");
+}
+
+}  // namespace
+}  // namespace dp

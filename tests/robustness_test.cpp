@@ -1,0 +1,223 @@
+// Robustness and semantics-edge tests: recursive programs, forwarding-loop
+// guards, strict evaluation, ECMP-style deterministic load balancing, and
+// the no-progress (race-condition analog) failure mode of section 4.9.
+#include <gtest/gtest.h>
+
+#include "diffprov/diffprov.h"
+#include "ndlog/parser.h"
+#include "runtime/engine.h"
+
+namespace dp {
+namespace {
+
+// ------------------------------------------------------------ recursion --
+
+TEST(Recursion, TransitiveClosureConverges) {
+  // Classic datalog reachability over materialized state: recursion through
+  // the derived table itself.
+  Engine engine(parse_program(R"(
+    table edge(3) base mutable.       // edge(@Ctl, From, To)
+    table reach(3) derived.           // reach(@Ctl, From, To)
+    rule t1 reach(@C, X, Y) :- edge(@C, X, Y).
+    rule t2 reach(@C, X, Z) :- reach(@C, X, Y), edge(@C, Y, Z).
+  )"));
+  const std::vector<std::pair<const char*, const char*>> edges = {
+      {"a", "b"}, {"b", "c"}, {"c", "d"}, {"x", "y"}};
+  LogicalTime t = 0;
+  for (const auto& [from, to] : edges) {
+    engine.schedule_insert(Tuple("edge", {Value("ctl"), Value(from),
+                                          Value(to)}),
+                           t++);
+  }
+  engine.run();
+  // 3+2+1 chain pairs + the isolated x->y edge.
+  EXPECT_EQ(engine.live_tuples("reach").size(), 7u);
+  EXPECT_TRUE(engine.is_live(Tuple("reach", {Value("ctl"), Value("a"),
+                                             Value("d")})));
+  EXPECT_FALSE(engine.is_live(Tuple("reach", {Value("ctl"), Value("a"),
+                                              Value("y")})));
+
+  // Deleting the middle edge underives the paths through it, recursively.
+  engine.schedule_delete(Tuple("edge", {Value("ctl"), Value("b"),
+                                        Value("c")}),
+                         100);
+  engine.run();
+  EXPECT_FALSE(engine.is_live(Tuple("reach", {Value("ctl"), Value("a"),
+                                              Value("d")})));
+  EXPECT_TRUE(engine.is_live(Tuple("reach", {Value("ctl"), Value("a"),
+                                             Value("b")})));
+  EXPECT_TRUE(engine.is_live(Tuple("reach", {Value("ctl"), Value("c"),
+                                             Value("d")})));
+}
+
+TEST(Recursion, CyclicGraphStillConverges) {
+  // reach over a cycle converges because the table has set semantics: the
+  // re-derivation of a live tuple does not re-trigger rules.
+  Engine engine(parse_program(R"(
+    table edge(3) base mutable.
+    table reach(3) derived.
+    rule t1 reach(@C, X, Y) :- edge(@C, X, Y).
+    rule t2 reach(@C, X, Z) :- reach(@C, X, Y), edge(@C, Y, Z).
+  )"));
+  for (const auto& [from, to] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"a", "b"}, {"b", "c"}, {"c", "a"}}) {
+    engine.schedule_insert(Tuple("edge", {Value("ctl"), Value(from),
+                                          Value(to)}),
+                           0);
+  }
+  engine.run();
+  // All 9 ordered pairs over {a,b,c} are reachable.
+  EXPECT_EQ(engine.live_tuples("reach").size(), 9u);
+}
+
+// ------------------------------------------------------------ loop guard --
+
+constexpr const char* kLoopProgram = R"(
+  table packet(3) base immutable event.
+  table route(3) base mutable.
+  table packetAt(3) derived event.
+  rule r0 packetAt(@Sw, Pkt, Dst) :- packet(@Sw, Pkt, Dst).
+  rule r1 packetAt(@Next, Pkt, Dst) :- packetAt(@Sw, Pkt, Dst),
+      route(@Sw, Next, Dst).
+)";
+
+TEST(LoopGuard, ForwardingLoopHitsTheEventBudget) {
+  EngineConfig config;
+  config.max_events = 10'000;
+  Engine engine(parse_program(kLoopProgram), config);
+  // swa -> swb -> swa: event tuples bounce forever without the guard.
+  engine.schedule_insert(
+      Tuple("route", {Value("swa"), Value("swb"), Value(Ipv4(1, 1, 1, 1))}),
+      0);
+  engine.schedule_insert(
+      Tuple("route", {Value("swb"), Value("swa"), Value(Ipv4(1, 1, 1, 1))}),
+      0);
+  engine.schedule_insert(
+      Tuple("packet", {Value("swa"), Value(1), Value(Ipv4(1, 1, 1, 1))}), 10);
+  EXPECT_THROW(engine.run(), ProgramError);
+  EXPECT_GE(engine.stats().events_processed, 10'000u);
+}
+
+TEST(LoopGuard, DisabledGuardIsHonoredForFiniteRuns) {
+  EngineConfig config;
+  config.max_events = 0;  // disabled
+  Engine engine(parse_program(kLoopProgram), config);
+  engine.schedule_insert(
+      Tuple("route", {Value("swa"), Value("swb"), Value(Ipv4(1, 1, 1, 1))}),
+      0);
+  engine.schedule_insert(
+      Tuple("packet", {Value("swa"), Value(1), Value(Ipv4(1, 1, 1, 1))}), 10);
+  engine.run();  // swb has no route: terminates naturally
+  EXPECT_LT(engine.stats().events_processed, 10u);
+}
+
+// ------------------------------------------------------------ strict eval --
+
+TEST(StrictEval, ConstraintTypeErrorsAbortWhenRequested) {
+  const char* program = R"(
+    table a(2) base mutable.
+    table b(2) derived.
+    rule r1 b(@N, X) :- a(@N, X), X / 0 == 1.
+  )";
+  {
+    Engine lenient((parse_program(program)));
+    lenient.schedule_insert(Tuple("a", {Value("n"), Value(1)}), 0);
+    lenient.run();  // non-match, logged, no derivation
+    EXPECT_TRUE(lenient.live_tuples("b").empty());
+  }
+  {
+    EngineConfig config;
+    config.strict_eval = true;
+    Engine strict(parse_program(program), config);
+    strict.schedule_insert(Tuple("a", {Value("n"), Value(1)}), 0);
+    EXPECT_THROW(strict.run(), EvalError);
+  }
+}
+
+// ----------------------------------------------------------------- ecmp --
+
+TEST(Ecmp, SeededHashBalancingIsDeterministicAndDiagnosable) {
+  // Section 4.9 (non-determinism): "in the presence of load balancers that
+  // make random decisions, e.g. ECMP with a random seed, DiffProv would
+  // need to reason about the balancing mechanism using the seed". Our ECMP
+  // models the seed as a mutable base tuple, so the hash is a deterministic
+  // function DiffProv can reason about -- and a wrong seed is diagnosable.
+  const Program program = parse_program(R"(
+    table packet(3) base immutable event.    // (@Sw, Pkt, Dst)
+    table ecmpSeed(2) base mutable keys(0).  // (@Sw, Seed)
+    table uplink(3) base immutable.          // (@Sw, Index, Next)
+    table delivered(3) derived.
+    rule e1 delivered(@Next, Pkt, Dst) :-
+        packet(@Sw, Pkt, Dst),
+        ecmpSeed(@Sw, Seed),
+        uplink(@Sw, Index, Next),
+        Index == (f_ip_value(Dst) + Seed) % 2.
+  )");
+  EventLog log;
+  log.append_insert(parse_tuple(R"(ecmpSeed(@sw1, 7))"), 0);
+  log.append_insert(parse_tuple(R"(uplink(@sw1, 0, "h1"))"), 0);
+  log.append_insert(parse_tuple(R"(uplink(@sw1, 1, "h2"))"), 0);
+  // dst 1.1.1.0 has an even value: with seed 7 it hashes to index 1 (h2);
+  // with seed 8 it would hash to index 0 (h1).
+  log.append_insert(parse_tuple("packet(@sw1, 1, 1.1.1.1)"), 100);  // odd+7 -> 0
+  log.append_insert(parse_tuple("packet(@sw1, 2, 1.1.1.2)"), 200);  // even+7 -> 1
+
+  LogReplayProvider provider(program, Topology{}, log);
+  const BadRun a = provider.replay_bad({});
+  const BadRun b = provider.replay_bad({});
+  EXPECT_EQ(a.graph->size(), b.graph->size());  // fully deterministic
+
+  // Diagnose "why did packet 2 go to h2 when packet 1 went to h1": the only
+  // mutable knob in the hash is the seed, and DiffProv finds the seed value
+  // that sends packet 2 the reference way.
+  const auto good = locate_tree(*a.graph, parse_tuple("delivered(@h1, 1, 1.1.1.1)"));
+  ASSERT_TRUE(good.has_value());
+  DiffProv diffprov(program, provider);
+  const DiffProvResult result =
+      diffprov.diagnose(*good, parse_tuple("delivered(@h2, 2, 1.1.1.2)"));
+  ASSERT_TRUE(result.ok()) << result.to_string();
+  ASSERT_EQ(result.changes.size(), 1u);
+  EXPECT_EQ(result.changes[0].after->table(), "ecmpSeed");
+}
+
+// ------------------------------------------------------------ no-progress --
+
+TEST(NoProgress, UnreproducibleDifferenceAbortsWithDiagnostic) {
+  // The good and bad events have identical-looking spines except that the
+  // bad derivation came through a *different rule* over immutable state:
+  // no mutable change can reproduce the good rule's firing "instead", so
+  // DiffProv must stop and say so (the section 4.9 race-condition analog:
+  // applying the same rule does not yield the same effect).
+  const Program program = parse_program(R"(
+    table ping(2) base immutable event.   // (@N, Id)
+    table viaA(2) base immutable.
+    table viaB(2) base immutable.
+    table pong(3) derived.                // (@N, Id, Tag)
+    rule ra pong(@N, Id, 1) :- ping(@N, Id), viaA(@N, Flag).
+    rule rb pong(@N, Id, 2) :- ping(@N, Id), viaB(@N, Flag).
+  )");
+  EventLog log;
+  log.append_insert(parse_tuple("viaA(@n, 1)"), 0);
+  log.append_insert(parse_tuple("viaB(@m, 1)"), 0);
+  log.append_insert(parse_tuple("ping(@n, 1)"), 100);  // -> pong(n, 1, 1)
+  log.append_insert(parse_tuple("ping(@m, 2)"), 200);  // -> pong(m, 2, 2)
+
+  LogReplayProvider provider(program, Topology{}, log);
+  const BadRun run = provider.replay_bad({});
+  const auto good = locate_tree(*run.graph, parse_tuple("pong(@n, 1, 1)"));
+  ASSERT_TRUE(good.has_value());
+  DiffProv diffprov(program, provider);
+  const DiffProvResult result =
+      diffprov.diagnose(*good, parse_tuple("pong(@m, 2, 2)"));
+  EXPECT_FALSE(result.ok());
+  // Either failure mode is informative: the immutable tuple that would have
+  // to change, or the no-progress diagnostic.
+  EXPECT_TRUE(result.status == DiffProvStatus::kImmutableChange ||
+              result.status == DiffProvStatus::kNoProgress)
+      << result.to_string();
+  EXPECT_FALSE(result.message.empty());
+}
+
+}  // namespace
+}  // namespace dp

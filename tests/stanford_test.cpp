@@ -1,0 +1,151 @@
+// Tests for the section 6.7 complex-network substrate: black-box simulator,
+// external-specification recorder (mode 3), and end-to-end diagnosis under
+// 20 extra faults and background traffic.
+#include <gtest/gtest.h>
+
+#include "diffprov/diffprov.h"
+#include "diffprov/treediff.h"
+#include "sdn/stanford.h"
+
+namespace dp::sdn {
+namespace {
+
+StanfordConfig small_config() {
+  StanfordConfig config;
+  config.filler_entries_per_router = 40;
+  config.acl_rules = 24;
+  config.background_packets = 200;
+  return config;
+}
+
+TEST(Stanford, BuildsScaledNetwork) {
+  const StanfordNetwork net = build_stanford(small_config());
+  EXPECT_EQ(net.tables.size(), 16u);  // 14 OZ + 2 backbone routers
+  EXPECT_GT(net.total_entries, 16u * 40u);
+  EXPECT_EQ(net.acl_entries, 24u);
+  EXPECT_EQ(net.workload.size(), 202u);  // background + the two flows
+  // Workload is sorted by time (the simulator relies on it).
+  for (std::size_t i = 1; i < net.workload.size(); ++i) {
+    EXPECT_LE(net.workload[i - 1].time, net.workload[i].time);
+  }
+}
+
+TEST(Stanford, PerRouterPrioritiesAreUnique) {
+  const StanfordNetwork net = build_stanford(small_config());
+  for (const auto& [node, entries] : net.tables) {
+    std::set<int> prios;
+    for (const TimedEntry& entry : entries) {
+      EXPECT_TRUE(prios.insert(entry.prio).second)
+          << node << " has duplicate priority " << entry.prio;
+    }
+  }
+}
+
+TEST(Stanford, BlackBoxRunProducesTheFaultAndTheReference) {
+  const StanfordNetwork net = build_stanford(small_config());
+  const Program spec = make_stanford_spec();
+  StanfordReplayProvider provider(net, spec);
+  const BadRun run = provider.replay_bad({});
+  EXPECT_GT(provider.last_stats().delivered, 50u);
+  EXPECT_GT(provider.last_stats().dropped, 0u);
+  // The reference flow reached h2; the diagnosed flow was dropped at oz02.
+  EXPECT_TRUE(locate_tree(*run.graph, net.good_event).has_value());
+  EXPECT_TRUE(locate_tree(*run.graph, net.bad_event).has_value());
+}
+
+TEST(Stanford, TreesHavePaperLikeSizes) {
+  // Paper section 6.7: the trees contain 67 and 75 nodes; the plain diff,
+  // 108. Our model sits in the same range, and the diff is comparable to
+  // the trees themselves.
+  const StanfordNetwork net = build_stanford(small_config());
+  const Program spec = make_stanford_spec();
+  StanfordReplayProvider provider(net, spec);
+  const BadRun run = provider.replay_bad({});
+  const auto good = locate_tree(*run.graph, net.good_event);
+  const auto bad = locate_tree(*run.graph, net.bad_event);
+  ASSERT_TRUE(good && bad);
+  EXPECT_GT(good->size(), 15u);
+  EXPECT_LT(good->size(), 200u);
+  EXPECT_GT(bad->size(), 15u);
+  const TreeDiffStats diff = plain_tree_diff(*good, *bad);
+  EXPECT_GT(diff.diff_size(), good->size() / 2);
+}
+
+TEST(Stanford, DiffProvPinpointsTheDropRuleDespiteNoise) {
+  const StanfordNetwork net = build_stanford(small_config());
+  const Program spec = make_stanford_spec();
+  StanfordReplayProvider provider(net, spec);
+  const BadRun initial = provider.replay_bad({});
+  const auto good = locate_tree(*initial.graph, net.good_event);
+  ASSERT_TRUE(good.has_value());
+
+  DiffProv diffprov(spec, provider);
+  const DiffProvResult result = diffprov.diagnose(*good, net.bad_event);
+  ASSERT_EQ(result.status, DiffProvStatus::kSuccess) << result.to_string();
+  ASSERT_EQ(result.changes.size(), 1u) << result.to_string();
+  const ChangeRecord& change = result.changes[0];
+  ASSERT_TRUE(change.before.has_value());
+  EXPECT_FALSE(change.after.has_value());  // the drop rule is removed
+  EXPECT_EQ(*change.before, net.fault_entry)
+      << "expected the misconfigured drop entry, got "
+      << change.before->to_string();
+}
+
+TEST(Stanford, ExtraFaultsDoNotChangeTheDiagnosis) {
+  // Same diagnosis with zero extra faults: identical root cause (the 20
+  // injected faults are causally unrelated noise).
+  StanfordConfig with = small_config();
+  StanfordConfig without = small_config();
+  without.extra_faults = 0;
+  const Program spec = make_stanford_spec();
+  std::vector<Tuple> causes;
+  for (const StanfordConfig& config : {with, without}) {
+    const StanfordNetwork net = build_stanford(config);
+    StanfordReplayProvider provider(net, spec);
+    const BadRun initial = provider.replay_bad({});
+    const auto good = locate_tree(*initial.graph, net.good_event);
+    ASSERT_TRUE(good.has_value());
+    DiffProv diffprov(spec, provider);
+    const DiffProvResult result = diffprov.diagnose(*good, net.bad_event);
+    ASSERT_TRUE(result.ok()) << result.to_string();
+    ASSERT_EQ(result.changes.size(), 1u);
+    causes.push_back(*result.changes[0].before);
+  }
+  EXPECT_EQ(causes[0], causes[1]);
+}
+
+TEST(Stanford, DeltaApplicationEditsValidityIntervals) {
+  const StanfordNetwork net = build_stanford(small_config());
+  const Program spec = make_stanford_spec();
+  StanfordReplayProvider provider(net, spec);
+  // Delete the fault entry just before the bad packet: the drop disappears.
+  Delta delta;
+  const LogicalTime bad_time = net.workload.back().time;
+  delta.push_back({DeltaOp::Kind::kDelete, net.fault_entry, bad_time - 1});
+  const BadRun run = provider.replay_bad(delta);
+  EXPECT_FALSE(locate_tree(*run.graph, net.bad_event).has_value());
+  // ... and the packet is now delivered to h2.
+  Tuple fixed("delivered", {Value("h2"), net.bad_event.at(1),
+                            net.bad_event.at(2), net.bad_event.at(3)});
+  EXPECT_TRUE(locate_tree(*run.graph, fixed).has_value());
+  // Temporal correctness: the reference packet (earlier) must still have
+  // been dropped... no -- the reference was delivered all along; but
+  // background traffic to 172.20.10.32/27 before bad_time-1 still hits the
+  // drop rule.
+  EXPECT_TRUE(run.state->existed_at(net.fault_entry, bad_time - 2));
+  EXPECT_FALSE(run.state->existed_at(net.fault_entry, bad_time));
+}
+
+TEST(Stanford, DeterministicAcrossRuns) {
+  const StanfordNetwork a = build_stanford(small_config());
+  const StanfordNetwork b = build_stanford(small_config());
+  ASSERT_EQ(a.workload.size(), b.workload.size());
+  for (std::size_t i = 0; i < a.workload.size(); ++i) {
+    EXPECT_EQ(a.workload[i].src, b.workload[i].src);
+    EXPECT_EQ(a.workload[i].dst, b.workload[i].dst);
+  }
+  EXPECT_EQ(a.total_entries, b.total_entries);
+}
+
+}  // namespace
+}  // namespace dp::sdn

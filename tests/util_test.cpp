@@ -1,0 +1,165 @@
+// Unit tests for src/util: hashing, IPs, strings, RNG, time intervals.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/hash.h"
+#include "util/ip.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/time.h"
+
+namespace dp {
+namespace {
+
+TEST(TimeInterval, ContainsIsHalfOpen) {
+  const TimeInterval iv{10, 20};
+  EXPECT_FALSE(iv.contains(9));
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(19));
+  EXPECT_FALSE(iv.contains(20));
+}
+
+TEST(TimeInterval, OpenEndedContainsFarFuture) {
+  const TimeInterval iv{5, kTimeInfinity};
+  EXPECT_TRUE(iv.open_ended());
+  EXPECT_TRUE(iv.contains(1'000'000'000));
+  EXPECT_FALSE(iv.contains(4));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Hash, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64-bit of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+TEST(Hash, ChecksumHexIsStableAndDistinct) {
+  const std::string a = checksum_hex("mapper-v1 bytecode");
+  const std::string b = checksum_hex("mapper-v2 bytecode");
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, checksum_hex("mapper-v1 bytecode"));
+  EXPECT_NE(a, b);
+}
+
+TEST(Ipv4, ParseAndFormatRoundTrip) {
+  const auto ip = Ipv4::parse("4.3.2.1");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "4.3.2.1");
+  EXPECT_EQ(ip->octet(0), 4);
+  EXPECT_EQ(ip->octet(3), 1);
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("4.3.2").has_value());
+  EXPECT_FALSE(Ipv4::parse("4.3.2.256").has_value());
+  EXPECT_FALSE(Ipv4::parse("4.3.2.1.5").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("4.3.2.1 ").has_value());
+}
+
+TEST(IpPrefix, ScenarioSdn1PrefixSemantics) {
+  // The paper's SDN1 bug: 4.3.2.0/23 written as 4.3.2.0/24. The /24 must
+  // cover 4.3.2.1 but not 4.3.3.1; the /23 covers both.
+  const auto narrow = IpPrefix::parse("4.3.2.0/24");
+  const auto wide = IpPrefix::parse("4.3.2.0/23");
+  ASSERT_TRUE(narrow && wide);
+  const Ipv4 good(4, 3, 2, 1);
+  const Ipv4 bad(4, 3, 3, 1);
+  EXPECT_TRUE(narrow->contains(good));
+  EXPECT_FALSE(narrow->contains(bad));
+  EXPECT_TRUE(wide->contains(good));
+  EXPECT_TRUE(wide->contains(bad));
+  EXPECT_TRUE(wide->covers(*narrow));
+  EXPECT_FALSE(narrow->covers(*wide));
+}
+
+TEST(IpPrefix, NormalizesHostBits) {
+  const IpPrefix p(Ipv4(10, 1, 2, 200), 16);
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(IpPrefix, ZeroLengthCoversEverything) {
+  const IpPrefix any(Ipv4(0, 0, 0, 0), 0);
+  EXPECT_TRUE(any.contains(Ipv4(255, 255, 255, 255)));
+  EXPECT_TRUE(any.contains(Ipv4(0, 0, 0, 1)));
+}
+
+TEST(IpPrefix, Slash32MatchesExactlyOneAddress) {
+  const IpPrefix host(Ipv4(9, 9, 9, 9), 32);
+  EXPECT_TRUE(host.contains(Ipv4(9, 9, 9, 9)));
+  EXPECT_FALSE(host.contains(Ipv4(9, 9, 9, 8)));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  x y\t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, JoinAndStartsWith) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_TRUE(starts_with("f_matches", "f_"));
+  EXPECT_FALSE(starts_with("matches", "f_"));
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(1536), "1.50 KB");
+}
+
+}  // namespace
+}  // namespace dp
