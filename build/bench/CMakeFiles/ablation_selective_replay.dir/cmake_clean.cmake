@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_selective_replay.dir/ablation_selective_replay.cpp.o"
+  "CMakeFiles/ablation_selective_replay.dir/ablation_selective_replay.cpp.o.d"
+  "ablation_selective_replay"
+  "ablation_selective_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selective_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_treediff.dir/ablation_treediff.cpp.o"
+  "CMakeFiles/ablation_treediff.dir/ablation_treediff.cpp.o.d"
+  "ablation_treediff"
+  "ablation_treediff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_treediff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec63_bad_references.cpp" "bench/CMakeFiles/sec63_bad_references.dir/sec63_bad_references.cpp.o" "gcc" "bench/CMakeFiles/sec63_bad_references.dir/sec63_bad_references.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdn/CMakeFiles/dp_sdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/dp_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/netcore/CMakeFiles/dp_netcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffprov/CMakeFiles/dp_diffprov.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/dp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dp_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndlog/CMakeFiles/dp_ndlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_bad_references.dir/sec63_bad_references.cpp.o"
+  "CMakeFiles/sec63_bad_references.dir/sec63_bad_references.cpp.o.d"
+  "sec63_bad_references"
+  "sec63_bad_references.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_bad_references.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec64_latency_overhead.dir/sec64_latency_overhead.cpp.o"
+  "CMakeFiles/sec64_latency_overhead.dir/sec64_latency_overhead.cpp.o.d"
+  "sec64_latency_overhead"
+  "sec64_latency_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec64_latency_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

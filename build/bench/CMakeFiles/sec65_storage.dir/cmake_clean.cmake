@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec65_storage.dir/sec65_storage.cpp.o"
+  "CMakeFiles/sec65_storage.dir/sec65_storage.cpp.o.d"
+  "sec65_storage"
+  "sec65_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec65_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec67_complex_network.dir/sec67_complex_network.cpp.o"
+  "CMakeFiles/sec67_complex_network.dir/sec67_complex_network.cpp.o.d"
+  "sec67_complex_network"
+  "sec67_complex_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec67_complex_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_network.dir/complex_network.cpp.o"
+  "CMakeFiles/complex_network.dir/complex_network.cpp.o.d"
+  "complex_network"
+  "complex_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_debugging.dir/mapreduce_debugging.cpp.o"
+  "CMakeFiles/mapreduce_debugging.dir/mapreduce_debugging.cpp.o.d"
+  "mapreduce_debugging"
+  "mapreduce_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

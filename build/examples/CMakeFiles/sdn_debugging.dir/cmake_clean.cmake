@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdn_debugging.dir/sdn_debugging.cpp.o"
+  "CMakeFiles/sdn_debugging.dir/sdn_debugging.cpp.o.d"
+  "sdn_debugging"
+  "sdn_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffprov/annotate.cpp" "src/diffprov/CMakeFiles/dp_diffprov.dir/annotate.cpp.o" "gcc" "src/diffprov/CMakeFiles/dp_diffprov.dir/annotate.cpp.o.d"
+  "/root/repo/src/diffprov/diffprov.cpp" "src/diffprov/CMakeFiles/dp_diffprov.dir/diffprov.cpp.o" "gcc" "src/diffprov/CMakeFiles/dp_diffprov.dir/diffprov.cpp.o.d"
+  "/root/repo/src/diffprov/equivalence.cpp" "src/diffprov/CMakeFiles/dp_diffprov.dir/equivalence.cpp.o" "gcc" "src/diffprov/CMakeFiles/dp_diffprov.dir/equivalence.cpp.o.d"
+  "/root/repo/src/diffprov/formula.cpp" "src/diffprov/CMakeFiles/dp_diffprov.dir/formula.cpp.o" "gcc" "src/diffprov/CMakeFiles/dp_diffprov.dir/formula.cpp.o.d"
+  "/root/repo/src/diffprov/reference.cpp" "src/diffprov/CMakeFiles/dp_diffprov.dir/reference.cpp.o" "gcc" "src/diffprov/CMakeFiles/dp_diffprov.dir/reference.cpp.o.d"
+  "/root/repo/src/diffprov/seed.cpp" "src/diffprov/CMakeFiles/dp_diffprov.dir/seed.cpp.o" "gcc" "src/diffprov/CMakeFiles/dp_diffprov.dir/seed.cpp.o.d"
+  "/root/repo/src/diffprov/treediff.cpp" "src/diffprov/CMakeFiles/dp_diffprov.dir/treediff.cpp.o" "gcc" "src/diffprov/CMakeFiles/dp_diffprov.dir/treediff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/dp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dp_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndlog/CMakeFiles/dp_ndlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

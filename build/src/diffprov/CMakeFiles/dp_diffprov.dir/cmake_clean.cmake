@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_diffprov.dir/annotate.cpp.o"
+  "CMakeFiles/dp_diffprov.dir/annotate.cpp.o.d"
+  "CMakeFiles/dp_diffprov.dir/diffprov.cpp.o"
+  "CMakeFiles/dp_diffprov.dir/diffprov.cpp.o.d"
+  "CMakeFiles/dp_diffprov.dir/equivalence.cpp.o"
+  "CMakeFiles/dp_diffprov.dir/equivalence.cpp.o.d"
+  "CMakeFiles/dp_diffprov.dir/formula.cpp.o"
+  "CMakeFiles/dp_diffprov.dir/formula.cpp.o.d"
+  "CMakeFiles/dp_diffprov.dir/reference.cpp.o"
+  "CMakeFiles/dp_diffprov.dir/reference.cpp.o.d"
+  "CMakeFiles/dp_diffprov.dir/seed.cpp.o"
+  "CMakeFiles/dp_diffprov.dir/seed.cpp.o.d"
+  "CMakeFiles/dp_diffprov.dir/treediff.cpp.o"
+  "CMakeFiles/dp_diffprov.dir/treediff.cpp.o.d"
+  "libdp_diffprov.a"
+  "libdp_diffprov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_diffprov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

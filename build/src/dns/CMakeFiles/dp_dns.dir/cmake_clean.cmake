@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_dns.dir/dns.cpp.o"
+  "CMakeFiles/dp_dns.dir/dns.cpp.o.d"
+  "libdp_dns.a"
+  "libdp_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

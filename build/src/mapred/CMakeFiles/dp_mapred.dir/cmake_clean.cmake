@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_mapred.dir/corpus.cpp.o"
+  "CMakeFiles/dp_mapred.dir/corpus.cpp.o.d"
+  "CMakeFiles/dp_mapred.dir/model.cpp.o"
+  "CMakeFiles/dp_mapred.dir/model.cpp.o.d"
+  "CMakeFiles/dp_mapred.dir/scenario.cpp.o"
+  "CMakeFiles/dp_mapred.dir/scenario.cpp.o.d"
+  "CMakeFiles/dp_mapred.dir/wordcount.cpp.o"
+  "CMakeFiles/dp_mapred.dir/wordcount.cpp.o.d"
+  "libdp_mapred.a"
+  "libdp_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ndlog/ast.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/ast.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/ast.cpp.o.d"
+  "/root/repo/src/ndlog/eval.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/eval.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/eval.cpp.o.d"
+  "/root/repo/src/ndlog/functions.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/functions.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/functions.cpp.o.d"
+  "/root/repo/src/ndlog/lexer.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/lexer.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/lexer.cpp.o.d"
+  "/root/repo/src/ndlog/parser.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/parser.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/parser.cpp.o.d"
+  "/root/repo/src/ndlog/program.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/program.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/program.cpp.o.d"
+  "/root/repo/src/ndlog/table.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/table.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/table.cpp.o.d"
+  "/root/repo/src/ndlog/tuple.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/tuple.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/tuple.cpp.o.d"
+  "/root/repo/src/ndlog/value.cpp" "src/ndlog/CMakeFiles/dp_ndlog.dir/value.cpp.o" "gcc" "src/ndlog/CMakeFiles/dp_ndlog.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

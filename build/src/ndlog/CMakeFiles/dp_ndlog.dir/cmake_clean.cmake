@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_ndlog.dir/ast.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/ast.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/eval.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/eval.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/functions.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/functions.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/lexer.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/lexer.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/parser.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/parser.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/program.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/program.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/table.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/table.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/tuple.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/tuple.cpp.o.d"
+  "CMakeFiles/dp_ndlog.dir/value.cpp.o"
+  "CMakeFiles/dp_ndlog.dir/value.cpp.o.d"
+  "libdp_ndlog.a"
+  "libdp_ndlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_ndlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_netcore.dir/netcore.cpp.o"
+  "CMakeFiles/dp_netcore.dir/netcore.cpp.o.d"
+  "libdp_netcore.a"
+  "libdp_netcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_netcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/provenance/graph.cpp" "src/provenance/CMakeFiles/dp_provenance.dir/graph.cpp.o" "gcc" "src/provenance/CMakeFiles/dp_provenance.dir/graph.cpp.o.d"
+  "/root/repo/src/provenance/recorder.cpp" "src/provenance/CMakeFiles/dp_provenance.dir/recorder.cpp.o" "gcc" "src/provenance/CMakeFiles/dp_provenance.dir/recorder.cpp.o.d"
+  "/root/repo/src/provenance/sharded.cpp" "src/provenance/CMakeFiles/dp_provenance.dir/sharded.cpp.o" "gcc" "src/provenance/CMakeFiles/dp_provenance.dir/sharded.cpp.o.d"
+  "/root/repo/src/provenance/tree.cpp" "src/provenance/CMakeFiles/dp_provenance.dir/tree.cpp.o" "gcc" "src/provenance/CMakeFiles/dp_provenance.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndlog/CMakeFiles/dp_ndlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

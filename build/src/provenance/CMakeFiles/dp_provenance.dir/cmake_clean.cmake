@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_provenance.dir/graph.cpp.o"
+  "CMakeFiles/dp_provenance.dir/graph.cpp.o.d"
+  "CMakeFiles/dp_provenance.dir/recorder.cpp.o"
+  "CMakeFiles/dp_provenance.dir/recorder.cpp.o.d"
+  "CMakeFiles/dp_provenance.dir/sharded.cpp.o"
+  "CMakeFiles/dp_provenance.dir/sharded.cpp.o.d"
+  "CMakeFiles/dp_provenance.dir/tree.cpp.o"
+  "CMakeFiles/dp_provenance.dir/tree.cpp.o.d"
+  "libdp_provenance.a"
+  "libdp_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

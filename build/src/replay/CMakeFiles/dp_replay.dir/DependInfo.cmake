@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/checkpoint.cpp" "src/replay/CMakeFiles/dp_replay.dir/checkpoint.cpp.o" "gcc" "src/replay/CMakeFiles/dp_replay.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/replay/event_log.cpp" "src/replay/CMakeFiles/dp_replay.dir/event_log.cpp.o" "gcc" "src/replay/CMakeFiles/dp_replay.dir/event_log.cpp.o.d"
+  "/root/repo/src/replay/logging_engine.cpp" "src/replay/CMakeFiles/dp_replay.dir/logging_engine.cpp.o" "gcc" "src/replay/CMakeFiles/dp_replay.dir/logging_engine.cpp.o.d"
+  "/root/repo/src/replay/replay_engine.cpp" "src/replay/CMakeFiles/dp_replay.dir/replay_engine.cpp.o" "gcc" "src/replay/CMakeFiles/dp_replay.dir/replay_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dp_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/dp_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndlog/CMakeFiles/dp_ndlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_replay.dir/checkpoint.cpp.o"
+  "CMakeFiles/dp_replay.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dp_replay.dir/event_log.cpp.o"
+  "CMakeFiles/dp_replay.dir/event_log.cpp.o.d"
+  "CMakeFiles/dp_replay.dir/logging_engine.cpp.o"
+  "CMakeFiles/dp_replay.dir/logging_engine.cpp.o.d"
+  "CMakeFiles/dp_replay.dir/replay_engine.cpp.o"
+  "CMakeFiles/dp_replay.dir/replay_engine.cpp.o.d"
+  "libdp_replay.a"
+  "libdp_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

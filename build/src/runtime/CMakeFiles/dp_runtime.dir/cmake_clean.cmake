@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_runtime.dir/engine.cpp.o"
+  "CMakeFiles/dp_runtime.dir/engine.cpp.o.d"
+  "libdp_runtime.a"
+  "libdp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

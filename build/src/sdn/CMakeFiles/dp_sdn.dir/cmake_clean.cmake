@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_sdn.dir/program.cpp.o"
+  "CMakeFiles/dp_sdn.dir/program.cpp.o.d"
+  "CMakeFiles/dp_sdn.dir/scenario.cpp.o"
+  "CMakeFiles/dp_sdn.dir/scenario.cpp.o.d"
+  "CMakeFiles/dp_sdn.dir/stanford.cpp.o"
+  "CMakeFiles/dp_sdn.dir/stanford.cpp.o.d"
+  "CMakeFiles/dp_sdn.dir/trace.cpp.o"
+  "CMakeFiles/dp_sdn.dir/trace.cpp.o.d"
+  "libdp_sdn.a"
+  "libdp_sdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_sdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

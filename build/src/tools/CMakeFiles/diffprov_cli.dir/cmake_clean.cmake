@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffprov_cli.dir/diffprov_cli.cpp.o"
+  "CMakeFiles/diffprov_cli.dir/diffprov_cli.cpp.o.d"
+  "diffprov_cli"
+  "diffprov_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffprov_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_cli.dir/cli.cpp.o"
+  "CMakeFiles/dp_cli.dir/cli.cpp.o.d"
+  "libdp_cli.a"
+  "libdp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

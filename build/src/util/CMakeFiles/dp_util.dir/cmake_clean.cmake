@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_util.dir/hash.cpp.o"
+  "CMakeFiles/dp_util.dir/hash.cpp.o.d"
+  "CMakeFiles/dp_util.dir/ip.cpp.o"
+  "CMakeFiles/dp_util.dir/ip.cpp.o.d"
+  "CMakeFiles/dp_util.dir/logging.cpp.o"
+  "CMakeFiles/dp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dp_util.dir/strings.cpp.o"
+  "CMakeFiles/dp_util.dir/strings.cpp.o.d"
+  "libdp_util.a"
+  "libdp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

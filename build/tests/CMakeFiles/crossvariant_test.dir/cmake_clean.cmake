@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossvariant_test.dir/crossvariant_test.cpp.o"
+  "CMakeFiles/crossvariant_test.dir/crossvariant_test.cpp.o.d"
+  "crossvariant_test"
+  "crossvariant_test.pdb"
+  "crossvariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossvariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffprov_test.dir/diffprov_test.cpp.o"
+  "CMakeFiles/diffprov_test.dir/diffprov_test.cpp.o.d"
+  "diffprov_test"
+  "diffprov_test.pdb"
+  "diffprov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffprov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndlog_test.dir/ndlog_test.cpp.o"
+  "CMakeFiles/ndlog_test.dir/ndlog_test.cpp.o.d"
+  "ndlog_test"
+  "ndlog_test.pdb"
+  "ndlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stanford_test.dir/stanford_test.cpp.o"
+  "CMakeFiles/stanford_test.dir/stanford_test.cpp.o.d"
+  "stanford_test"
+  "stanford_test.pdb"
+  "stanford_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stanford_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

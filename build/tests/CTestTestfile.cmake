@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/ndlog_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_test[1]_include.cmake")
+include("/root/repo/build/tests/diffprov_test[1]_include.cmake")
+include("/root/repo/build/tests/sdn_test[1]_include.cmake")
+include("/root/repo/build/tests/stanford_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_test[1]_include.cmake")
+include("/root/repo/build/tests/netcore_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/crossvariant_test[1]_include.cmake")
+include("/root/repo/build/tests/limits_test[1]_include.cmake")
