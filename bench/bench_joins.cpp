@@ -1,0 +1,109 @@
+// Join-plan ablation: the same probe-driven two-way equijoin executed by
+// the indexed-plan engine and by the full-scan reference evaluator, across
+// growing table sizes. Prints a comparison table and writes BENCH_joins.json
+// (machine-readable; consumed by CI and checked in at the repo root) with
+// throughput, speedup, and the Stats join counters that explain it.
+//
+// Usage: bench_joins [output.json]
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "ndlog/parser.h"
+#include "runtime/engine.h"
+
+namespace dp {
+namespace {
+
+constexpr std::int64_t kProbes = 500;
+
+Program join_program() {
+  return parse_program(R"(
+    table probe(2) base immutable event.
+    table left(3) keys(0, 1) base mutable.
+    table right(3) keys(0, 1) base mutable.
+    table out(3) derived event.
+    rule j out(@N, K, W) :-
+      probe(@N, K), left(@N, K, V), right(@N, V, W).
+  )");
+}
+
+struct Run {
+  double seconds = 0;
+  double probes_per_sec = 0;
+  Engine::Stats stats;
+};
+
+Run run_once(std::int64_t rows, bool use_join_plans) {
+  EngineConfig config;
+  config.use_join_plans = use_join_plans;
+  Engine engine(join_program(), config);
+  for (std::int64_t k = 0; k < rows; ++k) {
+    engine.schedule_insert(Tuple("left", {Value("n1"), Value(k), Value(k)}),
+                           0);
+    engine.schedule_insert(
+        Tuple("right", {Value("n1"), Value(k), Value(k + 1)}), 0);
+  }
+  for (std::int64_t k = 0; k < kProbes; ++k) {
+    engine.schedule_insert(
+        Tuple("probe", {Value("n1"), Value(k % rows)}), 1);
+  }
+  const bench::WallTimer timer;
+  engine.run();
+  Run run;
+  run.seconds = timer.seconds();
+  run.probes_per_sec = static_cast<double>(kProbes) / run.seconds;
+  run.stats = engine.stats();
+  return run;
+}
+
+}  // namespace
+}  // namespace dp
+
+int main(int argc, char** argv) {
+  using namespace dp;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_joins.json";
+  const std::vector<std::int64_t> sizes = {1000, 2000, 4000, 8000};
+
+  bench::print_header("Indexed join plans vs full scans",
+                      "the ISSUE-1 join-index acceptance bar: >= 2x "
+                      "items/sec at >= 1k live tuples per joined table");
+  bench::print_row({"rows/table", "scan ev/s", "indexed ev/s", "speedup",
+                    "scan cand.", "idx cand.", "probes"});
+
+  std::ofstream json(out_path);
+  json << "{\n  \"benchmark\": \"join_index\",\n  \"probes\": " << kProbes
+       << ",\n  \"runs\": [\n";
+  bool ok = true;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::int64_t rows = sizes[i];
+    const Run scan = run_once(rows, /*use_join_plans=*/false);
+    const Run indexed = run_once(rows, /*use_join_plans=*/true);
+    const double speedup = indexed.probes_per_sec / scan.probes_per_sec;
+    ok = ok && speedup >= 2.0;
+    bench::print_row({std::to_string(rows), bench::fmt(scan.probes_per_sec, 0),
+                      bench::fmt(indexed.probes_per_sec, 0),
+                      bench::fmt(speedup, 1) + "x",
+                      std::to_string(scan.stats.tuples_scanned),
+                      std::to_string(indexed.stats.tuples_scanned),
+                      std::to_string(indexed.stats.index_probes)});
+    json << "    {\"rows_per_table\": " << rows
+         << ", \"full_scan_probes_per_sec\": "
+         << bench::fmt(scan.probes_per_sec, 1)
+         << ", \"indexed_probes_per_sec\": "
+         << bench::fmt(indexed.probes_per_sec, 1)
+         << ", \"speedup\": " << bench::fmt(speedup, 2)
+         << ", \"full_scan_tuples_scanned\": " << scan.stats.tuples_scanned
+         << ", \"indexed_tuples_scanned\": " << indexed.stats.tuples_scanned
+         << ", \"index_probes\": " << indexed.stats.index_probes
+         << ", \"tuples_matched\": " << indexed.stats.tuples_matched << "}"
+         << (i + 1 < sizes.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"acceptance_speedup_at_least_2x\": "
+       << (ok ? "true" : "false") << "\n}\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return ok ? 0 : 1;
+}

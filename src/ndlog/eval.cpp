@@ -106,6 +106,64 @@ Value eval_binop(BinOp op, const Value& lhs, const Value& rhs) {
   }
 }
 
+SlotExpr compile_expr(
+    const Expr& expr,
+    const std::function<std::size_t(const std::string&)>& resolve) {
+  SlotExpr out;
+  out.kind = expr.kind;
+  switch (expr.kind) {
+    case Expr::Kind::kConst:
+      out.constant = expr.constant;
+      break;
+    case Expr::Kind::kVar:
+      out.slot = resolve(expr.var);
+      break;
+    case Expr::Kind::kBinary:
+      out.op = expr.op;
+      break;
+    case Expr::Kind::kCall:
+      out.fn = expr.fn;
+      break;
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kNot:
+      break;
+  }
+  out.children.reserve(expr.children.size());
+  for (const ExprPtr& child : expr.children) {
+    out.children.push_back(compile_expr(*child, resolve));
+  }
+  return out;
+}
+
+Value eval_expr(const SlotExpr& expr, const Regs& regs) {
+  switch (expr.kind) {
+    case Expr::Kind::kConst:
+      return expr.constant;
+    case Expr::Kind::kVar:
+      return regs[expr.slot];
+    case Expr::Kind::kBinary:
+      return eval_binop(expr.op, eval_expr(expr.children[0], regs),
+                        eval_expr(expr.children[1], regs));
+    case Expr::Kind::kCall: {
+      std::vector<Value> args;
+      args.reserve(expr.children.size());
+      for (const SlotExpr& child : expr.children) {
+        args.push_back(eval_expr(child, regs));
+      }
+      return FunctionRegistry::instance().call(expr.fn, args);
+    }
+    case Expr::Kind::kNeg: {
+      const Value v = eval_expr(expr.children[0], regs);
+      if (v.is_int()) return -v.as_int();
+      if (v.is_double()) return -v.as_double();
+      throw EvalError("negation of non-number: " + v.to_string());
+    }
+    case Expr::Kind::kNot:
+      return std::int64_t{!is_truthy(eval_expr(expr.children[0], regs))};
+  }
+  throw EvalError("corrupt expression");
+}
+
 Value eval_expr(const Expr& expr, const Bindings& bindings) {
   switch (expr.kind) {
     case Expr::Kind::kConst:

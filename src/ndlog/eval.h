@@ -1,9 +1,19 @@
 // Expression evaluation over variable bindings.
+//
+// Two evaluation paths exist:
+//  * the name-resolved path (`Bindings` = map<string, Value>), used by
+//    DiffProv's reasoning and the engine's reference full-scan joins;
+//  * the slot-resolved path (`SlotExpr` over a flat `Regs` register file),
+//    produced once per rule by the plan compiler (runtime/plan.h) so the
+//    per-firing hot path never touches a string-keyed map.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "ndlog/ast.h"
 #include "ndlog/value.h"
@@ -23,6 +33,32 @@ using Bindings = std::map<std::string, Value>;
 
 /// Evaluates `expr` under `bindings`. Throws EvalError on failure.
 Value eval_expr(const Expr& expr, const Bindings& bindings);
+
+/// Flat register file for compiled rule plans: one Value per variable slot.
+using Regs = std::vector<Value>;
+
+/// An Expr with every variable resolved to a register slot. Produced at
+/// plan-compile time; structurally identical to the source Expr otherwise.
+struct SlotExpr {
+  Expr::Kind kind = Expr::Kind::kConst;
+  Value constant;                 // kConst
+  std::size_t slot = 0;           // kVar
+  BinOp op = BinOp::kAdd;         // kBinary
+  std::string fn;                 // kCall
+  std::vector<SlotExpr> children;
+};
+
+/// Resolves every variable of `expr` through `resolve` (name -> slot).
+/// `resolve` throws EvalError for unknown names (a compile-time bug: program
+/// validation guarantees rule safety before plans are built).
+SlotExpr compile_expr(
+    const Expr& expr,
+    const std::function<std::size_t(const std::string&)>& resolve);
+
+/// Evaluates a compiled expression over the register file. All referenced
+/// slots must have been written (guaranteed by the plan's static binding
+/// discipline). Throws EvalError on dynamic type errors.
+Value eval_expr(const SlotExpr& expr, const Regs& regs);
 
 /// Evaluates a binary operator over concrete values (shared with the
 /// DiffProv formula evaluator). Throws EvalError on type errors.

@@ -55,6 +55,17 @@ std::vector<std::size_t> Program::rules_listening_to(
   return out;
 }
 
+std::vector<Program::BodyOccurrence> Program::body_occurrences_of(
+    const std::string& table) const {
+  std::vector<BodyOccurrence> out;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    for (std::size_t j = 0; j < rules_[i].body.size(); ++j) {
+      if (rules_[i].body[j].table == table) out.push_back({i, j});
+    }
+  }
+  return out;
+}
+
 void Program::validate() const {
   std::set<std::string> rule_names;
   for (const Rule& rule : rules_) {

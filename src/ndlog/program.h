@@ -47,6 +47,19 @@ class Program {
   [[nodiscard]] std::vector<std::size_t> rules_listening_to(
       const std::string& table) const;
 
+  /// One (rule, body-atom) position where `table` appears. The runtime
+  /// compiles one join plan per occurrence: an arriving tuple of `table`
+  /// triggers each occurrence in (rule index, atom index) order.
+  struct BodyOccurrence {
+    std::size_t rule = 0;
+    std::size_t atom = 0;
+  };
+
+  /// All body occurrences of `table` across the program, in (rule, atom)
+  /// order -- the deterministic firing order of the delta evaluator.
+  [[nodiscard]] std::vector<BodyOccurrence> body_occurrences_of(
+      const std::string& table) const;
+
   /// Pretty-prints the whole program back to (re-parseable) source text.
   [[nodiscard]] std::string to_string() const;
 

@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/hash.h"
+
 namespace dp {
+
+std::size_t Table::ValueVecHash::operator()(
+    const std::vector<Value>& values) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : values) h = hash_mix(h, v.hash());
+  return static_cast<std::size_t>(h);
+}
 
 std::vector<Value> Table::key_of(const Tuple& t) const {
   if (decl_.key_columns.empty()) return t.values();
@@ -16,10 +25,68 @@ std::vector<Value> Table::key_of(const Tuple& t) const {
   return key;
 }
 
+const std::vector<Value>& Table::key_of(const Tuple& t,
+                                        std::vector<Value>& out) const {
+  out.clear();
+  if (decl_.key_columns.empty()) {
+    out.assign(t.values().begin(), t.values().end());
+    return out;
+  }
+  out.reserve(decl_.key_columns.size());
+  for (std::size_t col : decl_.key_columns) {
+    assert(col < t.arity());
+    out.push_back(t.at(col));
+  }
+  return out;
+}
+
+void Table::project(const Tuple& t, const ColumnSet& cols,
+                    std::vector<Value>& out) {
+  out.clear();
+  out.reserve(cols.size());
+  for (std::size_t col : cols) {
+    assert(col < t.arity());
+    out.push_back(t.at(col));
+  }
+}
+
+void Table::index_live_row(LiveMap::const_iterator it) const {
+  for (auto& [cols, index] : indexes_) {
+    project(it->second, cols, projection_scratch_);
+    auto& bucket = index.buckets[projection_scratch_];
+    const JoinIndex::Entry entry{&it->first, &it->second};
+    // Keep the bucket sorted by live-map key: indexed enumeration must match
+    // for_each_live()'s relative order (determinism guarantee).
+    const auto pos = std::lower_bound(
+        bucket.begin(), bucket.end(), entry,
+        [](const JoinIndex::Entry& a, const JoinIndex::Entry& b) {
+          return *a.live_key < *b.live_key;
+        });
+    bucket.insert(pos, entry);
+  }
+}
+
+void Table::unindex_live_row(LiveMap::const_iterator it) const {
+  for (auto& [cols, index] : indexes_) {
+    project(it->second, cols, projection_scratch_);
+    auto bucket_it = index.buckets.find(projection_scratch_);
+    assert(bucket_it != index.buckets.end());
+    auto& bucket = bucket_it->second;
+    const auto pos = std::lower_bound(
+        bucket.begin(), bucket.end(), it->first,
+        [](const JoinIndex::Entry& a, const std::vector<Value>& key) {
+          return *a.live_key < key;
+        });
+    assert(pos != bucket.end() && *pos->live_key == it->first);
+    bucket.erase(pos);
+    if (bucket.empty()) index.buckets.erase(bucket_it);
+  }
+}
+
 Table::InsertResult Table::insert(const Tuple& t, LogicalTime now) {
   InsertResult result;
-  const std::vector<Value> key = key_of(t);
-  auto it = live_.find(key);
+  key_of(t, key_scratch_);
+  auto it = live_.find(key_scratch_);
   if (it != live_.end()) {
     if (it->second == t) return result;  // identical tuple already live
     // Key collision: displace the current holder (upsert semantics).
@@ -27,27 +94,30 @@ Table::InsertResult Table::insert(const Tuple& t, LogicalTime now) {
     auto& intervals = rows_[it->second];
     assert(!intervals.empty() && intervals.back().open_ended());
     intervals.back().end = now;
+    unindex_live_row(it);
     live_.erase(it);
   }
   rows_[t].push_back(TimeInterval{now, kTimeInfinity});
-  live_.emplace(key, t);
+  const auto inserted = live_.emplace(std::move(key_scratch_), t).first;
+  index_live_row(inserted);
   result.inserted = true;
   return result;
 }
 
 bool Table::remove(const Tuple& t, LogicalTime now) {
-  const std::vector<Value> key = key_of(t);
-  auto it = live_.find(key);
+  key_of(t, key_scratch_);
+  auto it = live_.find(key_scratch_);
   if (it == live_.end() || !(it->second == t)) return false;
   auto& intervals = rows_[t];
   assert(!intervals.empty() && intervals.back().open_ended());
   intervals.back().end = now;
+  unindex_live_row(it);
   live_.erase(it);
   return true;
 }
 
 bool Table::is_live(const Tuple& t) const {
-  auto it = live_.find(key_of(t));
+  auto it = live_.find(key_of(t, key_scratch_));
   return it != live_.end() && it->second == t;
 }
 
@@ -77,6 +147,31 @@ std::vector<TimeInterval> Table::history(const Tuple& t) const {
 void Table::for_each_live(const std::function<void(const Tuple&)>& fn) const {
   for (const auto& [key, tuple] : live_) {
     fn(tuple);
+  }
+}
+
+void Table::for_each_live_matching(
+    const ColumnSet& cols, const std::vector<Value>& probe,
+    const std::function<void(const Tuple&)>& fn) const {
+  assert(!cols.empty());
+  assert(std::is_sorted(cols.begin(), cols.end()));
+  auto index_it = indexes_.find(cols);
+  if (index_it == indexes_.end()) {
+    // First probe on this column set: materialize the index from the live
+    // view. live_ iterates in ascending key order, so buckets come out
+    // sorted without a separate pass.
+    index_it = indexes_.emplace(cols, JoinIndex{}).first;
+    JoinIndex& index = index_it->second;
+    for (auto it = live_.begin(); it != live_.end(); ++it) {
+      project(it->second, cols, projection_scratch_);
+      index.buckets[projection_scratch_].push_back(
+          JoinIndex::Entry{&it->first, &it->second});
+    }
+  }
+  const auto bucket_it = index_it->second.buckets.find(probe);
+  if (bucket_it == index_it->second.buckets.end()) return;
+  for (const JoinIndex::Entry& entry : bucket_it->second) {
+    fn(*entry.tuple);
   }
 }
 

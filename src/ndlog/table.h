@@ -10,11 +10,22 @@
 // columns, and inserting a tuple whose key collides with a live row displaces
 // that row (it is deleted at the same timestamp). Event tables (materialized
 // = false) are not stored at all; they exist for a single instant.
+//
+// Secondary join indexes: the runtime's compiled rule plans probe tables by
+// a projection of columns bound at join time (see runtime/plan.h). A table
+// lazily materializes one hash index per distinct bound-column set on first
+// probe and maintains it incrementally in insert/remove, turning each probe
+// into an O(1) bucket lookup instead of an O(n) scan. Bucket entries stay
+// sorted in live-iteration order so an indexed join enumerates exactly the
+// subsequence of for_each_live() that matches -- the engine's outputs are
+// byte-identical with or without indexes.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "ndlog/schema.h"
@@ -23,9 +34,30 @@
 
 namespace dp {
 
+/// Identifier of a secondary index: the sorted 0-based column positions the
+/// probe binds.
+using ColumnSet = std::vector<std::size_t>;
+
 class Table {
  public:
   explicit Table(TableDecl decl) : decl_(std::move(decl)) {}
+
+  // Copies drop the secondary indexes (they hold pointers into the source's
+  // live_ map nodes); they are rebuilt lazily on first probe. Moves keep
+  // them: std::map nodes are pointer-stable across a container move.
+  Table(const Table& other)
+      : decl_(other.decl_), rows_(other.rows_), live_(other.live_) {}
+  Table& operator=(const Table& other) {
+    if (this != &other) {
+      decl_ = other.decl_;
+      rows_ = other.rows_;
+      live_ = other.live_;
+      indexes_.clear();
+    }
+    return *this;
+  }
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
 
   [[nodiscard]] const TableDecl& decl() const { return decl_; }
 
@@ -55,8 +87,16 @@ class Table {
   /// Full interval history of `t` (empty if never seen).
   [[nodiscard]] std::vector<TimeInterval> history(const Tuple& t) const;
 
-  /// Deterministic iteration over live tuples (sorted by tuple value).
+  /// Deterministic iteration over live tuples (sorted by key projection).
   void for_each_live(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Deterministic iteration over the live tuples whose projection on
+  /// `cols` (sorted column positions, non-empty) equals `probe`, in the same
+  /// relative order as for_each_live(). Materializes the index for `cols` on
+  /// first use; insert/remove keep it current afterwards.
+  void for_each_live_matching(const ColumnSet& cols,
+                              const std::vector<Value>& probe,
+                              const std::function<void(const Tuple&)>& fn) const;
 
   /// Deterministic iteration over tuples alive at time `at`.
   void for_each_at(LogicalTime at,
@@ -71,8 +111,17 @@ class Table {
   /// Number of distinct tuples ever seen (live or dead).
   [[nodiscard]] std::size_t total_count() const { return rows_.size(); }
 
+  /// Number of materialized secondary indexes (observability/testing).
+  [[nodiscard]] std::size_t index_count() const { return indexes_.size(); }
+
   /// Key projection for upsert (per decl). Exposed for testing.
   [[nodiscard]] std::vector<Value> key_of(const Tuple& t) const;
+
+  /// Allocation-free variant: fills `out` (cleared first) and returns it.
+  /// The hot paths (is_live/insert/remove, once per event) reuse one scratch
+  /// buffer instead of allocating a fresh vector per call.
+  const std::vector<Value>& key_of(const Tuple& t,
+                                   std::vector<Value>& out) const;
 
   /// The live tuple holding `key`, if any (aggregation reads the previous
   /// value through this).
@@ -82,11 +131,44 @@ class Table {
   }
 
  private:
+  using LiveMap = std::map<std::vector<Value>, Tuple>;
+
+  struct ValueVecHash {
+    std::size_t operator()(const std::vector<Value>& values) const;
+  };
+
+  /// One secondary index: probe projection -> bucket of live rows. Entries
+  /// point into live_ map nodes (stable until erase) and stay sorted by the
+  /// live-map key, i.e. in for_each_live() order.
+  struct JoinIndex {
+    struct Entry {
+      const std::vector<Value>* live_key;
+      const Tuple* tuple;
+    };
+    std::unordered_map<std::vector<Value>, std::vector<Entry>, ValueVecHash>
+        buckets;
+  };
+
+  /// Projection of `t` on `cols` into `out` (cleared first).
+  static void project(const Tuple& t, const ColumnSet& cols,
+                      std::vector<Value>& out);
+
+  /// Adds/removes the live_ node `it` to/from every materialized index.
+  /// Removal must happen before live_.erase() (entries point into the node).
+  void index_live_row(LiveMap::const_iterator it) const;
+  void unindex_live_row(LiveMap::const_iterator it) const;
+
   TableDecl decl_;
   // Full temporal history; intervals are append-only and non-overlapping.
   std::map<Tuple, std::vector<TimeInterval>> rows_;
   // Live view keyed by the declared key columns (whole tuple if none).
-  std::map<std::vector<Value>, Tuple> live_;
+  LiveMap live_;
+  // Lazily created secondary indexes, one per probed column set. Mutable:
+  // index creation is a cache fill on a logically-const probe.
+  mutable std::map<ColumnSet, JoinIndex> indexes_;
+  // Scratch buffers for key/probe projections on the hot paths.
+  mutable std::vector<Value> key_scratch_;
+  mutable std::vector<Value> projection_scratch_;
 };
 
 }  // namespace dp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 #include "util/logging.h"
 
@@ -13,6 +14,7 @@ Engine::Engine(Program program, EngineConfig config)
   for (const auto& [name, decl] : program_.tables()) {
     listeners_.emplace(name, program_.rules_listening_to(name));
   }
+  if (config_.use_join_plans) plans_ = compile_rule_plans(program_);
 }
 
 void Engine::add_link(const NodeName& a, const NodeName& b,
@@ -80,7 +82,16 @@ std::vector<NodeName> Engine::nodes() const {
 
 void Engine::push_event(Event event) {
   event.seq = next_seq_++;
-  queue_.push(std::move(event));
+  queue_.push_back(std::move(event));
+  std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+}
+
+Engine::Event Engine::pop_event() {
+  assert(!queue_.empty());
+  std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
+  return event;
 }
 
 void Engine::schedule_insert(Tuple tuple, LogicalTime at) {
@@ -120,16 +131,14 @@ void Engine::schedule_delete(Tuple tuple, LogicalTime at) {
 
 void Engine::run() {
   while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
+    const Event event = pop_event();
     process(event);
   }
 }
 
 void Engine::run_until(LogicalTime until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
-    const Event event = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && queue_.front().time <= until) {
+    const Event event = pop_event();
     process(event);
   }
   now_ = std::max(now_, until);
@@ -255,7 +264,16 @@ void Engine::process_insert(const Event& event) {
   if (!newly_appeared && !is_event) return;  // no new appearance: no firing
 
   // Delta evaluation: the new tuple may trigger any rule with a body atom
-  // over its table.
+  // over its table. Plans fire in (rule, atom) order -- the exact order of
+  // the reference evaluator's nested loop below.
+  if (config_.use_join_plans) {
+    if (auto it = plans_.find(tuple.table()); it != plans_.end()) {
+      for (const RulePlan& plan : it->second) {
+        fire_rule_planned(plan, tuple, event.time);
+      }
+    }
+    return;
+  }
   for (std::size_t rule_index : listeners_.at(tuple.table())) {
     const Rule& rule = program_.rules()[rule_index];
     for (std::size_t i = 0; i < rule.body.size(); ++i) {
@@ -280,10 +298,12 @@ void Engine::process_delete(const Tuple& tuple, LogicalTime t) {
 }
 
 void Engine::retract_dependents_of(const Tuple& tuple, LogicalTime t) {
-  // Deactivate this tuple's own derivation records (it is gone).
+  // Deactivate this tuple's own derivation records (it is gone). Its support
+  // entry is erased outright -- leaving a zero behind would grow the map by
+  // one dead entry per underived tuple for the lifetime of the engine.
   if (auto it = records_by_head_.find(tuple); it != records_by_head_.end()) {
     for (std::size_t id : it->second) records_[id].active = false;
-    support_[tuple] = 0;
+    support_.erase(tuple);
   }
   // Derivations that consumed the tuple lose one unit of support.
   auto it = records_by_body_.find(tuple);
@@ -297,6 +317,7 @@ void Engine::retract_dependents_of(const Tuple& tuple, LogicalTime t) {
     auto support_it = support_.find(record.head);
     if (support_it == support_.end() || support_it->second <= 0) continue;
     if (--support_it->second > 0) continue;
+    support_.erase(support_it);
     // Support exhausted: underive the head now (same timestamp).
     Table& head_table = table_for(record.head);
     if (!head_table.remove(record.head, t)) continue;
@@ -355,6 +376,7 @@ void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
       // collect the new variable bindings *before* paying for a map copy.
       // With selective rules (e.g. constant join keys) almost every
       // candidate fails cheaply here.
+      ++stats_.tuples_scanned;
       new_bindings.clear();
       bool ok = true;
       for (std::size_t i = 0; ok && i < atom.args.size(); ++i) {
@@ -378,6 +400,7 @@ void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
         if (ok) new_bindings.emplace_back(arg.var, v);
       }
       if (!ok) return;
+      ++stats_.tuples_matched;
       Bindings extended = frame.bindings;
       for (auto& [var, value] : new_bindings) {
         extended.emplace(std::move(var), std::move(value));
@@ -484,6 +507,217 @@ void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
         values.push_back(arg.is_var ? bindings.at(arg.var) : arg.constant);
       }
       event.body.emplace_back(rule.body[i].table, std::move(values));
+    }
+    event.tuple = std::move(head);
+    push_event(std::move(event));
+  }
+}
+
+void Engine::fire_rule_planned(const RulePlan& plan, const Tuple& arrival,
+                               LogicalTime t) {
+  const Rule& rule = program_.rules()[plan.rule_index];
+  const NodeName& node = arrival.location();
+
+  // Unify the arriving tuple against the trigger atom.
+  Regs regs(plan.slot_count);
+  for (const ColOp& op : plan.trigger_ops) {
+    const Value& v = arrival.at(op.col);
+    switch (op.kind) {
+      case ColOp::Kind::kConst:
+        if (!(op.constant == v)) return;
+        break;
+      case ColOp::Kind::kCheck:
+        if (!(regs[op.slot] == v)) return;
+        break;
+      case ColOp::Kind::kBind:
+        regs[op.slot] = v;
+        break;
+    }
+  }
+
+  // Depth-first join over the planned steps. Registers are written exactly
+  // once per root-to-leaf path before any read (static binding discipline),
+  // so backtracking needs no save/restore; complete matches snapshot the
+  // register file.
+  struct Match {
+    Regs regs;
+    std::vector<const Tuple*> chosen;  // per original body index
+  };
+  std::vector<Match> matches;
+  std::vector<const Tuple*> chosen(rule.body.size(), nullptr);
+  chosen[plan.trigger_atom] = &arrival;
+
+  auto descend = [&](auto&& self, std::size_t depth) -> void {
+    if (depth == plan.steps.size()) {
+      matches.push_back(Match{regs, chosen});
+      return;
+    }
+    const JoinStep& step = plan.steps[depth];
+    const Table* table = find_table(node, step.table);
+    if (table == nullptr) return;
+    const auto try_candidate = [&](const Tuple& candidate,
+                                   const std::vector<ColOp>& ops) {
+      ++stats_.tuples_scanned;
+      for (const ColOp& op : ops) {
+        const Value& v = candidate.at(op.col);
+        switch (op.kind) {
+          case ColOp::Kind::kConst:
+            if (!(op.constant == v)) return;
+            break;
+          case ColOp::Kind::kCheck:
+            if (!(regs[op.slot] == v)) return;
+            break;
+          case ColOp::Kind::kBind:
+            regs[op.slot] = v;
+            break;
+        }
+      }
+      ++stats_.tuples_matched;
+      chosen[step.body_index] = &candidate;
+      self(self, depth + 1);
+    };
+    if (step.probe_cols.empty()) {
+      // Nothing bound: full scan (rare -- a cross join).
+      table->for_each_live(
+          [&](const Tuple& candidate) { try_candidate(candidate, step.ops); });
+      return;
+    }
+    // Indexed probe: build the key from constants and bound registers, then
+    // enumerate only the matching bucket. Residual ops cover the columns the
+    // key does not pin (fresh variables, intra-atom repeats).
+    std::vector<Value> probe_key;
+    probe_key.reserve(plan.steps[depth].probe.size());
+    for (const ColOp& op : step.probe) {
+      probe_key.push_back(op.kind == ColOp::Kind::kConst ? op.constant
+                                                         : regs[op.slot]);
+    }
+    ++stats_.index_probes;
+    table->for_each_live_matching(step.probe_cols, probe_key,
+                                  [&](const Tuple& candidate) {
+                                    try_candidate(candidate, step.residual);
+                                  });
+  };
+  descend(descend, 0);
+  if (matches.empty()) return;
+
+  // Restore the reference evaluator's enumeration order. The reference DFS
+  // (fire_rule) expands body atoms in body order and pops candidates from a
+  // stack, which yields matches in reverse-lexicographic order of the
+  // chosen rows' scan positions (= their key projections) per body atom.
+  // Sorting the reordered join's matches by that same key, descending,
+  // makes both evaluators fire identical event sequences.
+  if (matches.size() > 1) {
+    std::vector<std::vector<Value>> sort_keys(matches.size());
+    for (std::size_t m = 0; m < matches.size(); ++m) {
+      std::vector<Value>& key = sort_keys[m];
+      for (std::size_t i = 0; i < rule.body.size(); ++i) {
+        if (i == plan.trigger_atom) continue;
+        const Tuple& row = *matches[m].chosen[i];
+        const ColumnSet& cols = plan.body_key_cols[i];
+        if (cols.empty()) {
+          key.insert(key.end(), row.values().begin(), row.values().end());
+        } else {
+          for (std::size_t col : cols) key.push_back(row.at(col));
+        }
+      }
+    }
+    std::vector<std::size_t> order(matches.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&sort_keys](std::size_t a, std::size_t b) {
+                return sort_keys[b] < sort_keys[a];  // descending
+              });
+    std::vector<Match> sorted;
+    sorted.reserve(matches.size());
+    for (std::size_t m : order) sorted.push_back(std::move(matches[m]));
+    matches = std::move(sorted);
+  }
+
+  // Assignments and constraints (slot-compiled).
+  std::vector<std::size_t> satisfying;
+  for (std::size_t m = 0; m < matches.size(); ++m) {
+    Regs& r = matches[m].regs;
+    bool ok = true;
+    try {
+      for (const RulePlan::CompiledAssign& assign : plan.assigns) {
+        r[assign.slot] = eval_expr(assign.expr, r);
+      }
+      for (const SlotExpr& constraint : plan.constraints) {
+        if (!is_truthy(eval_expr(constraint, r))) {
+          ok = false;
+          break;
+        }
+      }
+    } catch (const EvalError& e) {
+      if (config_.strict_eval) throw;
+      DP_WARN << "rule " << rule.name << ": constraint error: " << e.what();
+      ok = false;
+    }
+    if (ok) satisfying.push_back(m);
+  }
+  if (satisfying.empty()) return;
+
+  // argmax selection; ties break exactly like the reference evaluator's
+  // Bindings-map comparison (register values in variable-name order).
+  if (plan.argmax_slot) {
+    const auto regs_less = [&plan](const Regs& a, const Regs& b) {
+      for (std::size_t slot : plan.slots_by_name) {
+        if (a[slot] < b[slot]) return true;
+        if (b[slot] < a[slot]) return false;
+      }
+      return false;
+    };
+    std::size_t best = satisfying.front();
+    for (std::size_t i = 1; i < satisfying.size(); ++i) {
+      const Regs& current = matches[satisfying[i]].regs;
+      const Regs& best_regs = matches[best].regs;
+      const Value& current_value = current[*plan.argmax_slot];
+      const Value& best_value = best_regs[*plan.argmax_slot];
+      if (best_value < current_value ||
+          (!(current_value < best_value) && regs_less(current, best_regs))) {
+        best = satisfying[i];
+      }
+    }
+    satisfying = {best};
+  }
+
+  // Fire: evaluate the head and schedule its arrival. The provenance body
+  // is the chosen rows themselves, in original body order.
+  for (std::size_t m : satisfying) {
+    const Match& match = matches[m];
+    std::vector<Value> head_values;
+    head_values.reserve(plan.head_args.size());
+    try {
+      for (const SlotExpr& arg : plan.head_args) {
+        head_values.push_back(eval_expr(arg, match.regs));
+      }
+    } catch (const EvalError& e) {
+      if (config_.strict_eval) throw;
+      DP_WARN << "rule " << rule.name << ": head error: " << e.what();
+      continue;
+    }
+    if (!head_values.front().is_string()) {
+      DP_WARN << "rule " << rule.name << ": head location is not a node name";
+      continue;
+    }
+    Tuple head(rule.head.table, std::move(head_values));
+    const NodeName& target = head.location();
+    if (target != node) ++stats_.remote_messages;
+
+    Event event;
+    event.time = t + delivery_delay(node, target);
+    event.kind = rule.agg ? Event::Kind::kAggregate
+                          : Event::Kind::kDerivedInsert;
+    if (rule.agg) {
+      event.agg_delta = rule.agg->kind == AggSpec::Kind::kCount
+                            ? 1
+                            : match.regs[*plan.agg_sum_slot].as_int();
+    }
+    event.rule = rule.name;
+    event.trigger_index = plan.trigger_atom;
+    event.body.reserve(rule.body.size());
+    for (std::size_t i = 0; i < rule.body.size(); ++i) {
+      event.body.push_back(*match.chosen[i]);
     }
     event.tuple = std::move(head);
     push_event(std::move(event));

@@ -9,6 +9,13 @@
 // deterministic -- (time, sequence) -- which is what makes replay-based tree
 // updating (paper sections 4.6/4.8) sound.
 //
+// Joins run through compiled rule plans (runtime/plan.h) by default: body
+// atoms are greedily reordered, variables live in a flat register file, and
+// each join step probes a secondary hash index on the table instead of
+// scanning it. The pre-plan full-scan evaluator is kept as a reference
+// implementation (EngineConfig::use_join_plans = false); both paths produce
+// byte-identical event orders, outputs, and provenance.
+//
 // Deletions use counting semantics: each derivation contributes one unit of
 // support to its head; when a (base or derived) tuple disappears, dependent
 // derivations are deactivated and heads whose support reaches zero are
@@ -19,7 +26,6 @@
 
 #include <cstdint>
 #include <map>
-#include <queue>
 #include <set>
 #include <vector>
 
@@ -27,6 +33,7 @@
 #include "ndlog/program.h"
 #include "ndlog/table.h"
 #include "runtime/observer.h"
+#include "runtime/plan.h"
 #include "util/time.h"
 
 namespace dp {
@@ -40,6 +47,11 @@ struct EngineConfig {
   /// If true, a constraint that throws EvalError aborts the run instead of
   /// being treated as a non-match.
   bool strict_eval = false;
+  /// If true (default), rules fire through compiled plans with indexed
+  /// joins; if false, through the reference full-scan evaluator. Both are
+  /// byte-identical in observable behavior (asserted by the cross-variant
+  /// tests); the flag exists for differential testing and benchmarking.
+  bool use_join_plans = true;
   /// Runaway guard: run() throws ProgramError after this many processed
   /// events. A forwarding loop in a recursive program (e.g. a routing cycle)
   /// would otherwise derive forever; real RapidNet deployments hit the same
@@ -104,8 +116,20 @@ class Engine {
     std::uint64_t underivations = 0;
     std::uint64_t remote_messages = 0;  // head shipped across a link
     std::uint64_t events_processed = 0;
+    // Join counters (both evaluators). A healthy indexed run shows
+    // tuples_scanned close to tuples_matched; the full-scan reference shows
+    // tuples_scanned ~ sum of table sizes per firing.
+    std::uint64_t index_probes = 0;    // secondary-index bucket lookups
+    std::uint64_t tuples_scanned = 0;  // join candidates examined
+    std::uint64_t tuples_matched = 0;  // candidates surviving unification
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Number of live entries in the derivation support map (regression guard:
+  /// retraction must erase exhausted entries, not leave zeroes behind).
+  [[nodiscard]] std::size_t support_entries() const {
+    return support_.size();
+  }
 
  private:
   struct Event {
@@ -138,6 +162,9 @@ class Engine {
   };
 
   void push_event(Event event);
+  /// Moves the front (earliest) event out of the queue. Precondition: the
+  /// queue is non-empty.
+  Event pop_event();
   void process(const Event& event);
   void process_insert(const Event& event);
   void process_delete(const Tuple& tuple, LogicalTime t);
@@ -153,11 +180,18 @@ class Engine {
   /// reaches zero are underived, recursively (same timestamp).
   void retract_dependents_of(const Tuple& tuple, LogicalTime t);
 
-  /// Joins `arrival` (already bound at body position `atom_index` of
-  /// `rule`) against node-local state and fires the rule for every
-  /// satisfying binding (after argmax selection).
+  /// Reference evaluator: joins `arrival` (already bound at body position
+  /// `atom_index` of `rule`) against node-local state by scanning each
+  /// remaining table, and fires the rule for every satisfying binding.
   void fire_rule(const Rule& rule, std::size_t atom_index,
                  const Tuple& arrival, LogicalTime t);
+
+  /// Plan evaluator: same semantics as fire_rule, but joins through the
+  /// compiled plan -- indexed probes, flat registers, reordered atoms --
+  /// then restores the reference candidate order before firing, so both
+  /// evaluators schedule identical event sequences.
+  void fire_rule_planned(const RulePlan& plan, const Tuple& arrival,
+                         LogicalTime t);
 
   /// Attempts to unify `tuple` with `atom` under `bindings`; returns false
   /// on mismatch, otherwise extends `bindings`.
@@ -173,9 +207,14 @@ class Engine {
   // rules_listening_to() result per table, precomputed: the per-event hot
   // path must not rescan (and reallocate) the rule list.
   std::map<std::string, std::vector<std::size_t>> listeners_;
+  // Compiled join plans per trigger table, in (rule, atom) firing order.
+  std::map<std::string, std::vector<RulePlan>> plans_;
   std::map<NodeName, std::map<std::string, Table>> state_;
   std::map<std::pair<NodeName, NodeName>, LogicalTime> links_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Min-heap on (time, seq) via std::push_heap/std::pop_heap. A raw vector
+  // (rather than std::priority_queue) lets pop_event() move the element out
+  // instead of copying the tuple and provenance body on every event.
+  std::vector<Event> queue_;
   std::uint64_t next_seq_ = 0;
   LogicalTime now_ = 0;
   std::vector<RuntimeObserver*> observers_;
