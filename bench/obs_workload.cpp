@@ -1,0 +1,39 @@
+// The overhead-benchmark workload, compiled TWICE by bench/CMakeLists.txt:
+// once with -DDP_OBS_ENABLED=0 (every obs macro vanishes -- the true
+// baseline) and once with the default DP_OBS_ENABLED=1. The entry-point name
+// is injected via -DDP_OBS_WORKLOAD_NAME=... so both object files can link
+// into the same bench_obs binary.
+//
+// Each iteration opens one span and does a fixed amount of integer mixing --
+// roughly the granularity of a rule firing in the runtime engine, which is
+// the hottest span site in the instrumented code.
+#include <cstdint>
+
+#include "obs/obs.h"
+
+namespace dp::bench {
+
+std::uint64_t DP_OBS_WORKLOAD_NAME(std::uint64_t iterations) {
+  std::uint64_t acc = 0x9e3779b97f4a7c15ull;
+#if DP_OBS_ENABLED
+  obs::Counter& units =
+      obs::default_registry().counter("dp.bench.workload_units");
+#endif
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    DP_SPAN_CAT("dp.bench.unit", "bench");
+#if DP_OBS_ENABLED
+    units.inc();
+#endif
+    // splitmix64-style finalizer, 64 rounds: ~work of one small rule firing.
+    for (int j = 0; j < 64; ++j) {
+      acc ^= acc >> 30;
+      acc *= 0xbf58476d1ce4e5b9ull;
+      acc ^= acc >> 27;
+      acc *= 0x94d049bb133111ebull;
+      acc ^= acc >> 31;
+    }
+  }
+  return acc;
+}
+
+}  // namespace dp::bench

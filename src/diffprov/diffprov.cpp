@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ndlog/eval.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 
 namespace dp {
@@ -16,6 +17,31 @@ double elapsed_us(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start)
       .count();
 }
+
+/// Span over a whole diagnosis plus summary counters published when it ends
+/// (RAII, so every return path of diagnose() is covered).
+class DiagnoseScope {
+ public:
+  explicit DiagnoseScope(const DiffProvResult& result)
+      : span_(obs::default_tracer(), "dp.diffprov.diagnose", "diffprov"),
+        result_(result) {}
+  ~DiagnoseScope() {
+    auto& registry = obs::default_registry();
+    registry.counter("dp.diffprov.diagnoses").inc();
+    if (result_.ok()) registry.counter("dp.diffprov.successes").inc();
+    registry.counter("dp.diffprov.rounds")
+        .inc(static_cast<std::uint64_t>(result_.rounds));
+    registry.counter("dp.diffprov.replays")
+        .inc(static_cast<std::uint64_t>(result_.timing.replays));
+    registry.counter("dp.diffprov.changes").inc(result_.changes.size());
+  }
+  DiagnoseScope(const DiagnoseScope&) = delete;
+  DiagnoseScope& operator=(const DiagnoseScope&) = delete;
+
+ private:
+  obs::Span span_;
+  const DiffProvResult& result_;
+};
 
 /// Unifies `atom` against a concrete tuple into `bindings` (concrete
 /// values). Returns false on conflict.
@@ -750,6 +776,7 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
                                   const Tuple& bad_event,
                                   std::optional<BadRun> initial_run) {
   DiffProvResult result;
+  DiagnoseScope diagnose_scope(result);
   result.good_tree_size = good_tree.size();
 
   // Initial bad execution ("query out the bad tree"), unless the caller
@@ -759,6 +786,8 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
   if (initial_run) {
     bad_run = std::move(*initial_run);
   } else {
+    obs::Span replay_span(obs::default_tracer(), "dp.diffprov.replay",
+                          "diffprov");
     bad_run = provider_->replay_bad({});
     result.timing.replay_us += elapsed_us(replay_start);
     ++result.timing.replays;
@@ -777,8 +806,11 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
 
   // Seeds (section 4.2) and comparability (section 4.3).
   auto seed_start = Clock::now();
+  obs::Span seed_span(obs::default_tracer(), "dp.diffprov.find_seed",
+                      "diffprov");
   const auto good_seed = find_seed(good_tree);
   auto bad_seed = find_seed(bad_tree);
+  seed_span.end();
   result.timing.find_seed_us += elapsed_us(seed_start);
   if (!good_seed || !bad_seed) {
     result.status = DiffProvStatus::kSeedTypeMismatch;
@@ -800,8 +832,11 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
 
   // Taint annotation of the good tree (section 4.3).
   auto annotate_start = Clock::now();
+  obs::Span annotate_span(obs::default_tracer(), "dp.diffprov.annotate",
+                          "diffprov");
   const TreeAnnotations annotations =
       TreeAnnotations::annotate(good_tree, *program_, *good_seed);
+  annotate_span.end();
   result.timing.annotate_us += elapsed_us(annotate_start);
 
   Delta delta;
@@ -846,6 +881,8 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
 
     // First divergence along the spines (section 4.4).
     auto divergence_start = Clock::now();
+    obs::Span diff_span(obs::default_tracer(), "dp.diffprov.tree_diff",
+                        "diffprov");
     const auto good_spine = spine_of(good_tree, *good_seed);
     const auto bad_spine = spine_of(bad_tree, *bad_seed);
     std::size_t divergence = good_spine.size();
@@ -873,9 +910,12 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
     }
     EquivalenceReport equiv;
     if (!found_divergence) {
+      obs::Span equiv_span(obs::default_tracer(), "dp.diffprov.equivalence",
+                           "diffprov");
       equiv = trees_equivalent(good_tree, annotations, state.seed_b,
                                repairs, bad_tree);
     }
+    diff_span.end();
     result.timing.divergence_us += elapsed_us(divergence_start);
 
     if (!found_divergence && equiv.equivalent) {
@@ -890,6 +930,8 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
     // but the trees still differ, sweep the whole spine: sibling subtrees
     // are revisited through each derivation's children.
     auto make_start = Clock::now();
+    obs::Span rollback_span(obs::default_tracer(), "dp.diffprov.rollback",
+                            "diffprov");
     bool ok = true;
     if (found_divergence && divergence < good_spine.size()) {
       const auto expected =
@@ -916,6 +958,7 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
         if (state.round_new_ops > 0) break;  // one repair per round
       }
     }
+    rollback_span.end();
     result.timing.make_appear_us += elapsed_us(make_start);
 
     if (!ok && state.fail_status != DiffProvStatus::kSuccess) {
@@ -977,7 +1020,11 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
     // UpdateTree: clone-and-roll-forward by deterministic replay
     // (section 4.6).
     replay_start = Clock::now();
-    bad_run = provider_->replay_bad(delta);
+    {
+      obs::Span replay_span(obs::default_tracer(), "dp.diffprov.replay",
+                            "diffprov");
+      bad_run = provider_->replay_bad(delta);
+    }
     result.timing.replay_us += elapsed_us(replay_start);
     ++result.timing.replays;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace dp {
 
 namespace {
@@ -84,19 +86,26 @@ AutoDiagnosis diagnose_with_auto_reference(DiffProv& diffprov,
   AutoDiagnosis out;
   out.result.status = DiffProvStatus::kBadEventNotFound;
   out.result.message = "no reference candidate produced a diagnosis";
-  for (const ReferenceCandidate& candidate :
-       suggest_references(bad_graph, bad_event, limit)) {
-    const auto tree = locate_tree(bad_graph, candidate.event);
-    if (!tree) continue;
-    ++out.candidates_tried;
-    DiffProvResult result = diffprov.diagnose(*tree, bad_event);
-    const bool succeeded = result.ok();
-    out.result = std::move(result);
-    if (succeeded) {
-      out.reference = candidate.event;
-      return out;
+  {
+    obs::Span span(obs::default_tracer(), "dp.diffprov.reference_selection",
+                   "diffprov");
+    for (const ReferenceCandidate& candidate :
+         suggest_references(bad_graph, bad_event, limit)) {
+      const auto tree = locate_tree(bad_graph, candidate.event);
+      if (!tree) continue;
+      ++out.candidates_tried;
+      DiffProvResult result = diffprov.diagnose(*tree, bad_event);
+      const bool succeeded = result.ok();
+      out.result = std::move(result);
+      if (succeeded) {
+        out.reference = candidate.event;
+        break;
+      }
     }
   }
+  obs::default_registry()
+      .counter("dp.diffprov.reference_candidates")
+      .inc(static_cast<std::uint64_t>(out.candidates_tried));
   return out;
 }
 

@@ -1,0 +1,339 @@
+#include "obs/json_check.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace dp::obs {
+
+namespace {
+
+// A tiny JSON value tree -- enough structure for the two checkers below.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string& error) {
+    JsonValue value;
+    if (!parse_value(value)) {
+      error = "offset " + std::to_string(pos_) + ": " + error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "offset " + std::to_string(pos_) + ": trailing content";
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool fail(const char* message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return fail("truncated escape");
+        const char e = text_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+                return fail("bad \\u escape");
+              }
+            }
+            out += '?';  // checkers never inspect escaped name content
+            pos_ += 4;
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(double& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return fail("expected digit");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("expected fraction digit");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("expected exponent digit");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    out = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (pos_ >= text_.size() || text_[pos_] != ':') {
+          return fail("expected ':'");
+        }
+        ++pos_;
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.object.emplace(std::move(key), std::move(value));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated object");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.array.push_back(std::move(value));
+        skip_ws();
+        if (pos_ >= text_.size()) return fail("unterminated array");
+        if (text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return parse_string(out.string);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return parse_number(out.number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string& error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace
+
+std::optional<std::string> json_error(std::string_view text) {
+  std::string error;
+  if (!parse_json(text, error)) return error;
+  return std::nullopt;
+}
+
+TraceCheck check_chrome_trace(std::string_view text) {
+  TraceCheck check;
+  std::string error;
+  const auto root = parse_json(text, error);
+  if (!root) {
+    check.error = error;
+    return check;
+  }
+  if (root->kind != JsonValue::Kind::kObject) {
+    check.error = "top level is not an object";
+    return check;
+  }
+  const JsonValue* events = root->find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    check.error = "missing \"traceEvents\" array";
+    return check;
+  }
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    if (e.kind != JsonValue::Kind::kObject || name == nullptr ||
+        name->kind != JsonValue::Kind::kString || ph == nullptr ||
+        ph->kind != JsonValue::Kind::kString || ts == nullptr ||
+        ts->kind != JsonValue::Kind::kNumber) {
+      check.error = "event " + std::to_string(i) +
+                    " lacks string name/ph or numeric ts";
+      return check;
+    }
+    check.names.insert(name->string);
+  }
+  check.events = events->array.size();
+  check.ok = true;
+  return check;
+}
+
+MetricsCheck check_metrics_json(std::string_view text) {
+  MetricsCheck check;
+  std::string error;
+  const auto root = parse_json(text, error);
+  if (!root) {
+    check.error = error;
+    return check;
+  }
+  if (root->kind != JsonValue::Kind::kObject) {
+    check.error = "top level is not an object";
+    return check;
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* group = root->find(section);
+    if (group == nullptr || group->kind != JsonValue::Kind::kObject) {
+      check.error = std::string("missing \"") + section + "\" object";
+      return check;
+    }
+    for (const auto& [name, value] : group->object) {
+      check.names.insert(name);
+      ++check.series;
+      if (std::string_view(section) == "histograms") {
+        const JsonValue* buckets = value.find("buckets");
+        const JsonValue* count = value.find("count");
+        if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray ||
+            count == nullptr || count->kind != JsonValue::Kind::kNumber) {
+          check.error = "histogram " + name + " lacks buckets/count";
+          return check;
+        }
+      } else if (value.kind != JsonValue::Kind::kNumber) {
+        check.error = section + (" entry " + name) + " is not a number";
+        return check;
+      }
+    }
+  }
+  check.ok = true;
+  return check;
+}
+
+}  // namespace dp::obs

@@ -1,0 +1,44 @@
+// Minimal JSON well-formedness checking for the files this layer emits:
+// Chrome trace-event dumps (--trace-out) and metrics dumps (--metrics-out).
+//
+// Used by tests (parse our own output back) and by the obs_check CLI that CI
+// runs over the uploaded artifacts. This is a validator, not a general JSON
+// library: it parses strictly (RFC 8259 grammar, no trailing commas) and
+// surfaces only what the checks need -- span/metric names and counts.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace dp::obs {
+
+/// Strict parse of `text` as a single JSON value. Returns an error message
+/// ("offset N: ...") or nullopt if well-formed.
+std::optional<std::string> json_error(std::string_view text);
+
+struct TraceCheck {
+  bool ok = false;
+  std::string error;
+  std::size_t events = 0;
+  std::set<std::string> names;  // distinct event names
+};
+
+/// Validates a Chrome trace: well-formed JSON, top-level object with a
+/// "traceEvents" array whose elements each carry a string "name", a string
+/// "ph" and a numeric "ts".
+TraceCheck check_chrome_trace(std::string_view text);
+
+struct MetricsCheck {
+  bool ok = false;
+  std::string error;
+  std::size_t series = 0;       // counters + gauges + histograms
+  std::set<std::string> names;  // metric names
+};
+
+/// Validates a MetricsRegistry::to_json() dump: well-formed JSON with
+/// "counters"/"gauges"/"histograms" objects.
+MetricsCheck check_metrics_json(std::string_view text);
+
+}  // namespace dp::obs

@@ -1,0 +1,260 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace dp::obs {
+
+namespace {
+
+/// JSON-safe number formatting (no locale, fixed precision for doubles).
+std::string json_number(double v) {
+  if (std::isfinite(v) && v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("histogram needs at least one bucket bound");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("histogram bounds must strictly increase");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  // Binary search for the first bound >= v (le semantics).
+  std::size_t lo = 0;
+  std::size_t hi = bounds_.size();  // hi == size() -> overflow bucket
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (bounds_[mid] >= v) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  buckets_[lo].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& latency_us_bounds() {
+  static const std::vector<double> bounds = {
+      1,    2,    5,     10,    20,    50,     100,    200,
+      500,  1000, 2000,  5000,  10000, 20000,  50000,  100000,
+      200000, 500000, 1000000};
+  return bounds;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        upper_bounds.empty() ? latency_us_bounds() : std::move(upper_bounds));
+  }
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " counter\n" << p << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " gauge\n" << p << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " histogram\n";
+    const auto counts = h->bucket_counts();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      cumulative += counts[i];
+      out << p << "_bucket{le=\"" << json_number(h->bounds()[i]) << "\"} "
+          << cumulative << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+    out << p << "_sum " << json_number(h->sum()) << "\n";
+    out << p << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << g->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << h->count()
+        << ", \"sum\": " << json_number(h->sum()) << ", \"buckets\": [";
+    const auto counts = h->bucket_counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << "{\"le\": ";
+      if (i < h->bounds().size()) {
+        out << json_number(h->bounds()[i]);
+      } else {
+        out << "\"+Inf\"";
+      }
+      out << ", \"count\": " << counts[i] << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-48s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out << buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "  %-48s %20lld\n", name.c_str(),
+                  static_cast<long long>(g->value()));
+    out << buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    const double mean = h->count() == 0 ? 0 : h->sum() / h->count();
+    char buf[200];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-48s count=%llu sum=%.1f mean=%.2f\n", name.c_str(),
+                  static_cast<unsigned long long>(h->count()), h->sum(), mean);
+    out << buf;
+  }
+  return out.str();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string sanitize_metric_segment(std::string_view segment) {
+  std::string out(segment);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace dp::obs

@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace dp::obs {
+
+std::uint64_t monotonic_micros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            origin)
+          .count());
+}
+
+std::uint32_t trace_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void Tracer::record_complete(std::string name, const char* category,
+                             std::uint64_t start_us,
+                             std::uint64_t duration_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.tid = trace_thread_id();
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": \"";
+    for (char c : e.name) {  // names are metric-style; escape defensively
+      if (c == '"' || c == '\\') out << '\\';
+      out << (static_cast<unsigned char>(c) < 0x20 ? '_' : c);
+    }
+    out << "\", \"cat\": \"" << e.category << "\", \"ph\": \"X\", \"ts\": "
+        << e.start_us << ", \"dur\": " << e.duration_us
+        << ", \"pid\": 1, \"tid\": " << e.tid << "}";
+  }
+  out << (events_.empty() ? "" : "\n") << "]}\n";
+  return out.str();
+}
+
+Tracer& default_tracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+}  // namespace dp::obs

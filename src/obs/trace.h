@@ -1,0 +1,114 @@
+// Hierarchical tracing on a monotonic clock, exported as Chrome trace-event
+// JSON (loadable in chrome://tracing and ui.perfetto.dev).
+//
+// Spans are RAII: construction captures a start timestamp, destruction
+// appends one "complete" ('ph':'X') event. Events on the same thread nest by
+// time containment, which the viewers render as a flame chart -- no explicit
+// parent pointers are needed because a child span always closes before its
+// enclosing span (stack discipline).
+//
+// Cost model: when the tracer is disabled a span costs one relaxed atomic
+// load and a branch; nothing is allocated or timestamped. When compiled out
+// (DP_OBS_ENABLED=0, see obs.h) the macros vanish entirely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dp::obs {
+
+/// Microseconds on the process-local monotonic clock (steady_clock, zeroed
+/// at first use). Never wall-clock: trace timestamps must be monotonic.
+std::uint64_t monotonic_micros();
+
+/// Small dense id of the calling thread (1, 2, ... in first-use order);
+/// becomes the Chrome trace 'tid'.
+std::uint32_t trace_thread_id();
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "dp";  // must point at a string literal
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t tid = 0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one complete event (thread-safe). Called by ~Span; direct use
+  /// is fine for events timed by other means.
+  void record_complete(std::string name, const char* category,
+                       std::uint64_t start_us, std::uint64_t duration_us);
+
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  /// Snapshot of the recorded events (copy; for tests and tools).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} -- the Chrome
+  /// trace-event JSON array-of-complete-events format.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// The process-wide tracer all DP_SPAN macros record into. Enabled by the
+/// CLI's --trace-out (or tests); disabled by default.
+Tracer& default_tracer();
+
+/// RAII span. If the tracer is disabled at construction the span is inert
+/// (the name is never copied). end() closes the span early; the destructor
+/// closes it otherwise.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string_view name, const char* category = "dp") {
+    if (tracer.enabled()) {
+      tracer_ = &tracer;
+      name_ = std::string(name);
+      category_ = category;
+      start_us_ = monotonic_micros();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// True if the span will record an event (the tracer was enabled at
+  /// construction and end() has not run yet).
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  /// Records the event now (idempotent).
+  void end() {
+    if (tracer_ == nullptr) return;
+    Tracer* t = tracer_;
+    tracer_ = nullptr;
+    t->record_complete(std::move(name_), category_, start_us_,
+                       monotonic_micros() - start_us_);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;  // null = inert
+  std::string name_;
+  const char* category_ = "dp";
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace dp::obs

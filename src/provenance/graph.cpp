@@ -2,7 +2,41 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace dp {
+
+namespace {
+
+/// Latency histogram for provenance lookups, sampled only while the tracer
+/// is enabled (a steady_clock read per lookup is too expensive otherwise).
+obs::Histogram& lookup_histogram() {
+  static obs::Histogram& hist =
+      obs::default_registry().histogram("dp.prov.lookup_us");
+  return hist;
+}
+
+/// Samples one lookup: counts it always, times it only when tracing.
+class LookupSample {
+ public:
+  explicit LookupSample(std::uint64_t& counter) {
+    ++counter;
+    if (DP_OBS_TRACING()) start_us_ = obs::monotonic_micros();
+  }
+  ~LookupSample() {
+    if (start_us_ != kOff) {
+      lookup_histogram().observe(double(obs::monotonic_micros() - start_us_));
+    }
+  }
+  LookupSample(const LookupSample&) = delete;
+  LookupSample& operator=(const LookupSample&) = delete;
+
+ private:
+  static constexpr std::uint64_t kOff = ~std::uint64_t{0};
+  std::uint64_t start_us_ = kOff;
+};
+
+}  // namespace
 
 std::string_view vertex_kind_name(VertexKind kind) {
   switch (kind) {
@@ -33,6 +67,7 @@ std::string Vertex::label() const {
 }
 
 VertexId ProvenanceGraph::add_vertex(Vertex v) {
+  ++counters_.by_kind[static_cast<std::size_t>(v.kind)];
   nodes_.push_back(std::move(v));
   return static_cast<VertexId>(nodes_.size() - 1);
 }
@@ -173,6 +208,7 @@ void ProvenanceGraph::record_underive(const Tuple& tuple,
 
 std::optional<VertexId> ProvenanceGraph::exist_at(const Tuple& tuple,
                                                   LogicalTime at) const {
+  LookupSample sample(counters_.lookups);
   auto it = exist_index_.find(tuple);
   if (it == exist_index_.end()) return std::nullopt;
   for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
@@ -183,6 +219,7 @@ std::optional<VertexId> ProvenanceGraph::exist_at(const Tuple& tuple,
 
 std::optional<VertexId> ProvenanceGraph::latest_exist_before(
     const Tuple& tuple, LogicalTime at) const {
+  LookupSample sample(counters_.lookups);
   auto it = exist_index_.find(tuple);
   if (it == exist_index_.end()) return std::nullopt;
   for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
@@ -200,6 +237,32 @@ std::vector<VertexId> ProvenanceGraph::derivations_triggered_by(
     VertexId exist) const {
   auto it = trigger_index_.find(exist);
   return it == trigger_index_.end() ? std::vector<VertexId>{} : it->second;
+}
+
+void ProvenanceGraph::publish_metrics(obs::MetricsRegistry& registry) {
+  static constexpr std::array<const char*, 7> kKindMetric = {
+      "dp.prov.vertex.insert",   "dp.prov.vertex.delete",
+      "dp.prov.vertex.exist",    "dp.prov.vertex.derive",
+      "dp.prov.vertex.underive", "dp.prov.vertex.appear",
+      "dp.prov.vertex.disappear"};
+  std::uint64_t total_delta = 0;
+  for (std::size_t k = 0; k < kKindMetric.size(); ++k) {
+    const std::uint64_t cur = counters_.by_kind[k];
+    std::uint64_t& seen = published_.by_kind[k];
+    if (cur > seen) {
+      registry.counter(kKindMetric[k]).inc(cur - seen);
+      total_delta += cur - seen;
+      seen = cur;
+    }
+  }
+  if (total_delta != 0) registry.counter("dp.prov.vertices").inc(total_delta);
+  if (counters_.lookups > published_.lookups) {
+    registry.counter("dp.prov.lookups")
+        .inc(counters_.lookups - published_.lookups);
+    published_.lookups = counters_.lookups;
+  }
+  registry.gauge("dp.prov.graph_vertices")
+      .set_max(static_cast<std::int64_t>(nodes_.size()));
 }
 
 }  // namespace dp

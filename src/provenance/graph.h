@@ -6,11 +6,14 @@
 // from a seed), and tree projection (see tree.h).
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "provenance/vertex.h"
 
 namespace dp {
@@ -74,6 +77,19 @@ class ProvenanceGraph {
     return nodes_[exist].interval.start;
   }
 
+  /// Growth and query counters, maintained as plain fields on the hot path.
+  struct Counters {
+    std::array<std::uint64_t, 7> by_kind{};  // indexed by VertexKind
+    std::uint64_t lookups = 0;  // exist_at + latest_exist_before calls
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Delta-publishes this graph's counters into `registry` as dp.prov.*
+  /// (vertex counts per kind, total vertices, lookup count) plus a
+  /// dp.prov.graph_vertices high-water gauge. Safe to call repeatedly; only
+  /// growth since the last publish reaches the registry.
+  void publish_metrics(obs::MetricsRegistry& registry);
+
  private:
   VertexId add_vertex(Vertex v);
   [[nodiscard]] std::optional<VertexId> live_exist(const Tuple& tuple) const;
@@ -84,6 +100,9 @@ class ProvenanceGraph {
   std::map<Tuple, std::vector<VertexId>> exist_index_;
   // trigger EXIST -> DERIVE vertices it triggered.
   std::map<VertexId, std::vector<VertexId>> trigger_index_;
+  // mutable: the const lookups count themselves.
+  mutable Counters counters_;
+  Counters published_;
 };
 
 }  // namespace dp

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "obs/obs.h"
+
 namespace dp {
 
 ProvenanceGraph& ShardedProvenance::shard_for(const Tuple& tuple) {
@@ -47,6 +49,7 @@ std::map<NodeName, std::size_t> ShardedProvenance::shard_sizes() const {
 }
 
 std::optional<ProvTree> ShardedProvenance::project(const Tuple& event) {
+  DP_SPAN_CAT("dp.prov.project", "prov");
   stats_ = QueryStats{};
   const auto owner = shards_.find(event.location());
   if (owner == shards_.end()) return std::nullopt;
@@ -97,6 +100,14 @@ std::optional<ProvTree> ShardedProvenance::project(const Tuple& event) {
     }
   }
   stats_.shards_touched = touched.size();
+  // Once per projection (queries are rare next to recording): the
+  // materialization cost model, aggregated across queries.
+  auto& registry = obs::default_registry();
+  registry.counter("dp.prov.projections").inc();
+  registry.counter("dp.prov.project_vertices").inc(stats_.vertices_visited);
+  registry.counter("dp.prov.remote_fetches").inc(stats_.remote_fetches);
+  registry.gauge("dp.prov.shards")
+      .set_max(static_cast<std::int64_t>(shards_.size()));
   return std::move(builder).take();
 }
 

@@ -1,5 +1,7 @@
 #include "replay/replay_engine.h"
 
+#include "obs/obs.h"
+
 namespace dp {
 
 std::string DeltaOp::to_string() const {
@@ -18,6 +20,8 @@ std::string delta_to_string(const Delta& delta) {
 ReplayResult replay(const Program& program, const Topology& topology,
                     const EventLog& log, const Delta& delta,
                     const ReplayOptions& options) {
+  DP_SPAN_CAT("dp.replay.replay", "replay");
+  obs::default_registry().counter("dp.replay.replays").inc();
   ReplayResult result;
   result.engine = std::make_unique<Engine>(program, options.engine_config);
   result.recorder = std::make_unique<ProvenanceRecorder>();
@@ -28,6 +32,9 @@ ReplayResult replay(const Program& program, const Topology& topology,
     result.engine->add_link(link.a, link.b, link.delay);
   }
   result.engine->add_observer(result.recorder.get());
+  result.metrics_observer =
+      std::make_unique<MetricsObserver>(result.engine->metrics());
+  result.engine->add_observer(result.metrics_observer.get());
 
   for (const LogRecord& record : log.records()) {
     if (record.op == LogRecord::Op::kInsert) {
@@ -49,6 +56,12 @@ ReplayResult replay(const Program& program, const Topology& topology,
   } else {
     result.engine->run_until(options.until);
   }
+  // The recorder's graph publishes alongside the engine: into the shared
+  // registry when the caller wired one up, else the process-wide one.
+  obs::MetricsRegistry& registry = options.engine_config.metrics != nullptr
+                                       ? *options.engine_config.metrics
+                                       : obs::default_registry();
+  result.recorder->graph().publish_metrics(registry);
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "provenance/recorder.h"
 #include "replay/event_log.h"
 #include "runtime/engine.h"
+#include "runtime/metrics_observer.h"
 
 namespace dp {
 
@@ -51,6 +52,9 @@ struct Topology {
 struct ReplayResult {
   std::unique_ptr<Engine> engine;
   std::unique_ptr<ProvenanceRecorder> recorder;
+  /// Per-table activity counters (dp.runtime.table.*), published into the
+  /// engine's metrics registry; kept alive alongside the observing engine.
+  std::unique_ptr<MetricsObserver> metrics_observer;
 
   [[nodiscard]] const ProvenanceGraph& graph() const {
     return recorder->graph();

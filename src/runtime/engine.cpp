@@ -8,6 +8,45 @@
 
 namespace dp {
 
+namespace {
+
+/// Never-enabled sink for spans gated off by EngineConfig::trace_rule_firings
+/// (Span activates on tracer.enabled(), so pointing it here keeps the gate to
+/// one branch without a second code path).
+obs::Tracer& disabled_tracer() {
+  static obs::Tracer off;
+  return off;
+}
+
+/// Span + latency sample for one rule firing. Inert -- two relaxed loads and
+/// branches -- unless the firing is actually traced; safe across the fire
+/// functions' many early returns (RAII).
+class FiringScope {
+ public:
+  FiringScope(bool want, const std::string& label, obs::Histogram* hist)
+      : span_(want ? obs::default_tracer() : disabled_tracer(), label,
+              "rule") {
+    if (span_.active()) {
+      hist_ = hist;
+      start_us_ = obs::monotonic_micros();
+    }
+  }
+  ~FiringScope() {
+    if (hist_ != nullptr) {
+      hist_->observe(double(obs::monotonic_micros() - start_us_));
+    }
+  }
+  FiringScope(const FiringScope&) = delete;
+  FiringScope& operator=(const FiringScope&) = delete;
+
+ private:
+  obs::Span span_;
+  obs::Histogram* hist_ = nullptr;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace
+
 Engine::Engine(Program program, EngineConfig config)
     : program_(std::move(program)), config_(config) {
   program_.validate();
@@ -15,6 +54,23 @@ Engine::Engine(Program program, EngineConfig config)
     listeners_.emplace(name, program_.rules_listening_to(name));
   }
   if (config_.use_join_plans) plans_ = compile_rule_plans(program_);
+
+  metrics_ = config_.metrics;
+  if (metrics_ == nullptr) {
+    own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  const auto& rules = program_.rules();
+  rule_firings_.assign(rules.size(), 0);
+  rule_firings_published_.assign(rules.size(), 0);
+  rule_span_labels_.reserve(rules.size());
+  rule_metric_names_.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    rule_span_labels_.push_back("rule:" + rule.name);
+    rule_metric_names_.push_back("dp.runtime.rule_firings." +
+                                 obs::sanitize_metric_segment(rule.name));
+  }
+  fire_hist_ = &metrics_->histogram("dp.runtime.rule_fire_us");
 }
 
 void Engine::add_link(const NodeName& a, const NodeName& b,
@@ -84,6 +140,7 @@ void Engine::push_event(Event event) {
   event.seq = next_seq_++;
   queue_.push_back(std::move(event));
   std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  if (queue_.size() > queue_depth_max_) queue_depth_max_ = queue_.size();
 }
 
 Engine::Event Engine::pop_event() {
@@ -130,18 +187,22 @@ void Engine::schedule_delete(Tuple tuple, LogicalTime at) {
 }
 
 void Engine::run() {
+  DP_SPAN_CAT("dp.runtime.run", "runtime");
   while (!queue_.empty()) {
     const Event event = pop_event();
     process(event);
   }
+  publish_metrics();
 }
 
 void Engine::run_until(LogicalTime until) {
+  DP_SPAN_CAT("dp.runtime.run_until", "runtime");
   while (!queue_.empty() && queue_.front().time <= until) {
     const Event event = pop_event();
     process(event);
   }
   now_ = std::max(now_, until);
+  publish_metrics();
 }
 
 void Engine::process(const Event& event) {
@@ -346,6 +407,10 @@ bool Engine::unify(const BodyAtom& atom, const Tuple& tuple,
 
 void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
                        const Tuple& arrival, LogicalTime t) {
+  const std::size_t rule_index =
+      static_cast<std::size_t>(&rule - program_.rules().data());
+  FiringScope firing_scope(config_.trace_rule_firings,
+                           rule_span_labels_[rule_index], fire_hist_);
   const NodeName& node = arrival.location();
 
   // Depth-first join over the remaining body atoms, in body order.
@@ -480,7 +545,11 @@ void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
     }
     Tuple head(rule.head.table, std::move(head_values));
     const NodeName& target = head.location();
-    if (target != node) ++stats_.remote_messages;
+    if (target != node) {
+      ++stats_.remote_messages;
+      ++remote_by_node_[target];
+    }
+    ++rule_firings_[rule_index];
 
     // Reconstruct the body instantiation, in body order, for provenance.
     Event event;
@@ -516,6 +585,8 @@ void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
 void Engine::fire_rule_planned(const RulePlan& plan, const Tuple& arrival,
                                LogicalTime t) {
   const Rule& rule = program_.rules()[plan.rule_index];
+  FiringScope firing_scope(config_.trace_rule_firings,
+                           rule_span_labels_[plan.rule_index], fire_hist_);
   const NodeName& node = arrival.location();
 
   // Unify the arriving tuple against the trigger atom.
@@ -702,7 +773,11 @@ void Engine::fire_rule_planned(const RulePlan& plan, const Tuple& arrival,
     }
     Tuple head(rule.head.table, std::move(head_values));
     const NodeName& target = head.location();
-    if (target != node) ++stats_.remote_messages;
+    if (target != node) {
+      ++stats_.remote_messages;
+      ++remote_by_node_[target];
+    }
+    ++rule_firings_[plan.rule_index];
 
     Event event;
     event.time = t + delivery_delay(node, target);
@@ -722,6 +797,72 @@ void Engine::fire_rule_planned(const RulePlan& plan, const Tuple& arrival,
     event.tuple = std::move(head);
     push_event(std::move(event));
   }
+}
+
+void Engine::publish_metrics() {
+  // Delta-publish: only the growth since the last publish reaches the
+  // registry, so a shared registry (EngineConfig::metrics) aggregates
+  // correctly across engines and repeated runs.
+  const auto publish =
+      [this](const char* name, std::uint64_t cur, std::uint64_t& seen) {
+        if (cur > seen) {
+          metrics_->counter(name).inc(cur - seen);
+          seen = cur;
+        }
+      };
+  publish("dp.runtime.base_inserts", stats_.base_inserts,
+          published_.base_inserts);
+  publish("dp.runtime.base_deletes", stats_.base_deletes,
+          published_.base_deletes);
+  publish("dp.runtime.derivations", stats_.derivations,
+          published_.derivations);
+  publish("dp.runtime.underivations", stats_.underivations,
+          published_.underivations);
+  publish("dp.runtime.remote_messages", stats_.remote_messages,
+          published_.remote_messages);
+  publish("dp.runtime.events_processed", stats_.events_processed,
+          published_.events_processed);
+  publish("dp.runtime.index_probes", stats_.index_probes,
+          published_.index_probes);
+  publish("dp.runtime.tuples_scanned", stats_.tuples_scanned,
+          published_.tuples_scanned);
+  publish("dp.runtime.tuples_matched", stats_.tuples_matched,
+          published_.tuples_matched);
+  for (std::size_t i = 0; i < rule_firings_.size(); ++i) {
+    if (rule_firings_[i] > rule_firings_published_[i]) {
+      metrics_->counter(rule_metric_names_[i])
+          .inc(rule_firings_[i] - rule_firings_published_[i]);
+      rule_firings_published_[i] = rule_firings_[i];
+    }
+  }
+  for (const auto& [node, count] : remote_by_node_) {
+    std::uint64_t& seen = remote_by_node_published_[node];
+    if (count > seen) {
+      metrics_
+          ->counter("dp.runtime.remote_messages_to." +
+                    obs::sanitize_metric_segment(node))
+          .inc(count - seen);
+      seen = count;
+    }
+  }
+  metrics_->gauge("dp.runtime.queue_depth")
+      .set(static_cast<std::int64_t>(queue_.size()));
+  metrics_->gauge("dp.runtime.queue_depth_max")
+      .set_max(static_cast<std::int64_t>(queue_depth_max_));
+}
+
+void Engine::reset_stats() {
+  stats_ = Stats{};
+  published_ = Stats{};
+  std::fill(rule_firings_.begin(), rule_firings_.end(), 0);
+  std::fill(rule_firings_published_.begin(), rule_firings_published_.end(), 0);
+  remote_by_node_.clear();
+  remote_by_node_published_.clear();
+  queue_depth_max_ = queue_.size();
+  // A private registry belongs to this engine alone, so wipe it too; a
+  // shared one keeps its cumulative totals (the published_ baselines above
+  // make sure this engine re-contributes from zero, not negatively).
+  if (own_metrics_ != nullptr) own_metrics_->reset();
 }
 
 }  // namespace dp

@@ -26,12 +26,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "ndlog/eval.h"
 #include "ndlog/program.h"
 #include "ndlog/table.h"
+#include "obs/obs.h"
 #include "runtime/observer.h"
 #include "runtime/plan.h"
 #include "util/time.h"
@@ -57,6 +59,17 @@ struct EngineConfig {
   /// would otherwise derive forever; real RapidNet deployments hit the same
   /// issue via TTLs. 0 disables the guard.
   std::uint64_t max_events = 100'000'000;
+  /// Metrics sink for the engine's counters (dp.runtime.*). If null the
+  /// engine owns a private registry, so per-engine stats stay isolated; pass
+  /// &obs::default_registry() (the CLI does, for --metrics-out) or any
+  /// shared registry to aggregate across engines. Counters are accumulated
+  /// in plain fields on the hot path and published to the registry when a
+  /// run completes or Engine::metrics()/stats() is read -- attaching a
+  /// registry adds no per-event cost.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Emit a trace span + latency sample per rule firing while the default
+  /// tracer is enabled. Costs one branch per firing when tracing is off.
+  bool trace_rule_firings = true;
 };
 
 class Engine {
@@ -123,7 +136,24 @@ class Engine {
     std::uint64_t tuples_scanned = 0;  // join candidates examined
     std::uint64_t tuples_matched = 0;  // candidates surviving unification
   };
+  /// Façade over the dp.runtime.* registry counters: the struct mirrors what
+  /// the engine has published (plus anything not yet published).
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Zeroes the engine's counters -- the Stats façade, the per-rule firing
+  /// counts, the per-node remote-message counts and the queue-depth
+  /// high-water mark -- so repeated scenario runs on one engine start from
+  /// zero. An engine-private registry is reset too; in a shared registry
+  /// (EngineConfig::metrics) the cumulative totals are left alone and only
+  /// this engine's future contributions restart.
+  void reset_stats();
+
+  /// The registry this engine publishes into (after syncing pending
+  /// counts). Private unless EngineConfig::metrics was set.
+  [[nodiscard]] obs::MetricsRegistry& metrics() {
+    publish_metrics();
+    return *metrics_;
+  }
 
   /// Number of live entries in the derivation support map (regression guard:
   /// retraction must erase exhausted entries, not leave zeroes behind).
@@ -202,6 +232,11 @@ class Engine {
   [[nodiscard]] LogicalTime delivery_delay(const NodeName& from,
                                            const NodeName& to) const;
 
+  /// Syncs the gap between the hot-path counters and what the registry has
+  /// already seen (delta-publish, so a shared registry aggregates correctly
+  /// across engines and repeated runs).
+  void publish_metrics();
+
   Program program_;
   EngineConfig config_;
   // rules_listening_to() result per table, precomputed: the per-event hot
@@ -224,7 +259,25 @@ class Engine {
   std::map<Tuple, std::vector<std::size_t>> records_by_head_;
   std::map<Tuple, std::int64_t> support_;
 
+  // Hot-path counters are plain (the engine is single-threaded); they are
+  // delta-published into metrics_ when a run completes. published_ /
+  // *_published_ remember what the registry has already absorbed.
   Stats stats_;
+  Stats published_;
+  std::vector<std::uint64_t> rule_firings_;
+  std::vector<std::uint64_t> rule_firings_published_;
+  std::map<NodeName, std::uint64_t> remote_by_node_;
+  std::map<NodeName, std::uint64_t> remote_by_node_published_;
+  // Precomputed per-rule labels so the firing hot path never concatenates:
+  // span names "rule:<name>" and metric names
+  // "dp.runtime.rule_firings.<name>".
+  std::vector<std::string> rule_span_labels_;
+  std::vector<std::string> rule_metric_names_;
+  std::size_t queue_depth_max_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;    // publish target (never null)
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;  // when config.metrics==null
+  obs::Histogram* fire_hist_ = nullptr;  // dp.runtime.rule_fire_us, cached
 };
 
 }  // namespace dp

@@ -11,6 +11,7 @@
 #include "dns/dns.h"
 #include "mapred/scenario.h"
 #include "ndlog/parser.h"
+#include "obs/obs.h"
 #include "sdn/scenario.h"
 
 namespace dp::cli {
@@ -29,6 +30,9 @@ struct Options {
   std::string dot_path;
   bool list_scenarios = false;
   Topology topology;
+  std::string trace_path;    // --trace-out: Chrome trace-event JSON
+  std::string metrics_path;  // --metrics-out: metrics registry JSON
+  bool stats = false;        // --stats: human-readable metrics table
 };
 
 struct Problem {
@@ -43,7 +47,14 @@ constexpr const char* kUsage =
     "usage: diffprov_cli (--scenario NAME | --program FILE --log FILE)\n"
     "                    --bad 'EVENT' (--good 'EVENT' | --auto-reference)\n"
     "                    [--minimize] [--show-tree good|bad] [--dot FILE]\n"
-    "                    [--link A B DELAY]... [--list-scenarios]\n";
+    "                    [--link A B DELAY]... [--list-scenarios]\n"
+    "                    [--trace-out FILE] [--metrics-out FILE] [--stats]\n"
+    "\n"
+    "observability:\n"
+    "  --trace-out FILE    write a Chrome trace-event JSON of the diagnosis\n"
+    "                      (open in ui.perfetto.dev or chrome://tracing)\n"
+    "  --metrics-out FILE  write the dp.* metrics registry as JSON\n"
+    "  --stats             print the metrics registry as a table\n";
 
 std::optional<Problem> builtin_scenario(const std::string& name,
                                         std::ostream& err) {
@@ -166,6 +177,16 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         options.topology.connect(a, b, std::stoll(args[++i]));
       } else if (arg == "--list-scenarios") {
         options.list_scenarios = true;
+      } else if (arg == "--trace-out") {
+        auto v = next("a path");
+        if (!v) return 2;
+        options.trace_path = *v;
+      } else if (arg == "--metrics-out") {
+        auto v = next("a path");
+        if (!v) return 2;
+        options.metrics_path = *v;
+      } else if (arg == "--stats") {
+        options.stats = true;
       } else if (arg == "--help" || arg == "-h") {
         out << kUsage;
         return 0;
@@ -222,9 +243,16 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     return 2;
   }
 
+  // Observability: spans flow into the default tracer once it is enabled;
+  // engines and the recorder publish into the default registry so one dump
+  // covers the whole pipeline.
+  if (!options.trace_path.empty()) obs::default_tracer().set_enabled(true);
+  ReplayOptions replay_options;
+  replay_options.engine_config.metrics = &obs::default_registry();
+
   // Query the trees.
   LogReplayProvider query_provider(problem->program, problem->topology,
-                                   problem->log);
+                                   problem->log, replay_options);
   const BadRun run = query_provider.replay_bad({});
   const auto bad_tree = locate_tree(*run.graph, *problem->bad_event);
   if (!bad_tree) {
@@ -244,7 +272,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
 
   LogReplayProvider provider(problem->program, problem->topology,
-                             problem->log);
+                             problem->log, replay_options);
   DiffProv diffprov(problem->program, provider);
   DiffProvResult result;
   if (problem->good_event) {
@@ -279,6 +307,29 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
 
   out << result.to_string();
+
+  if (!options.trace_path.empty()) {
+    std::ofstream trace(options.trace_path, std::ios::binary);
+    if (!trace) {
+      err << "cannot write " << options.trace_path << "\n";
+      return 2;
+    }
+    trace << obs::default_tracer().to_chrome_json();
+    out << "wrote trace (" << obs::default_tracer().size() << " events) to "
+        << options.trace_path << "\n";
+  }
+  if (!options.metrics_path.empty()) {
+    std::ofstream metrics(options.metrics_path, std::ios::binary);
+    if (!metrics) {
+      err << "cannot write " << options.metrics_path << "\n";
+      return 2;
+    }
+    metrics << obs::default_registry().to_json();
+    out << "wrote metrics (" << obs::default_registry().size()
+        << " series) to " << options.metrics_path << "\n";
+  }
+  if (options.stats) out << obs::default_registry().to_text();
+
   return result.ok() ? 0 : 1;
 }
 

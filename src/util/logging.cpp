@@ -1,13 +1,10 @@
 #include "util/logging.h"
 
-#include <atomic>
 #include <cstdio>
 
 namespace dp {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -25,13 +22,21 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
-
 namespace internal {
 void log_emit(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
-  std::fprintf(stderr, "[dp:%s] %s\n", level_name(level), message.c_str());
+  // Re-checked here so direct log_emit callers stay filtered too (the DP_LOG
+  // macros have already short-circuited below-threshold levels).
+  if (level < log_level()) return;
+  // One fwrite per line: stdio locks the FILE per call (POSIX), so lines
+  // from concurrent threads never interleave mid-line.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line += "[dp:";
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 }  // namespace internal
 

@@ -2,8 +2,15 @@
 //
 // This is *not* the paper's "logging engine" (that lives in src/replay); it
 // is plain stderr diagnostics, off by default so benchmarks stay quiet.
+//
+// DP_LOG short-circuits: when the level is below the threshold the whole
+// statement costs one relaxed atomic load and a branch -- the stream, the
+// message, and every `<<` operand expression are never evaluated. Emission
+// is thread-safe: each line is written with a single stdio call, so
+// concurrent loggers never interleave within a line.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
 
@@ -11,11 +18,9 @@ namespace dp {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global threshold; messages below it are discarded. Default: kWarn.
-void set_log_level(LogLevel level);
-LogLevel log_level();
-
 namespace internal {
+inline std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
+
 void log_emit(LogLevel level, const std::string& message);
 
 class LogLine {
@@ -35,11 +40,33 @@ class LogLine {
   LogLevel level_;
   std::ostringstream stream_;
 };
+
+/// Turns the discarded LogLine expression into void so DP_LOG's ternary has
+/// matching branch types (the Chromium LAZY_STREAM idiom).
+struct LogVoidify {
+  void operator&(const LogLine&) const {}
+};
 }  // namespace internal
+
+/// Global threshold; messages below it are discarded. Default: kWarn.
+inline void set_log_level(LogLevel level) {
+  internal::g_log_level.store(level, std::memory_order_relaxed);
+}
+inline LogLevel log_level() {
+  return internal::g_log_level.load(std::memory_order_relaxed);
+}
 
 }  // namespace dp
 
-#define DP_LOG(level) ::dp::internal::LogLine(::dp::LogLevel::level)
+// Ternary (not `if`) so the macro is safe inside unbraced if/else and the
+// LogLine + every streamed operand are only constructed when the level is
+// enabled. `&` binds looser than `<<`, so the whole chain is the ternary's
+// else-branch.
+#define DP_LOG(level)                                       \
+  (::dp::LogLevel::level < ::dp::log_level())               \
+      ? (void)0                                             \
+      : ::dp::internal::LogVoidify() &                      \
+            ::dp::internal::LogLine(::dp::LogLevel::level)
 #define DP_DEBUG DP_LOG(kDebug)
 #define DP_INFO DP_LOG(kInfo)
 #define DP_WARN DP_LOG(kWarn)

@@ -1,0 +1,342 @@
+// Tests for the observability layer (src/obs): metrics semantics, span
+// nesting under concurrency, dump well-formedness (parsed back with the
+// checker CI uses), and the two cross-variant guarantees -- tracing on/off
+// changes nothing observable, and both join evaluators report identical
+// semantic counters through the registry facade.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "diffprov/diffprov.h"
+#include "ndlog/parser.h"
+#include "obs/json_check.h"
+#include "obs/obs.h"
+#include "provenance/vertex.h"
+#include "replay/replay_engine.h"
+#include "runtime/metrics_observer.h"
+#include "sdn/scenario.h"
+
+namespace dp {
+namespace {
+
+// ----------------------------------------------------------- metrics --
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("dp.test.count");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Find-or-create returns the same instrument.
+  EXPECT_EQ(&registry.counter("dp.test.count"), &c);
+
+  obs::Gauge& g = registry.gauge("dp.test.depth");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+  g.set_max(3);  // below current: no change
+  EXPECT_EQ(g.value(), 5);
+  g.set_max(9);
+  EXPECT_EQ(g.value(), 9);
+
+  EXPECT_EQ(registry.size(), 2u);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(registry.size(), 2u);  // instruments survive a reset
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // le semantics: lands in the 1.0 bucket
+  h.observe(1.5);    // <= 10
+  h.observe(10.0);   // in the 10.0 bucket
+  h.observe(100.0);  // in the 100.0 bucket
+  h.observe(100.5);  // overflow -> +Inf
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 10.0 + 100.0 + 100.5);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  for (std::uint64_t b : h.bucket_counts()) EXPECT_EQ(b, 0u);
+}
+
+TEST(Metrics, PrometheusDumpHasHistogramSeries) {
+  obs::MetricsRegistry registry;
+  registry.counter("dp.test.total").inc(3);
+  registry.histogram("dp.test.lat_us", {1.0, 10.0}).observe(5.0);
+  const std::string text = registry.to_prometheus();
+  // Dots become underscores; histograms expose cumulative le buckets.
+  EXPECT_NE(text.find("dp_test_total 3"), std::string::npos);
+  EXPECT_NE(text.find("dp_test_lat_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dp_test_lat_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dp_test_lat_us_count 1"), std::string::npos);
+}
+
+TEST(Metrics, JsonDumpParsesBack) {
+  obs::MetricsRegistry registry;
+  registry.counter("dp.test.a").inc();
+  registry.gauge("dp.test.b").set(-4);
+  registry.histogram("dp.test.c", {2.0}).observe(1.0);
+  const std::string json = registry.to_json();
+  EXPECT_EQ(obs::json_error(json), std::nullopt) << json;
+  const obs::MetricsCheck check = obs::check_metrics_json(json);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.series, 3u);
+  EXPECT_TRUE(check.names.count("dp.test.a"));
+  EXPECT_TRUE(check.names.count("dp.test.b"));
+  EXPECT_TRUE(check.names.count("dp.test.c"));
+}
+
+TEST(Metrics, SanitizeMetricSegment) {
+  EXPECT_EQ(obs::sanitize_metric_segment("rule-1 (v2)"), "rule_1__v2_");
+  EXPECT_EQ(obs::sanitize_metric_segment("ok_name.x"), "ok_name.x");
+}
+
+// ------------------------------------------------------------- spans --
+
+TEST(Trace, SpanRecordsCompleteEvent) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Span span(tracer, "dp.test.work", "test");
+  }
+  ASSERT_EQ(tracer.size(), 1u);
+  const obs::TraceEvent event = tracer.events().front();
+  EXPECT_EQ(event.name, "dp.test.work");
+  EXPECT_STREQ(event.category, "test");
+}
+
+TEST(Trace, DisabledTracerRecordsNothingAndEndIsIdempotent) {
+  obs::Tracer tracer;  // disabled by default
+  obs::Span inert(tracer, "dp.test.skipped");
+  EXPECT_FALSE(inert.active());
+  inert.end();
+  EXPECT_EQ(tracer.size(), 0u);
+
+  tracer.set_enabled(true);
+  obs::Span span(tracer, "dp.test.once");
+  span.end();
+  span.end();  // second end must not double-record
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(Trace, ConcurrentSpansNestByTimeContainmentPerThread) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kIterations; ++i) {
+        obs::Span outer(tracer, "outer");
+        obs::Span inner(tracer, "inner");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), std::size_t{kThreads} * kIterations * 2);
+  std::set<std::uint32_t> tids;
+  std::size_t inner_count = 0;
+  for (const obs::TraceEvent& event : events) {
+    tids.insert(event.tid);
+    if (event.name != "inner") continue;
+    ++inner_count;
+    // Stack discipline: some same-thread outer span must contain it.
+    bool contained = false;
+    for (const obs::TraceEvent& outer : events) {
+      if (outer.tid != event.tid || outer.name != "outer") continue;
+      if (outer.start_us <= event.start_us &&
+          outer.start_us + outer.duration_us >=
+              event.start_us + event.duration_us) {
+        contained = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(contained) << "inner span escaped every outer span";
+  }
+  EXPECT_EQ(tids.size(), std::size_t{kThreads});
+  EXPECT_EQ(inner_count, std::size_t{kThreads} * kIterations);
+}
+
+TEST(Trace, ChromeJsonParsesBackWithEscapedNames) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::Span a(tracer, "plain");
+    obs::Span b(tracer, "we\"ird\\name");
+    obs::Span c(tracer, "ctrl\nchar");  // control chars may be replaced,
+                                        // but must never break the JSON
+  }
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_EQ(obs::json_error(json), std::nullopt) << json;
+  const obs::TraceCheck check = obs::check_chrome_trace(json);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.events, 3u);
+  EXPECT_TRUE(check.names.count("plain"));
+  EXPECT_TRUE(check.names.count("we\"ird\\name"));
+}
+
+TEST(Trace, JsonCheckerRejectsMalformedInput) {
+  EXPECT_TRUE(obs::json_error("{\"truncated\": ").has_value());
+  EXPECT_TRUE(obs::json_error("{\"trailing\": 1,}").has_value());
+  EXPECT_FALSE(obs::check_chrome_trace("{\"noTraceEvents\": []}").ok);
+  EXPECT_FALSE(obs::check_metrics_json("[1, 2]").ok);
+}
+
+// ----------------------------------------------- cross-variant tests --
+
+// One full SDN1 diagnosis; returns every observable artifact as one string.
+std::string diagnose_sdn1_fingerprint() {
+  sdn::Scenario s = sdn::sdn1();
+  LogReplayProvider provider(s.program, s.topology, s.log);
+  const BadRun run = provider.replay_bad({});
+  const auto good_tree = locate_tree(*run.graph, s.good_event);
+  const auto bad_tree = locate_tree(*run.graph, s.bad_event);
+  if (!good_tree || !bad_tree) return "tree missing";
+  DiffProv diffprov(s.program, provider);
+  const DiffProvResult result = diffprov.diagnose(*good_tree, s.bad_event);
+  return good_tree->to_text() + "\n---\n" + bad_tree->to_text() + "\n---\n" +
+         result.to_string();
+}
+
+TEST(Obs, TracingOnOffIsByteIdenticalForProvenanceAndDiagnosis) {
+  obs::default_tracer().set_enabled(false);
+  const std::string off = diagnose_sdn1_fingerprint();
+
+  obs::default_tracer().set_enabled(true);
+  const std::string on = diagnose_sdn1_fingerprint();
+  obs::default_tracer().set_enabled(false);
+  obs::default_tracer().clear();
+
+  EXPECT_EQ(off, on);
+  EXPECT_NE(off.find("DiffProv: success"), std::string::npos) << off;
+}
+
+TEST(Obs, PlannedAndFullScanEvaluatorsAgreeThroughRegistryFacade) {
+  sdn::Scenario s = sdn::sdn1();
+  ReplayOptions planned;
+  planned.engine_config.use_join_plans = true;
+  ReplayOptions fullscan;
+  fullscan.engine_config.use_join_plans = false;
+  ReplayResult a = replay(s.program, s.topology, s.log, {}, planned);
+  ReplayResult b = replay(s.program, s.topology, s.log, {}, fullscan);
+
+  obs::MetricsRegistry& ra = a.engine->metrics();
+  obs::MetricsRegistry& rb = b.engine->metrics();
+  // Semantic counters must agree exactly (join-mechanics counters --
+  // index_probes, tuples_scanned -- differ by design).
+  std::vector<std::string> names = {
+      "dp.runtime.base_inserts",     "dp.runtime.base_deletes",
+      "dp.runtime.derivations",      "dp.runtime.underivations",
+      "dp.runtime.remote_messages",  "dp.runtime.events_processed",
+  };
+  for (const Rule& rule : s.program.rules()) {
+    names.push_back("dp.runtime.rule_firings." +
+                    obs::sanitize_metric_segment(rule.name));
+  }
+  for (const std::string& name : names) {
+    EXPECT_EQ(ra.counter(name).value(), rb.counter(name).value()) << name;
+  }
+  EXPECT_GT(ra.counter("dp.runtime.derivations").value(), 0u);
+
+  // The Stats struct is a facade over the same numbers.
+  EXPECT_EQ(a.engine->stats().derivations,
+            ra.counter("dp.runtime.derivations").value());
+  EXPECT_EQ(a.engine->stats().events_processed,
+            ra.counter("dp.runtime.events_processed").value());
+}
+
+TEST(Obs, ProvenanceVertexCountsPublishPerKind) {
+  // replay() publishes graph growth into the default registry (the registry
+  // is shared process-wide, so we measure deltas around the call).
+  obs::MetricsRegistry& registry = obs::default_registry();
+  const std::uint64_t vertices_before =
+      registry.counter("dp.prov.vertices").value();
+  const std::uint64_t derives_before =
+      registry.counter("dp.prov.vertex.derive").value();
+
+  sdn::Scenario s = sdn::sdn1();
+  ReplayResult run = replay(s.program, s.topology, s.log, {}, {});
+  ProvenanceGraph& graph = run.recorder->graph();
+
+  const auto& by_kind = graph.counters().by_kind;
+  std::uint64_t total = 0;
+  for (std::uint64_t n : by_kind) total += n;
+  EXPECT_EQ(total, graph.size());
+  EXPECT_GT(by_kind[static_cast<std::size_t>(VertexKind::kDerive)], 0u);
+
+  EXPECT_EQ(registry.counter("dp.prov.vertices").value() - vertices_before,
+            total);
+  EXPECT_EQ(registry.counter("dp.prov.vertex.derive").value() - derives_before,
+            by_kind[static_cast<std::size_t>(VertexKind::kDerive)]);
+  // Delta-publish: republishing an unchanged graph adds nothing.
+  graph.publish_metrics(registry);
+  EXPECT_EQ(registry.counter("dp.prov.vertices").value() - vertices_before,
+            total);
+}
+
+TEST(Obs, MetricsObserverCountsPerTableActivity) {
+  Program program = parse_program(R"(
+    table base(2) base mutable keys(0).
+    table out(2) derived.
+    rule r out(@N, V) :- base(@N, V).
+  )");
+  Engine engine(program, {});
+  obs::MetricsRegistry registry;
+  MetricsObserver observer(registry);
+  engine.add_observer(&observer);
+
+  engine.schedule_insert(Tuple("base", {"n1", 1}), 0);
+  engine.run();
+  EXPECT_EQ(registry.counter("dp.runtime.table.base.inserts").value(), 1u);
+  EXPECT_EQ(registry.counter("dp.runtime.table.out.derives").value(), 1u);
+
+  // A key upsert displaces the old row: one delete, one underive.
+  engine.schedule_insert(Tuple("base", {"n1", 2}), 1);
+  engine.run();
+  EXPECT_EQ(registry.counter("dp.runtime.table.base.inserts").value(), 2u);
+  EXPECT_EQ(registry.counter("dp.runtime.table.base.deletes").value(), 1u);
+  EXPECT_EQ(registry.counter("dp.runtime.table.out.underives").value(), 1u);
+}
+
+TEST(Obs, EngineRecordsRuleSpansWhenTracingIsEnabled) {
+  obs::default_tracer().clear();
+  obs::default_tracer().set_enabled(true);
+  sdn::Scenario s = sdn::sdn1();
+  ReplayResult run = replay(s.program, s.topology, s.log, {}, {});
+  obs::default_tracer().set_enabled(false);
+
+  std::size_t rule_spans = 0;
+  bool saw_run_span = false;
+  for (const obs::TraceEvent& event : obs::default_tracer().events()) {
+    if (event.name.rfind("rule:", 0) == 0) ++rule_spans;
+    if (event.name == "dp.runtime.run") saw_run_span = true;
+  }
+  obs::default_tracer().clear();
+  EXPECT_GT(rule_spans, 0u);
+  EXPECT_TRUE(saw_run_span);
+  // Latency samples ride along with the spans.
+  EXPECT_GT(run.engine->metrics().histogram("dp.runtime.rule_fire_us").count(),
+            0u);
+}
+
+}  // namespace
+}  // namespace dp

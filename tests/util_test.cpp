@@ -2,8 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/hash.h"
+#include "util/logging.h"
 #include "util/ip.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -159,6 +162,53 @@ TEST(Strings, JoinAndStartsWith) {
 TEST(Strings, HumanBytes) {
   EXPECT_EQ(human_bytes(512), "512.00 B");
   EXPECT_EQ(human_bytes(1536), "1.50 KB");
+}
+
+TEST(Logging, DisabledLevelNeverEvaluatesOperands) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  int calls = 0;
+  auto expensive = [&calls] {
+    ++calls;
+    return 42;
+  };
+  DP_DEBUG << "value=" << expensive();
+  DP_WARN << "value=" << expensive();
+  EXPECT_EQ(calls, 0);  // whole statement short-circuited
+  DP_ERROR << "enabled level evaluates once: " << expensive();
+  EXPECT_EQ(calls, 1);
+  set_log_level(saved);
+}
+
+TEST(Logging, MacroIsSafeInUnbracedIfElse) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kOff);
+  int branch = 0;
+  // Dangling-else check: the else must bind to the outer if, not to
+  // anything inside the macro expansion.
+  if (branch == 0)
+    DP_DEBUG << "taken";
+  else
+    branch = 1;
+  EXPECT_EQ(branch, 0);
+  set_log_level(saved);
+}
+
+TEST(Logging, ConcurrentEmissionIsSafe) {
+  const LogLevel saved = log_level();
+  // Emits for real (stderr): each line is one stdio call, so TSan-clean and
+  // never interleaved within a line. Keep the volume small.
+  set_log_level(LogLevel::kError);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 3; ++i) {
+        DP_ERROR << "logging-test thread=" << t << " i=" << i;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  set_log_level(saved);
 }
 
 }  // namespace
