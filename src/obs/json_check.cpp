@@ -1,37 +1,19 @@
 #include "obs/json_check.h"
 
 #include <cctype>
-#include <map>
-#include <memory>
-#include <vector>
+#include <cstdio>
+#include <cstdlib>
 
 namespace dp::obs {
 
 namespace {
 
-// A tiny JSON value tree -- enough structure for the two checkers below.
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  double number = 0;
-  bool boolean = false;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    if (kind != Kind::kObject) return nullptr;
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  std::optional<JsonValue> parse(std::string& error) {
-    JsonValue value;
+  std::optional<Json> parse(std::string& error) {
+    Json value;
     if (!parse_value(value)) {
       error = "offset " + std::to_string(pos_) + ": " + error_;
       return std::nullopt;
@@ -64,6 +46,44 @@ class Parser {
     return true;
   }
 
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape");
+      }
+    }
+    pos_ += 4;
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     if (pos_ >= text_.size() || text_[pos_] != '"') {
       return fail("expected string");
@@ -92,14 +112,25 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
-            for (int i = 0; i < 4; ++i) {
-              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
-                return fail("bad \\u escape");
+            std::uint32_t cp = 0;
+            if (!parse_hex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return fail("unpaired surrogate");
               }
+              pos_ += 2;
+              std::uint32_t low = 0;
+              if (!parse_hex4(low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return fail("unpaired surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return fail("unpaired surrogate");
             }
-            out += '?';  // checkers never inspect escaped name content
-            pos_ += 4;
+            append_utf8(out, cp);
             break;
           }
           default:
@@ -158,13 +189,13 @@ class Parser {
     return true;
   }
 
-  bool parse_value(JsonValue& out) {
+  bool parse_value(Json& out) {
     skip_ws();
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     const char c = text_[pos_];
     if (c == '{') {
       ++pos_;
-      out.kind = JsonValue::Kind::kObject;
+      out.kind = Json::Kind::kObject;
       skip_ws();
       if (pos_ < text_.size() && text_[pos_] == '}') {
         ++pos_;
@@ -179,7 +210,7 @@ class Parser {
           return fail("expected ':'");
         }
         ++pos_;
-        JsonValue value;
+        Json value;
         if (!parse_value(value)) return false;
         out.object.emplace(std::move(key), std::move(value));
         skip_ws();
@@ -197,14 +228,14 @@ class Parser {
     }
     if (c == '[') {
       ++pos_;
-      out.kind = JsonValue::Kind::kArray;
+      out.kind = Json::Kind::kArray;
       skip_ws();
       if (pos_ < text_.size() && text_[pos_] == ']') {
         ++pos_;
         return true;
       }
       while (true) {
-        JsonValue value;
+        Json value;
         if (!parse_value(value)) return false;
         out.array.push_back(std::move(value));
         skip_ws();
@@ -221,24 +252,24 @@ class Parser {
       }
     }
     if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
+      out.kind = Json::Kind::kString;
       return parse_string(out.string);
     }
     if (c == 't') {
-      out.kind = JsonValue::Kind::kBool;
+      out.kind = Json::Kind::kBool;
       out.boolean = true;
       return literal("true");
     }
     if (c == 'f') {
-      out.kind = JsonValue::Kind::kBool;
+      out.kind = Json::Kind::kBool;
       out.boolean = false;
       return literal("false");
     }
     if (c == 'n') {
-      out.kind = JsonValue::Kind::kNull;
+      out.kind = Json::Kind::kNull;
       return literal("null");
     }
-    out.kind = JsonValue::Kind::kNumber;
+    out.kind = Json::Kind::kNumber;
     return parse_number(out.number);
   }
 
@@ -247,45 +278,89 @@ class Parser {
   std::string error_;
 };
 
-std::optional<JsonValue> parse_json(std::string_view text,
-                                    std::string& error) {
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string& error) {
   return Parser(text).parse(error);
 }
 
-}  // namespace
+std::string Json::get_string(const std::string& key,
+                             std::string fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind == Kind::kString ? v->string
+                                                  : std::move(fallback);
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  const Json* v = find(key);
+  return v != nullptr && v->kind == Kind::kBool ? v->boolean : fallback;
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
 
 std::optional<std::string> json_error(std::string_view text) {
   std::string error;
-  if (!parse_json(text, error)) return error;
+  if (!Json::parse(text, error)) return error;
   return std::nullopt;
 }
 
 TraceCheck check_chrome_trace(std::string_view text) {
   TraceCheck check;
   std::string error;
-  const auto root = parse_json(text, error);
+  const auto root = Json::parse(text, error);
   if (!root) {
     check.error = error;
     return check;
   }
-  if (root->kind != JsonValue::Kind::kObject) {
+  if (root->kind != Json::Kind::kObject) {
     check.error = "top level is not an object";
     return check;
   }
-  const JsonValue* events = root->find("traceEvents");
-  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+  const Json* events = root->find("traceEvents");
+  if (events == nullptr || events->kind != Json::Kind::kArray) {
     check.error = "missing \"traceEvents\" array";
     return check;
   }
   for (std::size_t i = 0; i < events->array.size(); ++i) {
-    const JsonValue& e = events->array[i];
-    const JsonValue* name = e.find("name");
-    const JsonValue* ph = e.find("ph");
-    const JsonValue* ts = e.find("ts");
-    if (e.kind != JsonValue::Kind::kObject || name == nullptr ||
-        name->kind != JsonValue::Kind::kString || ph == nullptr ||
-        ph->kind != JsonValue::Kind::kString || ts == nullptr ||
-        ts->kind != JsonValue::Kind::kNumber) {
+    const Json& e = events->array[i];
+    const Json* name = e.find("name");
+    const Json* ph = e.find("ph");
+    const Json* ts = e.find("ts");
+    if (e.kind != Json::Kind::kObject || name == nullptr ||
+        name->kind != Json::Kind::kString || ph == nullptr ||
+        ph->kind != Json::Kind::kString || ts == nullptr ||
+        ts->kind != Json::Kind::kNumber) {
       check.error = "event " + std::to_string(i) +
                     " lacks string name/ph or numeric ts";
       return check;
@@ -300,18 +375,18 @@ TraceCheck check_chrome_trace(std::string_view text) {
 MetricsCheck check_metrics_json(std::string_view text) {
   MetricsCheck check;
   std::string error;
-  const auto root = parse_json(text, error);
+  const auto root = Json::parse(text, error);
   if (!root) {
     check.error = error;
     return check;
   }
-  if (root->kind != JsonValue::Kind::kObject) {
+  if (root->kind != Json::Kind::kObject) {
     check.error = "top level is not an object";
     return check;
   }
   for (const char* section : {"counters", "gauges", "histograms"}) {
-    const JsonValue* group = root->find(section);
-    if (group == nullptr || group->kind != JsonValue::Kind::kObject) {
+    const Json* group = root->find(section);
+    if (group == nullptr || group->kind != Json::Kind::kObject) {
       check.error = std::string("missing \"") + section + "\" object";
       return check;
     }
@@ -319,14 +394,14 @@ MetricsCheck check_metrics_json(std::string_view text) {
       check.names.insert(name);
       ++check.series;
       if (std::string_view(section) == "histograms") {
-        const JsonValue* buckets = value.find("buckets");
-        const JsonValue* count = value.find("count");
-        if (buckets == nullptr || buckets->kind != JsonValue::Kind::kArray ||
-            count == nullptr || count->kind != JsonValue::Kind::kNumber) {
+        const Json* buckets = value.find("buckets");
+        const Json* count = value.find("count");
+        if (buckets == nullptr || buckets->kind != Json::Kind::kArray ||
+            count == nullptr || count->kind != Json::Kind::kNumber) {
           check.error = "histogram " + name + " lacks buckets/count";
           return check;
         }
-      } else if (value.kind != JsonValue::Kind::kNumber) {
+      } else if (value.kind != Json::Kind::kNumber) {
         check.error = section + (" entry " + name) + " is not a number";
         return check;
       }

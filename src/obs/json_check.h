@@ -1,18 +1,57 @@
-// Minimal JSON well-formedness checking for the files this layer emits:
-// Chrome trace-event dumps (--trace-out) and metrics dumps (--metrics-out).
+// Minimal JSON support for this codebase's wire and artifact formats:
+// Chrome trace-event dumps (--trace-out), metrics dumps (--metrics-out), and
+// the diffprovd newline-delimited-JSON protocol.
 //
-// Used by tests (parse our own output back) and by the obs_check CLI that CI
-// runs over the uploaded artifacts. This is a validator, not a general JSON
-// library: it parses strictly (RFC 8259 grammar, no trailing commas) and
-// surfaces only what the checks need -- span/metric names and counts.
+// `Json` is a strict (RFC 8259, no trailing commas) parsed value tree plus
+// an escaping writer. The `check_*` helpers validate the two artifact shapes
+// for tests and the obs_check CLI. This is deliberately not a general JSON
+// library: no streaming, no number round-tripping guarantees beyond double.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace dp::obs {
+
+/// A parsed JSON value. Objects keep one entry per key (duplicate keys:
+/// first wins, matching the previous checker behaviour).
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0;
+  bool boolean = false;
+  std::string string;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  /// Strict parse of `text` as a single JSON value; on failure returns
+  /// nullopt and sets `error` to "offset N: ...".
+  static std::optional<Json> parse(std::string_view text, std::string& error);
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  // Typed lookups for flat protocol objects: the value if present and of the
+  // right type, else the fallback.
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string fallback = "") const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback = 0) const;
+  [[nodiscard]] bool get_bool(const std::string& key,
+                              bool fallback = false) const;
+};
+
+/// Renders `text` as a JSON string literal, quotes included: control
+/// characters become \uXXXX (or the short escapes), '"' and '\\' are
+/// escaped, everything else passes through byte-for-byte.
+std::string json_quote(std::string_view text);
 
 /// Strict parse of `text` as a single JSON value. Returns an error message
 /// ("offset N: ...") or nullopt if well-formed.

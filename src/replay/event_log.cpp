@@ -34,34 +34,64 @@ void put_string(std::ostream& out, const std::string& s) {
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::uint8_t get_u8(std::istream& in) {
-  const int c = in.get();
-  if (c == EOF) throw std::runtime_error("event log: truncated input");
-  return static_cast<std::uint8_t>(c);
-}
+// The daemon feeds these decoders bytes straight off the wire, so every
+// failure must be a clean exception naming the offending byte offset --
+// never an assert, an unbounded allocation, or silently-partial state.
+constexpr std::uint32_t kMaxNameLen = 1u << 16;    // table names
+constexpr std::uint32_t kMaxStringLen = 1u << 24;  // string field payloads
+constexpr std::uint16_t kMaxArity = 1024;
 
-std::uint16_t get_u16(std::istream& in) {
-  const auto hi = get_u8(in);
-  return static_cast<std::uint16_t>((hi << 8) | get_u8(in));
-}
+/// Byte-counting reader over an istream: every primitive read advances
+/// `offset`, and every failure reports the offset where decoding stopped.
+struct ByteReader {
+  std::istream& in;
+  std::uint64_t offset = 0;
 
-std::uint32_t get_u32(std::istream& in) {
-  const auto hi = get_u16(in);
-  return (static_cast<std::uint32_t>(hi) << 16) | get_u16(in);
-}
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("event log: " + what + " at byte offset " +
+                             std::to_string(offset));
+  }
 
-std::uint64_t get_u64(std::istream& in) {
-  const auto hi = get_u32(in);
-  return (static_cast<std::uint64_t>(hi) << 32) | get_u32(in);
-}
+  std::uint8_t u8() {
+    const int c = in.get();
+    if (c == EOF) fail("truncated input");
+    ++offset;
+    return static_cast<std::uint8_t>(c);
+  }
 
-std::string get_string(std::istream& in) {
-  const std::uint32_t size = get_u32(in);
-  std::string s(size, '\0');
-  in.read(s.data(), static_cast<std::streamsize>(size));
-  if (!in) throw std::runtime_error("event log: truncated string");
-  return s;
-}
+  std::uint16_t u16() {
+    const auto hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+
+  std::uint32_t u32() {
+    const auto hi = u16();
+    return (static_cast<std::uint32_t>(hi) << 16) | u16();
+  }
+
+  std::uint64_t u64() {
+    const auto hi = u32();
+    return (static_cast<std::uint64_t>(hi) << 32) | u32();
+  }
+
+  std::string string(std::uint32_t max_len) {
+    const std::uint32_t size = u32();
+    if (size > max_len) {
+      fail("implausible string length " + std::to_string(size) +
+           " (limit " + std::to_string(max_len) + ")");
+    }
+    std::string s(size, '\0');
+    in.read(s.data(), static_cast<std::streamsize>(size));
+    if (in.gcount() != static_cast<std::streamsize>(size)) {
+      offset += static_cast<std::uint64_t>(in.gcount());
+      fail("truncated string");
+    }
+    offset += size;
+    return s;
+  }
+
+  [[nodiscard]] bool at_eof() { return in.peek() == EOF; }
+};
 
 void put_value(std::ostream& out, const Value& v) {
   put_u8(out, static_cast<std::uint8_t>(v.type()));
@@ -89,27 +119,35 @@ void put_value(std::ostream& out, const Value& v) {
   }
 }
 
-Value get_value(std::istream& in) {
-  const auto type = static_cast<ValueType>(get_u8(in));
+Value get_value(ByteReader& reader) {
+  const std::uint64_t tag_offset = reader.offset;
+  const std::uint8_t raw_tag = reader.u8();
+  const auto type = static_cast<ValueType>(raw_tag);
   switch (type) {
     case ValueType::kInt:
-      return Value(static_cast<std::int64_t>(get_u64(in)));
+      return Value(static_cast<std::int64_t>(reader.u64()));
     case ValueType::kDouble: {
-      const std::uint64_t bits = get_u64(in);
+      const std::uint64_t bits = reader.u64();
       double d = 0;
       __builtin_memcpy(&d, &bits, sizeof(d));
       return Value(d);
     }
     case ValueType::kString:
-      return Value(get_string(in));
+      return Value(reader.string(kMaxStringLen));
     case ValueType::kIp:
-      return Value(Ipv4(get_u32(in)));
+      return Value(Ipv4(reader.u32()));
     case ValueType::kPrefix: {
-      const Ipv4 base(get_u32(in));
-      return Value(IpPrefix(base, get_u8(in)));
+      const Ipv4 base(reader.u32());
+      const std::uint8_t length = reader.u8();
+      if (length > 32) {
+        reader.fail("prefix length " + std::to_string(length) + " exceeds 32");
+      }
+      return Value(IpPrefix(base, length));
     }
   }
-  throw std::runtime_error("event log: corrupt value tag");
+  throw std::runtime_error("event log: corrupt value tag " +
+                           std::to_string(raw_tag) + " at byte offset " +
+                           std::to_string(tag_offset));
 }
 
 std::uint64_t value_size(const Value& v) {
@@ -217,7 +255,16 @@ EventLog EventLog::from_text(std::string_view text) {
     } catch (...) {
       throw fail("malformed timestamp");
     }
-    record.tuple = parse_tuple(line.substr(0, paren + 1));
+    // Anything between the tuple and the '@' must be whitespace, or the
+    // record is ambiguous (e.g. two tuples on one line).
+    for (char c : line.substr(paren + 1, at - paren - 1)) {
+      if (c != ' ' && c != '\t') throw fail("trailing content after tuple");
+    }
+    try {
+      record.tuple = parse_tuple(line.substr(0, paren + 1));
+    } catch (const std::exception& e) {
+      throw fail(e.what());
+    }
     log.append(std::move(record));
   }
   return log;
@@ -225,15 +272,28 @@ EventLog EventLog::from_text(std::string_view text) {
 
 EventLog EventLog::deserialize(std::istream& in) {
   EventLog log;
-  while (in.peek() != EOF) {
+  ByteReader reader{in};
+  while (!reader.at_eof()) {
     LogRecord record;
-    record.op = static_cast<LogRecord::Op>(get_u8(in));
-    record.time = static_cast<LogicalTime>(get_u64(in));
-    std::string table = get_string(in);
-    const std::uint16_t arity = get_u16(in);
+    const std::uint64_t record_offset = reader.offset;
+    const std::uint8_t op = reader.u8();
+    if (op > static_cast<std::uint8_t>(LogRecord::Op::kDelete)) {
+      throw std::runtime_error("event log: corrupt op byte " +
+                               std::to_string(op) + " at byte offset " +
+                               std::to_string(record_offset));
+    }
+    record.op = static_cast<LogRecord::Op>(op);
+    record.time = static_cast<LogicalTime>(reader.u64());
+    std::string table = reader.string(kMaxNameLen);
+    const std::uint16_t arity = reader.u16();
+    if (arity > kMaxArity) {
+      reader.fail("implausible arity " + std::to_string(arity));
+    }
     std::vector<Value> values;
     values.reserve(arity);
-    for (std::uint16_t i = 0; i < arity; ++i) values.push_back(get_value(in));
+    for (std::uint16_t i = 0; i < arity; ++i) {
+      values.push_back(get_value(reader));
+    }
     record.tuple = Tuple(std::move(table), std::move(values));
     log.append(std::move(record));
   }

@@ -1,0 +1,91 @@
+// Bounded multi-producer/multi-consumer job queue with explicit rejection.
+//
+// Admission control for the diagnosis service is "shed, don't block": when
+// the queue is at capacity, try_push fails immediately and the caller turns
+// that into a reject response -- a producer is never parked waiting for a
+// slot (a parked daemon connection thread would just move the queueing into
+// the kernel's accept backlog where nothing can observe or shed it).
+// Consumers do block: worker threads sleep in pop() until work arrives or
+// the queue is closed and drained.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace dp::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues if there is room and the queue is open; returns false (shed)
+  /// otherwise.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returns it) or the queue is closed
+  /// and empty (returns nullopt -- the consumer's signal to exit). Items
+  /// enqueued before close() are still handed out: this is the
+  /// drain-on-shutdown path.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes; pending items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Closes and removes all pending items, returning them so the caller can
+  /// fail their tickets (the no-drain shutdown path).
+  std::vector<T> close_and_clear() {
+    std::vector<T> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      orphans.assign(std::make_move_iterator(items_.begin()),
+                     std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    ready_.notify_all();
+    return orphans;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dp::service

@@ -1,0 +1,36 @@
+#include "service/cache.h"
+
+namespace dp::service {
+
+std::string make_cache_key(std::uint64_t log_hash, const std::string& bad,
+                           const std::string& reference, bool minimize,
+                           std::uint64_t config_epoch) {
+  return std::to_string(log_hash) + "|" + bad + "|" + reference + "|" +
+         (minimize ? "min" : "raw") + "|" + std::to_string(config_epoch);
+}
+
+std::optional<CachedResult> ResultCache::get(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.result;
+}
+
+void ResultCache::put(const std::string& key, CachedResult result) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(result), lru_.begin()});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+}  // namespace dp::service

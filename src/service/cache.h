@@ -1,0 +1,63 @@
+// LRU result cache for diagnosis queries.
+//
+// Keys follow the issue's contract: (log content hash, bad-event tuple,
+// reference choice, config epoch) -- plus the minimize flag, which changes
+// the answer. The key is rendered as one canonical string so equal queries
+// collide however they were phrased (scenario name vs. inline log with the
+// same bytes). Single-flight deduplication of *in-flight* queries lives in
+// DiagnosisService, which owns the tickets; this class only stores finished
+// results.
+//
+// Thread-compatible, not thread-safe: DiagnosisService calls it under its
+// own mutex (lookups are O(log n) map operations -- far off the diagnosis
+// critical path).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace dp::service {
+
+/// Canonical cache-key text. `reference` is the good-event tuple text, or
+/// "<auto>" for auto-reference queries.
+std::string make_cache_key(std::uint64_t log_hash, const std::string& bad,
+                           const std::string& reference, bool minimize,
+                           std::uint64_t config_epoch);
+
+/// A finished diagnosis, as served to clients.
+struct CachedResult {
+  int exit_code = 1;
+  std::string out;
+  std::string err;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and marks the entry most-recently-used.
+  std::optional<CachedResult> get(const std::string& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entries beyond capacity. A zero-capacity cache stores nothing.
+  void put(const std::string& key, CachedResult result);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    CachedResult result;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  std::size_t capacity_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace dp::service

@@ -1,0 +1,58 @@
+// diffprovd's transport: newline-delimited JSON over loopback TCP.
+//
+// Thread-per-connection on top of the in-process DiagnosisService -- the
+// service's own admission control is the backpressure mechanism, so the
+// transport stays dumb: read a line, hand it to protocol.h, write a line.
+// Binds 127.0.0.1 only (this is a local diagnosis daemon, not a network
+// service); port 0 asks the kernel for an ephemeral port, which tests and
+// the CI smoke read back via Daemon::port() / --port-file.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace dp::service {
+
+class Daemon {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral). Throws
+  /// std::runtime_error on socket failures.
+  Daemon(DiagnosisService& service, std::uint16_t port);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// The bound port (the kernel's choice when constructed with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Accepts and serves connections until stop() is called or a client
+  /// sends a shutdown op. Blocks; run it on the main thread (diffprovd
+  /// does) or a dedicated one (tests do).
+  void serve();
+
+  /// Unblocks serve() and closes the listener; in-flight connection threads
+  /// are joined, the service itself is left to the caller.
+  void stop();
+
+ private:
+  void handle_connection(int fd);
+
+  DiagnosisService& service_;
+  /// Atomic: stop() swaps in -1 and closes it while serve() is blocked in
+  /// accept() on another thread.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace dp::service

@@ -1,0 +1,83 @@
+#include "service/diagnose.h"
+
+#include "diffprov/reference.h"
+
+namespace dp::service {
+
+DiagnoseOutcome diagnose_problem(const Problem& problem,
+                                 const DiagnoseSpec& spec,
+                                 const ReplayOptions& replay_options,
+                                 std::shared_ptr<const BadRun> warm_run) {
+  DiagnoseOutcome outcome;
+
+  // The initial bad run: reuse the warm resident replay when the session
+  // manager supplies one, else replay the log (the cold path).
+  BadRun run;
+  if (warm_run != nullptr) {
+    run = *warm_run;
+  } else {
+    LogReplayProvider query_provider(problem.program, problem.topology,
+                                     problem.log, replay_options);
+    run = query_provider.replay_bad({});
+  }
+
+  const auto bad_tree = locate_tree(*run.graph, spec.bad_event);
+  if (!bad_tree) {
+    outcome.err = "the event of interest " + spec.bad_event.to_string() +
+                  " does not occur in the log\n";
+    return outcome;
+  }
+  if (spec.show_tree == "bad") {
+    outcome.pre = "provenance of " + spec.bad_event.to_string() + " (" +
+                  std::to_string(bad_tree->size()) + " vertexes):\n" +
+                  bad_tree->to_text() + "\n";
+  }
+  if (spec.want_dot) outcome.dot = bad_tree->to_dot();
+
+  LogReplayProvider provider(problem.program, problem.topology, problem.log,
+                             replay_options);
+  DiffProv diffprov(problem.program, provider);
+  DiffProvResult result;
+  if (spec.good_event) {
+    const auto good_tree = locate_tree(*run.graph, *spec.good_event);
+    if (!good_tree) {
+      outcome.err = "the reference event " + spec.good_event->to_string() +
+                    " does not occur in the log\n";
+      return outcome;
+    }
+    if (spec.show_tree == "good") {
+      outcome.out += "provenance of " + spec.good_event->to_string() + " (" +
+                     std::to_string(good_tree->size()) + " vertexes):\n" +
+                     good_tree->to_text() + "\n";
+    }
+    // A warm run stands in for the replay diagnose() would otherwise do
+    // first: replay is deterministic, so the result -- and therefore the
+    // rendered text -- is identical either way.
+    result = warm_run != nullptr
+                 ? diffprov.diagnose(*good_tree, spec.bad_event, run)
+                 : diffprov.diagnose(*good_tree, spec.bad_event);
+    if (spec.minimize && result.ok()) {
+      result = diffprov.minimize_delta(*good_tree, result);
+    }
+  } else {
+    const AutoDiagnosis auto_result = diagnose_with_auto_reference(
+        diffprov, *run.graph, spec.bad_event);
+    if (auto_result.reference) {
+      outcome.out += "auto-selected reference: " +
+                     auto_result.reference->to_string() + " (after trying " +
+                     std::to_string(auto_result.candidates_tried) +
+                     " candidate(s))\n";
+    }
+    result = auto_result.result;
+    if (spec.minimize && result.ok() && auto_result.reference) {
+      const auto good_tree = locate_tree(*run.graph, *auto_result.reference);
+      if (good_tree) result = diffprov.minimize_delta(*good_tree, result);
+    }
+  }
+
+  outcome.out += result.to_string();
+  outcome.exit_code = result.ok() ? 0 : 1;
+  return outcome;
+}
+
+}  // namespace dp::service

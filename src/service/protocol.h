@@ -1,0 +1,38 @@
+// The diffprovd wire protocol: newline-delimited JSON, one request object
+// per line, one response object per line.
+//
+// Requests: {"op": "submit" | "poll" | "wait" | "cancel" | "probe" |
+//            "stats" | "shutdown", ...}
+//   submit   scenario | (program + log), bad?, good?, auto_reference?,
+//            minimize?, bypass_cache?
+//   poll     id            non-blocking status
+//   wait     id            blocks until done/cancelled
+//   cancel   id
+//   probe    scenario, tuple
+//   stats
+//   shutdown               drains the queue, then the daemon exits
+//
+// Responses always carry "ok". Accepted submits carry "id"; shed submits
+// carry ok=false, shed=true. Finished queries carry exit_code/out/err --
+// `out` is the diagnosis report byte-for-byte as the one-shot CLI prints it
+// (json_quote escaping round-trips it losslessly; the acceptance test diffs
+// the two).
+//
+// This module is transport-free (string in, string out) so tests can
+// exercise the protocol without sockets; daemon.h owns the TCP loop.
+#pragma once
+
+#include <string>
+
+#include "service/service.h"
+
+namespace dp::service {
+
+/// Handles one request line against `service`, returning one response line
+/// (no trailing newline). Sets `shutdown_requested` on a shutdown op --
+/// the transport decides how to wind down. Malformed input yields an
+/// ok=false response naming the parse error; this function does not throw.
+std::string handle_request(DiagnosisService& service, const std::string& line,
+                           bool& shutdown_requested);
+
+}  // namespace dp::service

@@ -1,0 +1,421 @@
+#include "service/service.h"
+
+#include <sstream>
+
+#include "ndlog/parser.h"
+#include "obs/obs.h"
+
+namespace dp::service {
+namespace {
+
+// Completed tickets retained for poll() after the fact; beyond this, the
+// oldest finished tickets are dropped (ids are monotonic, so "oldest" is
+// map order).
+constexpr std::size_t kMaxRetainedTickets = 1 << 16;
+
+double micros_between(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+// Replays (session warm-ups and diagnosis experiments alike) publish engine
+// metrics into the service registry unless the caller wired one explicitly.
+ReplayOptions with_metrics(ReplayOptions options, obs::MetricsRegistry* r) {
+  if (options.engine_config.metrics == nullptr) {
+    options.engine_config.metrics = r;
+  }
+  return options;
+}
+
+}  // namespace
+
+std::string to_string(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kRunning:
+      return "running";
+    case QueryState::kDone:
+      return "done";
+    case QueryState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string ServiceStats::to_text() const {
+  std::ostringstream out;
+  out << "submitted " << submitted << " completed " << completed << " shed "
+      << shed << " cancelled " << cancelled << " runs " << runs << "\n"
+      << "cache hits " << cache_hits << " misses " << cache_misses
+      << " coalesced " << coalesced << " entries " << cache_size
+      << " evictions " << cache_evictions << "\n"
+      << "queue " << queue_depth << "/" << queue_capacity << " sessions "
+      << sessions << " (" << warm_sessions << " warm)\n";
+  for (const auto& [key, s] : per_session) {
+    out << "  session " << key << ": queries " << s.queries << " warm_hits "
+        << s.warm_hits << " cold_replays " << s.cold_replays << " probes "
+        << s.probes << " checkpoint_restores " << s.checkpoint_restores
+        << "\n";
+  }
+  return out.str();
+}
+
+DiagnosisService::DiagnosisService(ServiceConfig config)
+    : config_(std::move(config)),
+      registry_(config_.metrics != nullptr ? config_.metrics
+                                           : &obs::default_registry()),
+      replay_options_(with_metrics(config_.replay, registry_)),
+      sessions_(config_.max_warm_sessions, replay_options_, *registry_),
+      queue_(config_.queue_capacity),
+      cache_(config_.cache_capacity),
+      submitted_(registry_->counter("dp.service.submitted")),
+      completed_(registry_->counter("dp.service.completed")),
+      shed_(registry_->counter("dp.service.shed")),
+      cancelled_(registry_->counter("dp.service.cancelled")),
+      runs_(registry_->counter("dp.service.runs")),
+      cache_hits_(registry_->counter("dp.service.cache.hits")),
+      cache_misses_(registry_->counter("dp.service.cache.misses")),
+      coalesced_(registry_->counter("dp.service.cache.coalesced")),
+      queue_depth_(registry_->gauge("dp.service.queue_depth")),
+      queue_wait_us_(registry_->histogram("dp.service.queue_wait_us")),
+      exec_us_(registry_->histogram("dp.service.exec_us")) {
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DiagnosisService::~DiagnosisService() { shutdown(/*drain=*/true); }
+
+SubmitOutcome DiagnosisService::submit(const Query& query) {
+  SubmitOutcome outcome;
+
+  std::shared_ptr<WarmSession> session;
+  if (!query.scenario.empty()) {
+    session = sessions_.get_scenario(query.scenario, outcome.error);
+  } else if (!query.program_text.empty()) {
+    session =
+        sessions_.get_inline(query.program_text, query.log_text, outcome.error);
+  } else {
+    outcome.error = "query names neither a scenario nor an inline problem";
+    return outcome;
+  }
+  if (session == nullptr) return outcome;
+  const Problem& problem = session->problem();
+
+  DiagnoseSpec spec;
+  spec.minimize = query.minimize;
+  try {
+    if (!query.bad.empty()) {
+      spec.bad_event = parse_tuple(query.bad);
+    } else if (problem.bad_event) {
+      spec.bad_event = *problem.bad_event;
+    } else {
+      outcome.error = "no event of interest: pass bad=<tuple>";
+      return outcome;
+    }
+    if (query.auto_reference) {
+      spec.good_event.reset();
+    } else if (!query.good.empty()) {
+      spec.good_event = parse_tuple(query.good);
+    } else if (problem.good_event) {
+      spec.good_event = *problem.good_event;
+    } else {
+      outcome.error =
+          "no reference event: pass good=<tuple> or auto_reference";
+      return outcome;
+    }
+  } catch (const std::exception& e) {
+    outcome.error = std::string("bad tuple: ") + e.what();
+    return outcome;
+  }
+
+  const std::string key = make_cache_key(
+      session->log_hash(), spec.bad_event.to_string(),
+      spec.good_event ? spec.good_event->to_string() : "<auto>",
+      spec.minimize, config_.config_epoch);
+  const bool cacheable = !query.bypass_cache;
+  const auto now = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!accepting_) {
+    outcome.error = "service is shutting down";
+    return outcome;
+  }
+  submitted_.inc();
+
+  if (cacheable) {
+    if (auto cached = cache_.get(key)) {
+      cache_hits_.inc();
+      const std::uint64_t id = next_id_++;
+      Ticket& ticket = tickets_[id];
+      ticket.state = QueryState::kDone;
+      ticket.cache_hit = true;
+      ticket.result = std::move(*cached);
+      ticket.submitted_at = now;
+      outcome.accepted = true;
+      outcome.id = id;
+      completed_.inc();
+      trim_tickets_locked();
+      return outcome;
+    }
+    cache_misses_.inc();
+
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      coalesced_.inc();
+      const std::uint64_t id = next_id_++;
+      Ticket& ticket = tickets_[id];
+      ticket.coalesced = true;
+      ticket.submitted_at = now;
+      it->second->ticket_ids.push_back(id);
+      outcome.accepted = true;
+      outcome.id = id;
+      return outcome;
+    }
+  }
+
+  auto job = std::make_shared<JobState>();
+  job->key = key;
+  job->session = std::move(session);
+  job->spec = std::move(spec);
+  job->cacheable = cacheable;
+  const std::uint64_t id = next_id_++;
+  job->ticket_ids.push_back(id);
+  if (!queue_.try_push(job)) {
+    shed_.inc();
+    outcome.shed = true;
+    outcome.error = "queue full (capacity " +
+                    std::to_string(queue_.capacity()) + "): query shed";
+    return outcome;
+  }
+  Ticket& ticket = tickets_[id];
+  ticket.submitted_at = now;
+  if (cacheable) inflight_.emplace(key, std::move(job));
+  queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+  outcome.accepted = true;
+  outcome.id = id;
+  return outcome;
+}
+
+void DiagnosisService::worker_loop() {
+  while (auto job = queue_.pop()) run_job(*job);
+}
+
+void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
+  const auto started_at = std::chrono::steady_clock::now();
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    bool any_live = false;
+    for (const std::uint64_t id : job->ticket_ids) {
+      auto it = tickets_.find(id);
+      if (it == tickets_.end() || it->second.state != QueryState::kQueued) {
+        continue;
+      }
+      it->second.state = QueryState::kRunning;
+      it->second.queue_us = micros_between(it->second.submitted_at, started_at);
+      queue_wait_us_.observe(it->second.queue_us);
+      any_live = true;
+    }
+    if (!any_live) {
+      // Everyone cancelled while we were queued: skip the run entirely.
+      if (job->cacheable) inflight_.erase(job->key);
+      return;
+    }
+    hook = config_.on_job_start;
+  }
+  if (hook) hook();
+
+  CachedResult result;
+  {
+    DP_SPAN_CAT("dp.service.run", "service");
+    // Per-session serialization: one query at a time against a warm engine;
+    // jobs for other sessions proceed on other workers in parallel.
+    std::lock_guard<std::mutex> session_lock(job->session->mutex());
+    std::shared_ptr<const BadRun> warm = job->session->ensure_warm();
+    const DiagnoseOutcome outcome = diagnose_problem(
+        job->session->problem(), job->spec, replay_options_, std::move(warm));
+    result.exit_code = outcome.exit_code;
+    result.out = outcome.pre + outcome.out;
+    result.err = outcome.err;
+  }
+  runs_.inc();
+  const auto finished_at = std::chrono::steady_clock::now();
+  const double exec_us = micros_between(started_at, finished_at);
+  exec_us_.observe(exec_us);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job->cacheable) {
+      // Publish before dropping the inflight entry (inside one critical
+      // section): a duplicate submitted from here on hits the cache, one
+      // submitted before this hit the inflight entry -- no window where it
+      // would start a second run.
+      cache_.put(job->key, result);
+      inflight_.erase(job->key);
+    }
+    for (const std::uint64_t id : job->ticket_ids) {
+      complete_locked(id, result, exec_us, finished_at);
+    }
+    trim_tickets_locked();
+  }
+  done_cv_.notify_all();
+}
+
+void DiagnosisService::complete_locked(
+    std::uint64_t id, const CachedResult& result, double exec_us,
+    std::chrono::steady_clock::time_point now) {
+  auto it = tickets_.find(id);
+  if (it == tickets_.end()) return;
+  Ticket& ticket = it->second;
+  if (ticket.state == QueryState::kCancelled ||
+      ticket.state == QueryState::kDone) {
+    return;
+  }
+  if (ticket.state == QueryState::kQueued) {
+    // Coalesced ticket attached after the leader started running.
+    ticket.queue_us = micros_between(ticket.submitted_at, now);
+  }
+  ticket.state = QueryState::kDone;
+  ticket.result = result;
+  ticket.exec_us = exec_us;
+  completed_.inc();
+}
+
+void DiagnosisService::trim_tickets_locked() {
+  for (auto it = tickets_.begin();
+       tickets_.size() > kMaxRetainedTickets && it != tickets_.end();) {
+    if (it->second.state == QueryState::kDone ||
+        it->second.state == QueryState::kCancelled) {
+      it = tickets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+QueryStatus DiagnosisService::status_of(const Ticket& ticket) {
+  QueryStatus status;
+  status.state = ticket.state;
+  status.cache_hit = ticket.cache_hit;
+  status.coalesced = ticket.coalesced;
+  status.result = ticket.result;
+  status.queue_us = ticket.queue_us;
+  status.exec_us = ticket.exec_us;
+  return status;
+}
+
+std::optional<QueryStatus> DiagnosisService::poll(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tickets_.find(id);
+  if (it == tickets_.end()) return std::nullopt;
+  return status_of(it->second);
+}
+
+std::optional<QueryStatus> DiagnosisService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(id);
+  if (it == tickets_.end()) return std::nullopt;
+  done_cv_.wait(lock, [&] {
+    const Ticket& ticket = tickets_.at(id);
+    return ticket.state == QueryState::kDone ||
+           ticket.state == QueryState::kCancelled;
+  });
+  return status_of(tickets_.at(id));
+}
+
+bool DiagnosisService::cancel(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = tickets_.find(id);
+    if (it == tickets_.end() || it->second.state != QueryState::kQueued) {
+      return false;
+    }
+    it->second.state = QueryState::kCancelled;
+    cancelled_.inc();
+  }
+  done_cv_.notify_all();
+  return true;
+}
+
+SubmitOutcome DiagnosisService::probe(const std::string& scenario,
+                                      const std::string& tuple_text,
+                                      bool& live) {
+  SubmitOutcome outcome;
+  std::shared_ptr<WarmSession> session =
+      sessions_.get_scenario(scenario, outcome.error);
+  if (session == nullptr) return outcome;
+  Tuple tuple;
+  try {
+    tuple = parse_tuple(tuple_text);
+  } catch (const std::exception& e) {
+    outcome.error = std::string("bad tuple: ") + e.what();
+    return outcome;
+  }
+  std::lock_guard<std::mutex> session_lock(session->mutex());
+  live = session->probe_live(tuple);
+  outcome.accepted = true;
+  return outcome;
+}
+
+ServiceStats DiagnosisService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.value();
+  stats.completed = completed_.value();
+  stats.shed = shed_.value();
+  stats.cancelled = cancelled_.value();
+  stats.runs = runs_.value();
+  stats.cache_hits = cache_hits_.value();
+  stats.cache_misses = cache_misses_.value();
+  stats.coalesced = coalesced_.value();
+  stats.queue_depth = queue_.size();
+  stats.queue_capacity = queue_.capacity();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.cache_size = cache_.size();
+    stats.cache_evictions = cache_.evictions();
+  }
+  stats.sessions = sessions_.size();
+  stats.warm_sessions = sessions_.warm_count();
+  stats.per_session = sessions_.stats();
+  return stats;
+}
+
+void DiagnosisService::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    accepting_ = false;
+  }
+  std::vector<std::shared_ptr<JobState>> orphans;
+  if (drain) {
+    queue_.close();
+  } else {
+    orphans = queue_.close_and_clear();
+  }
+  if (!orphans.empty()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& job : orphans) {
+      for (const std::uint64_t id : job->ticket_ids) {
+        auto it = tickets_.find(id);
+        if (it == tickets_.end() ||
+            it->second.state != QueryState::kQueued) {
+          continue;
+        }
+        it->second.state = QueryState::kCancelled;
+        cancelled_.inc();
+      }
+      if (job->cacheable) inflight_.erase(job->key);
+    }
+  }
+  done_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  queue_depth_.set(0);
+}
+
+}  // namespace dp::service

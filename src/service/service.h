@@ -1,0 +1,219 @@
+// DiagnosisService: the in-process core of the diffprovd daemon.
+//
+// A fixed-size worker pool drains a bounded MPMC queue of diagnosis jobs.
+// The three serving-layer mechanisms compose here:
+//
+//   * Warm sessions (session.h): jobs against the same scenario/log reuse
+//     the resident replayed run; different scenarios diagnose in parallel,
+//     queries against one warm engine serialize on its session mutex.
+//   * Result cache + single-flight (cache.h + the inflight map below): a
+//     repeat of a finished query is answered from the cache without
+//     touching a worker; a duplicate of an *in-flight* query coalesces onto
+//     the running job's ticket list and shares its one result. Exactly one
+//     underlying DiffProv run per distinct key, however many clients ask.
+//   * Admission control (bounded_queue.h): when the queue is full, submit
+//     returns shed=true immediately -- clients get an explicit reject, the
+//     service never blocks producers or grows unbounded backlog.
+//
+// Everything observable lands in the metrics registry (dp.service.*) and
+// the default tracer, in the formats PR 2's obs_check validates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/bounded_queue.h"
+#include "service/cache.h"
+#include "service/diagnose.h"
+#include "service/session.h"
+
+namespace dp::service {
+
+struct ServiceConfig {
+  std::size_t workers = 4;
+  /// Admission-control bound: jobs waiting for a worker (coalesced
+  /// duplicates don't occupy slots).
+  std::size_t queue_capacity = 64;
+  /// Sessions allowed to keep their replayed run resident (LRU beyond).
+  std::size_t max_warm_sessions = 8;
+  std::size_t cache_capacity = 256;
+  /// Bumped by the operator when anything outside the key changes (program
+  /// semantics, engine version): old cache entries stop matching.
+  std::uint64_t config_epoch = 0;
+  /// Metrics sink; nullptr = obs::default_registry().
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Replay knobs shared by every session (engine_config.metrics is pointed
+  /// at the service registry when unset).
+  ReplayOptions replay;
+  /// Test hook: runs in the worker thread after a job is marked running and
+  /// before it diagnoses. Lets tests hold workers to fill the queue
+  /// deterministically.
+  std::function<void()> on_job_start;
+};
+
+/// One diagnosis request, all-text (what arrives off the wire).
+struct Query {
+  /// Built-in scenario name; empty means an inline problem follows.
+  std::string scenario;
+  std::string program_text;
+  std::string log_text;
+  /// Event of interest, tuple text; empty = the scenario's default.
+  std::string bad;
+  /// Reference event, tuple text; empty = scenario default unless
+  /// auto_reference.
+  std::string good;
+  bool auto_reference = false;
+  bool minimize = false;
+  /// Benchmarking: always run, never read or write the cache or coalesce.
+  bool bypass_cache = false;
+};
+
+enum class QueryState : std::uint8_t { kQueued, kRunning, kDone, kCancelled };
+
+std::string to_string(QueryState state);
+
+struct QueryStatus {
+  QueryState state = QueryState::kQueued;
+  bool cache_hit = false;
+  bool coalesced = false;
+  /// Valid when state == kDone.
+  CachedResult result;
+  double queue_us = 0;
+  double exec_us = 0;
+};
+
+struct SubmitOutcome {
+  bool accepted = false;
+  /// Rejected by admission control (queue full): retry later.
+  bool shed = false;
+  /// Ticket id for poll/wait/cancel, valid when accepted.
+  std::uint64_t id = 0;
+  /// Parse/validation failure (bad scenario, malformed tuple, ...).
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return accepted; }
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t runs = 0;  // underlying DiffProv executions
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t coalesced = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t cache_size = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t sessions = 0;
+  std::size_t warm_sessions = 0;
+  std::vector<std::pair<std::string, SessionStats>> per_session;
+
+  [[nodiscard]] std::string to_text() const;
+};
+
+class DiagnosisService {
+ public:
+  explicit DiagnosisService(ServiceConfig config = {});
+  ~DiagnosisService();
+
+  DiagnosisService(const DiagnosisService&) = delete;
+  DiagnosisService& operator=(const DiagnosisService&) = delete;
+
+  /// Validates and admits a query. Cache hits return an already-kDone
+  /// ticket; duplicates of an in-flight query coalesce onto it; otherwise a
+  /// job is enqueued -- or shed if the queue is full.
+  SubmitOutcome submit(const Query& query);
+
+  /// Non-blocking status; nullopt for unknown ids.
+  std::optional<QueryStatus> poll(std::uint64_t id) const;
+
+  /// Blocks until the ticket reaches kDone or kCancelled.
+  std::optional<QueryStatus> wait(std::uint64_t id);
+
+  /// Cancels a still-queued ticket (running/finished ones are too late).
+  bool cancel(std::uint64_t id);
+
+  /// Live-state probe: is `tuple_text` live at the end of the scenario's
+  /// recorded execution? Served from the session's warm engine or its
+  /// checkpoint tier -- never a full replay once the session has one.
+  [[nodiscard]] SubmitOutcome probe(const std::string& scenario,
+                                    const std::string& tuple_text,
+                                    bool& live);
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *registry_; }
+
+  /// Stops accepting, then either drains queued jobs (drain=true) or
+  /// cancels them, and joins the workers. Idempotent; the destructor drains.
+  void shutdown(bool drain = true);
+
+ private:
+  struct Ticket {
+    QueryState state = QueryState::kQueued;
+    bool cache_hit = false;
+    bool coalesced = false;
+    CachedResult result;
+    std::chrono::steady_clock::time_point submitted_at;
+    double queue_us = 0;
+    double exec_us = 0;
+  };
+
+  struct JobState {
+    std::string key;
+    std::shared_ptr<WarmSession> session;
+    DiagnoseSpec spec;
+    bool cacheable = true;
+    std::vector<std::uint64_t> ticket_ids;  // grows as duplicates coalesce
+  };
+
+  void worker_loop();
+  void run_job(const std::shared_ptr<JobState>& job);
+  void complete_locked(std::uint64_t id, const CachedResult& result,
+                       double exec_us,
+                       std::chrono::steady_clock::time_point now);
+  void trim_tickets_locked();
+  static QueryStatus status_of(const Ticket& ticket);
+
+  ServiceConfig config_;
+  obs::MetricsRegistry* registry_;
+  ReplayOptions replay_options_;
+
+  SessionManager sessions_;
+  BoundedQueue<std::shared_ptr<JobState>> queue_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_cv_;
+  ResultCache cache_;
+  std::map<std::string, std::shared_ptr<JobState>> inflight_;
+  std::map<std::uint64_t, Ticket> tickets_;
+  std::uint64_t next_id_ = 1;
+  bool accepting_ = true;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> workers_;
+
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& shed_;
+  obs::Counter& cancelled_;
+  obs::Counter& runs_;
+  obs::Counter& cache_hits_;
+  obs::Counter& cache_misses_;
+  obs::Counter& coalesced_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& queue_wait_us_;
+  obs::Histogram& exec_us_;
+};
+
+}  // namespace dp::service

@@ -1,0 +1,229 @@
+#include "service/session.h"
+
+#include <sstream>
+
+#include "obs/obs.h"
+#include "util/hash.h"
+
+namespace dp::service {
+
+WarmSession::WarmSession(std::string key, Problem problem,
+                         ReplayOptions options, obs::MetricsRegistry& registry)
+    : key_(std::move(key)),
+      problem_(std::move(problem)),
+      options_(std::move(options)),
+      log_hash_(log_content_hash(problem_.log)),
+      registry_(&registry) {}
+
+std::shared_ptr<const BadRun> WarmSession::ensure_warm() {
+  ++stats_.queries;
+  if (run_ != nullptr) {
+    ++stats_.warm_hits;
+    registry_->counter("dp.service.session.warm_hits").inc();
+    return run_;
+  }
+  DP_SPAN_CAT("dp.service.session.warm_replay", "service");
+  ++stats_.cold_replays;
+  registry_->counter("dp.service.session.cold_replays").inc();
+
+  ReplayResult replayed =
+      replay(problem_.program, problem_.topology, problem_.log, {}, options_);
+  engine_ = std::move(replayed.engine);
+  recorder_ = std::move(replayed.recorder);
+  metrics_observer_ = std::move(replayed.metrics_observer);
+
+  auto run = std::make_shared<BadRun>();
+  // Alias the recorder's graph: the shared_ptr keeps the recorder alive for
+  // as long as any query still holds the run, even past a cool().
+  run->graph =
+      std::shared_ptr<const ProvenanceGraph>(recorder_, &recorder_->graph());
+  run->state = std::make_shared<EngineStateView>(engine_);
+  run_ = run;
+
+  // First warm-up doubles as checkpoint time: the engine is quiescent here,
+  // so the snapshot covers the whole recorded history and probe restores
+  // replay an empty (or truncated-run) suffix.
+  if (!checkpoint_) checkpoint_ = Checkpoint::capture(*engine_);
+  return run_;
+}
+
+void WarmSession::cool() {
+  if (run_ == nullptr && probe_engine_ == nullptr) return;
+  run_.reset();
+  metrics_observer_.reset();
+  recorder_.reset();
+  engine_.reset();
+  probe_engine_.reset();
+  registry_->counter("dp.service.session.evictions").inc();
+}
+
+bool WarmSession::probe_live(const Tuple& tuple) {
+  ++stats_.probes;
+  registry_->counter("dp.service.session.probes").inc();
+  if (engine_ != nullptr) return engine_->is_live(tuple);
+  if (probe_engine_ != nullptr) return probe_engine_->is_live(tuple);
+  if (checkpoint_) {
+    probe_engine_ = restore_from_checkpoint();
+    return probe_engine_->is_live(tuple);
+  }
+  // Never queried, so no checkpoint exists yet: warm up fully (this also
+  // captures the checkpoint for the session's later cooled life).
+  ensure_warm();
+  return engine_->is_live(tuple);
+}
+
+std::unique_ptr<Engine> WarmSession::restore_from_checkpoint() {
+  DP_SPAN_CAT("dp.service.session.checkpoint_restore", "service");
+  ++stats_.checkpoint_restores;
+  registry_->counter("dp.service.session.checkpoint_restores").inc();
+
+  auto engine =
+      std::make_unique<Engine>(problem_.program, options_.engine_config);
+  for (const auto& link : problem_.topology.links) {
+    engine->add_link(link.a, link.b, link.delay);
+  }
+  checkpoint_->schedule_into(*engine, checkpoint_->captured_at());
+  // Log suffix after the capture point (empty when the checkpoint was taken
+  // at quiescence; non-empty when options_.until truncated the warm run).
+  for (const auto& record : problem_.log.records()) {
+    if (record.time <= checkpoint_->captured_at()) continue;
+    if (record.op == LogRecord::Op::kInsert) {
+      engine->schedule_insert(record.tuple, record.time);
+    } else {
+      engine->schedule_delete(record.tuple, record.time);
+    }
+  }
+  if (options_.until == kTimeInfinity) {
+    engine->run();
+  } else {
+    engine->run_until(options_.until);
+  }
+  return engine;
+}
+
+SessionManager::SessionManager(std::size_t max_warm, ReplayOptions options,
+                               obs::MetricsRegistry& registry)
+    : max_warm_(max_warm),
+      options_(std::move(options)),
+      registry_(&registry) {}
+
+std::shared_ptr<WarmSession> SessionManager::get_scenario(
+    const std::string& name, std::string& error) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(name);
+    if (it != sessions_.end()) {
+      recency_.remove(name);
+      recency_.push_front(name);
+      return it->second;
+    }
+  }
+  // Build outside the lock: scenario assembly replays nothing but does parse
+  // programs and synthesize logs.
+  std::ostringstream err;
+  std::optional<Problem> problem = builtin_scenario(name, err);
+  if (!problem) {
+    error = err.str();
+    if (error.empty()) error = "unknown scenario: " + name;
+    return nullptr;
+  }
+  return intern(name, std::move(problem), error);
+}
+
+std::shared_ptr<WarmSession> SessionManager::get_inline(
+    const std::string& program_text, const std::string& log_text,
+    std::string& error) {
+  const std::uint64_t key_hash =
+      hash_mix(fnv1a(program_text), fnv1a(log_text));
+  std::ostringstream key;
+  key << "inline:" << std::hex << key_hash;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(key.str());
+    if (it != sessions_.end()) {
+      recency_.remove(key.str());
+      recency_.push_front(key.str());
+      return it->second;
+    }
+  }
+  std::optional<Problem> problem;
+  try {
+    problem = parse_problem(program_text, log_text);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return nullptr;
+  }
+  return intern(key.str(), std::move(problem), error);
+}
+
+std::shared_ptr<WarmSession> SessionManager::intern(
+    const std::string& key, std::optional<Problem> problem,
+    std::string& error) {
+  (void)error;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(key);
+  if (it == sessions_.end()) {
+    auto session = std::make_shared<WarmSession>(key, std::move(*problem),
+                                                 options_, *registry_);
+    it = sessions_.emplace(key, std::move(session)).first;
+    registry_->gauge("dp.service.sessions").set(
+        static_cast<std::int64_t>(sessions_.size()));
+  }
+  recency_.remove(key);
+  recency_.push_front(key);
+  enforce_budget_locked();
+  return it->second;
+}
+
+void SessionManager::enforce_budget_locked() {
+  if (sessions_.size() <= max_warm_) return;
+  // Cool least-recently-used sessions beyond the warm budget. try_lock so a
+  // session mid-query is never torn down under a worker; it simply stays
+  // warm until the next enforcement pass finds it idle.
+  std::size_t over = sessions_.size() - max_warm_;
+  for (auto rit = recency_.rbegin(); rit != recency_.rend() && over > 0;
+       ++rit) {
+    auto it = sessions_.find(*rit);
+    if (it == sessions_.end()) continue;
+    WarmSession& session = *it->second;
+    if (!session.mutex().try_lock()) continue;
+    if (session.is_warm()) {
+      session.cool();
+      --over;
+    }
+    session.mutex().unlock();
+  }
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+std::size_t SessionManager::warm_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t warm = 0;
+  for (const auto& [key, session] : sessions_) {
+    if (!session->mutex().try_lock()) {
+      ++warm;  // busy implies a worker is inside, which implies warm
+      continue;
+    }
+    if (session->is_warm()) ++warm;
+    session->mutex().unlock();
+  }
+  return warm;
+}
+
+std::vector<std::pair<std::string, SessionStats>> SessionManager::stats()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, SessionStats>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [key, session] : sessions_) {
+    std::lock_guard<std::mutex> session_lock(session->mutex());
+    out.emplace_back(key, session->stats());
+  }
+  return out;
+}
+
+}  // namespace dp::service

@@ -1,0 +1,145 @@
+// Warm diagnosis sessions (the serving-path realization of paper §4.8).
+//
+// A WarmSession owns one problem (program + topology + recorded log) and
+// keeps its replayed execution *resident*: the provenance graph and the
+// replayed engine from the first query stay in memory, so every later query
+// against the same log skips the initial full replay entirely -- the warm
+// run is handed to diagnose_problem as the initial bad run, which is sound
+// because replay is deterministic (identical graph, identical answer bytes).
+//
+// On first warm-up the session also captures a Checkpoint of the engine's
+// base state. That is the session's cheap tier: when the manager cools a
+// session under memory pressure (LRU beyond max_warm), the heavy resident
+// run is dropped but the checkpoint stays. Live-state probes ("is this flow
+// entry present?") are then served from an engine *restored from the
+// checkpoint plus the log suffix after the capture time* -- state
+// reconstruction without paying for the full history, exactly the paper's
+// "log of tuple updates along with some checkpoints" design. Re-running a
+// full diagnosis on a cooled session does replay again (provenance vertex
+// times must match the original history for byte-identical answers; a
+// checkpoint restore re-bases them), and the metrics make that cost visible:
+// dp.service.session.{cold_replays,warm_hits,checkpoint_restores,evictions}.
+//
+// Engines are single-threaded, so each session carries a mutex: the worker
+// pool serializes queries per session while different sessions proceed in
+// parallel.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diffprov/diffprov.h"
+#include "obs/metrics.h"
+#include "replay/checkpoint.h"
+#include "service/problem.h"
+
+namespace dp::service {
+
+struct SessionStats {
+  std::uint64_t queries = 0;        // ensure_warm calls (diagnosis queries)
+  std::uint64_t warm_hits = 0;      // served from the resident run
+  std::uint64_t cold_replays = 0;   // full replays (first use / after cool)
+  std::uint64_t probes = 0;         // live-state probes
+  std::uint64_t checkpoint_restores = 0;
+};
+
+class WarmSession {
+ public:
+  WarmSession(std::string key, Problem problem, ReplayOptions options,
+              obs::MetricsRegistry& registry);
+
+  /// Per-session serialization: hold this while calling ensure_warm,
+  /// probe_live, or running a diagnosis against the returned run.
+  [[nodiscard]] std::mutex& mutex() { return mutex_; }
+
+  [[nodiscard]] const std::string& key() const { return key_; }
+  [[nodiscard]] const Problem& problem() const { return problem_; }
+  [[nodiscard]] std::uint64_t log_hash() const { return log_hash_; }
+
+  /// Returns the resident replayed run, replaying the log first if this is
+  /// the session's first query (or its first after cool()). Caller holds
+  /// mutex().
+  std::shared_ptr<const BadRun> ensure_warm();
+
+  /// True if the resident run is in memory (cheap; caller holds mutex()).
+  [[nodiscard]] bool is_warm() const { return run_ != nullptr; }
+
+  /// Drops the resident run and probe engine; the checkpoint (if one was
+  /// captured) survives. Caller holds mutex().
+  void cool();
+
+  /// Is `tuple` live at the end of the recorded execution? Served from the
+  /// resident engine when warm; on a cooled session, from an engine restored
+  /// from the checkpoint + log suffix (no full replay). Caller holds
+  /// mutex().
+  bool probe_live(const Tuple& tuple);
+
+  [[nodiscard]] const SessionStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<Engine> restore_from_checkpoint();
+
+  std::string key_;
+  Problem problem_;
+  ReplayOptions options_;
+  std::uint64_t log_hash_ = 0;
+  obs::MetricsRegistry* registry_;
+
+  std::mutex mutex_;
+  // Resident tier: the first query's replay, kept alive for reuse.
+  std::shared_ptr<Engine> engine_;
+  std::shared_ptr<ProvenanceRecorder> recorder_;
+  std::unique_ptr<MetricsObserver> metrics_observer_;
+  std::shared_ptr<const BadRun> run_;
+  // Cheap tier: base-state snapshot at quiescence + restored probe engine.
+  std::optional<Checkpoint> checkpoint_;
+  std::unique_ptr<Engine> probe_engine_;
+
+  SessionStats stats_;
+};
+
+/// Keyed store of warm sessions with an LRU warm-set budget: at most
+/// `max_warm` sessions keep their replayed run resident; older ones are
+/// cooled to their checkpoint tier (never while a worker is inside them --
+/// eviction try-locks and skips busy sessions).
+class SessionManager {
+ public:
+  SessionManager(std::size_t max_warm, ReplayOptions options,
+                 obs::MetricsRegistry& registry);
+
+  /// Session for a built-in scenario; creates it on first use. Unknown
+  /// scenario: returns nullptr and sets `error`.
+  std::shared_ptr<WarmSession> get_scenario(const std::string& name,
+                                            std::string& error);
+
+  /// Session for an inline problem (program + log text, keyed by content
+  /// hash). Malformed input: returns nullptr and sets `error`.
+  std::shared_ptr<WarmSession> get_inline(const std::string& program_text,
+                                          const std::string& log_text,
+                                          std::string& error);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t warm_count() const;
+  [[nodiscard]] std::vector<std::pair<std::string, SessionStats>> stats() const;
+
+ private:
+  std::shared_ptr<WarmSession> intern(const std::string& key,
+                                      std::optional<Problem> problem,
+                                      std::string& error);
+  void enforce_budget_locked();
+
+  std::size_t max_warm_;
+  ReplayOptions options_;
+  obs::MetricsRegistry* registry_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<WarmSession>> sessions_;
+  std::list<std::string> recency_;  // front = most recently used
+};
+
+}  // namespace dp::service

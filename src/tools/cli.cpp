@@ -1,18 +1,14 @@
 #include "tools/cli.h"
 
 #include <fstream>
-#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
-#include "diffprov/diffprov.h"
-#include "diffprov/reference.h"
-#include "dns/dns.h"
-#include "mapred/scenario.h"
 #include "ndlog/parser.h"
 #include "obs/obs.h"
-#include "sdn/scenario.h"
+#include "service/diagnose.h"
+#include "service/problem.h"
 
 namespace dp::cli {
 
@@ -35,14 +31,6 @@ struct Options {
   bool stats = false;        // --stats: human-readable metrics table
 };
 
-struct Problem {
-  Program program;
-  Topology topology;
-  EventLog log;
-  std::optional<Tuple> good_event;
-  std::optional<Tuple> bad_event;
-};
-
 constexpr const char* kUsage =
     "usage: diffprov_cli (--scenario NAME | --program FILE --log FILE)\n"
     "                    --bad 'EVENT' (--good 'EVENT' | --auto-reference)\n"
@@ -54,59 +42,10 @@ constexpr const char* kUsage =
     "  --trace-out FILE    write a Chrome trace-event JSON of the diagnosis\n"
     "                      (open in ui.perfetto.dev or chrome://tracing)\n"
     "  --metrics-out FILE  write the dp.* metrics registry as JSON\n"
-    "  --stats             print the metrics registry as a table\n";
-
-std::optional<Problem> builtin_scenario(const std::string& name,
-                                        std::ostream& err) {
-  for (sdn::Scenario& s : sdn::all_scenarios()) {
-    std::string lower = s.name;
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
-    if (lower == name) {
-      return Problem{std::move(s.program), std::move(s.topology),
-                     std::move(s.log), s.good_event, s.bad_event};
-    }
-  }
-  for (dns::Scenario& s : dns::all_scenarios()) {
-    if (s.name == name) {
-      return Problem{std::move(s.program), std::move(s.topology),
-                     std::move(s.log), s.good_event, s.bad_event};
-    }
-  }
-  for (const char* mr : {"mr1-d", "mr2-d"}) {
-    if (name != mr) continue;
-    mapred::Scenario s = name == "mr1-d" ? mapred::mr1_declarative()
-                                         : mapred::mr2_declarative();
-    // The CLI replays the *bad* job; the reference tree is queried out of
-    // the good job separately below, so merge both logs is not needed --
-    // use the bad log and let --good point at an event of the good job?
-    // For built-ins we keep it simple: log = bad job, reference = event
-    // that also exists in the bad execution is not available, so fold the
-    // good job in by shifting it before the bad one is NOT sound. Instead
-    // the MR built-ins expose only the bad job and require
-    // --auto-reference or an explicit good event from the same run.
-    return Problem{std::move(s.model), Topology{},
-                   mapred::declarative_job_log(s.store, s.bad_config),
-                   std::nullopt, s.bad_event};
-  }
-  err << "unknown scenario '" << name << "' (try --list-scenarios)\n";
-  return std::nullopt;
-}
-
-void list_scenarios(std::ostream& out) {
-  out << "built-in scenarios:\n";
-  for (const sdn::Scenario& s : sdn::all_scenarios()) {
-    std::string lower = s.name;
-    for (char& c : lower) c = static_cast<char>(std::tolower(c));
-    out << "  " << lower << "  -- " << s.description << "\n";
-  }
-  for (const dns::Scenario& s : dns::all_scenarios()) {
-    out << "  " << s.name << "  -- " << s.description << "\n";
-  }
-  out << "  mr1-d  -- declarative MapReduce, changed reducer count "
-         "(use --auto-reference)\n";
-  out << "  mr2-d  -- declarative MapReduce, buggy mapper deployment "
-         "(use --auto-reference)\n";
-}
+    "  --stats             print the metrics registry as a table\n"
+    "\n"
+    "the same queries can be served warm by the diffprovd daemon; see\n"
+    "diffprovd --help and diffprov_client --help\n";
 
 std::optional<std::string> read_file(const std::string& path,
                                      std::ostream& err) {
@@ -200,29 +139,27 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
   }
   if (options.list_scenarios) {
-    list_scenarios(out);
+    service::list_scenarios(out);
     return 0;
   }
 
-  // Assemble the problem.
-  std::optional<Problem> problem;
+  // Assemble the problem (shared with the diffprovd service, so the two
+  // front-ends agree on the scenario catalogue and file formats).
+  std::optional<service::Problem> problem;
   if (!options.scenario.empty()) {
-    problem = builtin_scenario(options.scenario, err);
+    problem = service::builtin_scenario(options.scenario, err);
     if (!problem) return 2;
   } else if (!options.program_path.empty() && !options.log_path.empty()) {
     const auto program_text = read_file(options.program_path, err);
     const auto log_text = read_file(options.log_path, err);
     if (!program_text || !log_text) return 2;
-    Problem p;
     try {
-      p.program = parse_program(*program_text);
-      p.log = EventLog::from_text(*log_text);
+      problem =
+          service::parse_problem(*program_text, *log_text, options.topology);
     } catch (const std::exception& e) {
       err << e.what() << "\n";
       return 2;
     }
-    p.topology = options.topology;
-    problem = std::move(p);
   } else {
     err << kUsage;
     return 2;
@@ -250,63 +187,27 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   ReplayOptions replay_options;
   replay_options.engine_config.metrics = &obs::default_registry();
 
-  // Query the trees.
-  LogReplayProvider query_provider(problem->program, problem->topology,
-                                   problem->log, replay_options);
-  const BadRun run = query_provider.replay_bad({});
-  const auto bad_tree = locate_tree(*run.graph, *problem->bad_event);
-  if (!bad_tree) {
-    err << "the event of interest " << problem->bad_event->to_string()
-        << " does not occur in the log\n";
-    return 1;
-  }
-  if (options.show_tree == "bad") {
-    out << "provenance of " << problem->bad_event->to_string() << " ("
-        << bad_tree->size() << " vertexes):\n"
-        << bad_tree->to_text() << "\n";
-  }
-  if (!options.dot_path.empty()) {
+  service::DiagnoseSpec spec;
+  spec.good_event = problem->good_event;
+  spec.bad_event = *problem->bad_event;
+  spec.minimize = options.minimize;
+  spec.show_tree = options.show_tree;
+  spec.want_dot = !options.dot_path.empty();
+
+  const service::DiagnoseOutcome outcome =
+      service::diagnose_problem(*problem, spec, replay_options);
+
+  out << outcome.pre;
+  if (!options.dot_path.empty() && !outcome.dot.empty()) {
     std::ofstream dot(options.dot_path);
-    dot << bad_tree->to_dot();
+    dot << outcome.dot;
     out << "wrote " << options.dot_path << "\n";
   }
-
-  LogReplayProvider provider(problem->program, problem->topology,
-                             problem->log, replay_options);
-  DiffProv diffprov(problem->program, provider);
-  DiffProvResult result;
-  if (problem->good_event) {
-    const auto good_tree = locate_tree(*run.graph, *problem->good_event);
-    if (!good_tree) {
-      err << "the reference event " << problem->good_event->to_string()
-          << " does not occur in the log\n";
-      return 1;
-    }
-    if (options.show_tree == "good") {
-      out << "provenance of " << problem->good_event->to_string() << " ("
-          << good_tree->size() << " vertexes):\n"
-          << good_tree->to_text() << "\n";
-    }
-    result = diffprov.diagnose(*good_tree, *problem->bad_event);
-    if (options.minimize && result.ok()) {
-      result = diffprov.minimize_delta(*good_tree, result);
-    }
-  } else {
-    const AutoDiagnosis auto_result = diagnose_with_auto_reference(
-        diffprov, *run.graph, *problem->bad_event);
-    if (auto_result.reference) {
-      out << "auto-selected reference: " << auto_result.reference->to_string()
-          << " (after trying " << auto_result.candidates_tried
-          << " candidate(s))\n";
-    }
-    result = auto_result.result;
-    if (options.minimize && result.ok() && auto_result.reference) {
-      const auto good_tree = locate_tree(*run.graph, *auto_result.reference);
-      if (good_tree) result = diffprov.minimize_delta(*good_tree, result);
-    }
+  if (!outcome.err.empty()) {
+    err << outcome.err;
+    return outcome.exit_code;
   }
-
-  out << result.to_string();
+  out << outcome.out;
 
   if (!options.trace_path.empty()) {
     std::ofstream trace(options.trace_path, std::ios::binary);
@@ -330,7 +231,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
   if (options.stats) out << obs::default_registry().to_text();
 
-  return result.ok() ? 0 : 1;
+  return outcome.exit_code;
 }
 
 }  // namespace dp::cli

@@ -1,0 +1,331 @@
+// diffprov_client: command-line client for diffprovd.
+//
+// The default action submits a diagnosis query, waits for it, and prints the
+// report exactly as diffprov_cli would -- stdout bytes are identical for the
+// same query (the CI smoke diffs them). Exit codes mirror the CLI: 0 =
+// diagnosis succeeded, 1 = failed/missing event, 2 = usage, 3 = shed by
+// admission control or transport error.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_check.h"
+
+namespace {
+
+using dp::obs::Json;
+using dp::obs::json_quote;
+
+constexpr const char* kUsage =
+    "usage: diffprov_client (--port N | --port-file FILE) ACTION\n"
+    "\n"
+    "actions:\n"
+    "  --scenario NAME [--bad 'EVENT'] [--good 'EVENT'] [--auto-reference]\n"
+    "      [--minimize] [--bypass-cache]     submit a query and wait\n"
+    "  --program FILE --log FILE ...         same, with an inline problem\n"
+    "  --probe 'TUPLE' --scenario NAME       live-state probe\n"
+    "  --poll ID | --cancel ID               inspect/cancel a past query\n"
+    "  --stats                               server counters\n"
+    "  --shutdown                            drain and stop the daemon\n"
+    "\n"
+    "  --meta    print cache/timing metadata for the query to stderr\n";
+
+class Connection {
+ public:
+  explicit Connection(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("socket: " + error_text());
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      throw std::runtime_error("connect 127.0.0.1:" + std::to_string(port) +
+                               ": " + error_text());
+    }
+  }
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// One request/response round trip, returning the raw response line.
+  std::string raw_round_trip(const std::string& request) {
+    std::string line = request;
+    line.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("send: " + error_text());
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    std::string response;
+    char c = 0;
+    while (true) {
+      const ssize_t n = ::recv(fd_, &c, 1, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("connection closed by daemon");
+      if (c == '\n') break;
+      response.push_back(c);
+    }
+    return response;
+  }
+
+  /// One round trip, parsed.
+  Json round_trip(const std::string& request) {
+    const std::string response = raw_round_trip(request);
+    std::string error;
+    std::optional<Json> parsed = Json::parse(response, error);
+    if (!parsed) {
+      throw std::runtime_error("bad response from daemon: " + error);
+    }
+    return std::move(*parsed);
+  }
+
+ private:
+  static std::string error_text() { return std::strerror(errno); }
+  int fd_ = -1;
+};
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::uint16_t port = 0;
+  std::string scenario, program_path, log_path, bad, good, probe_tuple;
+  bool auto_reference = false, minimize = false, bypass_cache = false;
+  bool stats = false, shutdown = false, meta = false;
+  std::optional<std::uint64_t> poll_id, cancel_id;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* what) -> std::optional<std::string> {
+      if (i + 1 >= args.size()) {
+        std::cerr << arg << " requires " << what << "\n" << kUsage;
+        return std::nullopt;
+      }
+      return args[++i];
+    };
+    try {
+      if (arg == "--port") {
+        auto v = next("a port");
+        if (!v) return 2;
+        port = static_cast<std::uint16_t>(std::stoul(*v));
+      } else if (arg == "--port-file") {
+        auto v = next("a path");
+        if (!v) return 2;
+        auto text = read_file(*v);
+        if (!text) {
+          std::cerr << "cannot open " << *v << "\n";
+          return 2;
+        }
+        port = static_cast<std::uint16_t>(std::stoul(*text));
+      } else if (arg == "--scenario") {
+        auto v = next("a name");
+        if (!v) return 2;
+        scenario = *v;
+      } else if (arg == "--program") {
+        auto v = next("a path");
+        if (!v) return 2;
+        program_path = *v;
+      } else if (arg == "--log") {
+        auto v = next("a path");
+        if (!v) return 2;
+        log_path = *v;
+      } else if (arg == "--bad") {
+        auto v = next("an event tuple");
+        if (!v) return 2;
+        bad = *v;
+      } else if (arg == "--good") {
+        auto v = next("an event tuple");
+        if (!v) return 2;
+        good = *v;
+      } else if (arg == "--auto-reference") {
+        auto_reference = true;
+      } else if (arg == "--minimize") {
+        minimize = true;
+      } else if (arg == "--bypass-cache") {
+        bypass_cache = true;
+      } else if (arg == "--probe") {
+        auto v = next("a tuple");
+        if (!v) return 2;
+        probe_tuple = *v;
+      } else if (arg == "--poll") {
+        auto v = next("an id");
+        if (!v) return 2;
+        poll_id = std::stoull(*v);
+      } else if (arg == "--cancel") {
+        auto v = next("an id");
+        if (!v) return 2;
+        cancel_id = std::stoull(*v);
+      } else if (arg == "--stats") {
+        stats = true;
+      } else if (arg == "--shutdown") {
+        shutdown = true;
+      } else if (arg == "--meta") {
+        meta = true;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n" << kUsage;
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bad argument for " << arg << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (port == 0) {
+    std::cerr << "pass --port or --port-file\n" << kUsage;
+    return 2;
+  }
+
+  try {
+    Connection connection(port);
+
+    if (stats) {
+      const std::string raw = connection.raw_round_trip("{\"op\":\"stats\"}");
+      std::string error;
+      const std::optional<Json> response = Json::parse(raw, error);
+      if (!response || !response->get_bool("ok")) {
+        std::cerr << (response ? response->get_string("error", "stats failed")
+                               : "bad response: " + error)
+                  << "\n";
+        return 3;
+      }
+      // Stats go to scripts as much as humans: print the raw JSON line.
+      std::cout << raw << "\n";
+      return 0;
+    }
+    if (shutdown) {
+      const Json response = connection.round_trip("{\"op\":\"shutdown\"}");
+      if (!response.get_bool("ok")) {
+        std::cerr << response.get_string("error", "shutdown failed") << "\n";
+        return 3;
+      }
+      std::cout << "daemon shutting down\n";
+      return 0;
+    }
+    if (cancel_id) {
+      const Json response = connection.round_trip(
+          "{\"op\":\"cancel\",\"id\":" + std::to_string(*cancel_id) + "}");
+      std::cout << (response.get_bool("cancelled") ? "cancelled\n"
+                                                   : "too late to cancel\n");
+      return response.get_bool("ok") ? 0 : 3;
+    }
+    if (!probe_tuple.empty()) {
+      if (scenario.empty()) {
+        std::cerr << "--probe needs --scenario\n";
+        return 2;
+      }
+      const Json response = connection.round_trip(
+          "{\"op\":\"probe\",\"scenario\":" + json_quote(scenario) +
+          ",\"tuple\":" + json_quote(probe_tuple) + "}");
+      if (!response.get_bool("ok")) {
+        std::cerr << response.get_string("error", "probe failed") << "\n";
+        return 3;
+      }
+      std::cout << (response.get_bool("live") ? "live\n" : "not live\n");
+      return response.get_bool("live") ? 0 : 1;
+    }
+    if (poll_id) {
+      const Json response = connection.round_trip(
+          "{\"op\":\"poll\",\"id\":" + std::to_string(*poll_id) + "}");
+      if (!response.get_bool("ok")) {
+        std::cerr << response.get_string("error", "poll failed") << "\n";
+        return 3;
+      }
+      const std::string state = response.get_string("state");
+      if (state != "done") {
+        std::cout << state << "\n";
+        return 0;
+      }
+      std::cerr << response.get_string("err");
+      std::cout << response.get_string("out");
+      return static_cast<int>(response.get_number("exit_code", 1));
+    }
+
+    // Submit + wait.
+    std::ostringstream request;
+    request << "{\"op\":\"submit\"";
+    if (!scenario.empty()) {
+      request << ",\"scenario\":" << json_quote(scenario);
+    } else if (!program_path.empty() && !log_path.empty()) {
+      const auto program_text = read_file(program_path);
+      const auto log_text = read_file(log_path);
+      if (!program_text || !log_text) {
+        std::cerr << "cannot open " << (!program_text ? program_path : log_path)
+                  << "\n";
+        return 2;
+      }
+      request << ",\"program\":" << json_quote(*program_text)
+              << ",\"log\":" << json_quote(*log_text);
+    } else {
+      std::cerr << kUsage;
+      return 2;
+    }
+    if (!bad.empty()) request << ",\"bad\":" << json_quote(bad);
+    if (!good.empty()) request << ",\"good\":" << json_quote(good);
+    if (auto_reference) request << ",\"auto_reference\":true";
+    if (minimize) request << ",\"minimize\":true";
+    if (bypass_cache) request << ",\"bypass_cache\":true";
+    request << "}";
+
+    const Json submitted = connection.round_trip(request.str());
+    if (!submitted.get_bool("ok")) {
+      if (submitted.get_bool("shed")) {
+        std::cerr << "shed: " << submitted.get_string("error") << "\n";
+        return 3;
+      }
+      std::cerr << submitted.get_string("error", "submit failed") << "\n";
+      return 2;
+    }
+    const auto id = static_cast<std::uint64_t>(submitted.get_number("id"));
+    const Json response = connection.round_trip(
+        "{\"op\":\"wait\",\"id\":" + std::to_string(id) + "}");
+    if (!response.get_bool("ok")) {
+      std::cerr << response.get_string("error", "wait failed") << "\n";
+      return 3;
+    }
+    if (response.get_string("state") != "done") {
+      std::cerr << "query " << response.get_string("state") << "\n";
+      return 3;
+    }
+    if (meta) {
+      std::cerr << "id " << id << " cache_hit "
+                << (response.get_bool("cache_hit") ? "yes" : "no")
+                << " coalesced "
+                << (response.get_bool("coalesced") ? "yes" : "no")
+                << " queue_us " << response.get_number("queue_us")
+                << " exec_us " << response.get_number("exec_us") << "\n";
+    }
+    std::cerr << response.get_string("err");
+    std::cout << response.get_string("out");
+    return static_cast<int>(response.get_number("exit_code", 1));
+  } catch (const std::exception& e) {
+    std::cerr << "diffprov_client: " << e.what() << "\n";
+    return 3;
+  }
+}

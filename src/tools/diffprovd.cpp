@@ -1,0 +1,146 @@
+// diffprovd: the warm diagnosis daemon.
+//
+// Wraps service::DiagnosisService in the NDJSON-over-loopback-TCP transport
+// (service/daemon.h). Runs until a client sends {"op":"shutdown"} or the
+// process receives SIGINT/SIGTERM; on the way out it drains queued queries
+// and optionally dumps metrics/trace artifacts in the same formats as the
+// one-shot CLI (validated by obs_check).
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "service/daemon.h"
+#include "service/service.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: diffprovd [--port N] [--port-file FILE] [--workers N]\n"
+    "                 [--queue-cap N] [--max-warm N] [--cache-cap N]\n"
+    "                 [--config-epoch N] [--metrics-out FILE]\n"
+    "                 [--trace-out FILE]\n"
+    "\n"
+    "serves diagnosis queries over newline-delimited JSON on\n"
+    "127.0.0.1:PORT (default: an ephemeral port, written to --port-file\n"
+    "if given). stop it with diffprov_client --shutdown.\n";
+
+dp::service::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::string metrics_path;
+  std::string trace_path;
+  dp::service::ServiceConfig config;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* what) -> std::optional<std::string> {
+      if (i + 1 >= args.size()) {
+        std::cerr << arg << " requires " << what << "\n" << kUsage;
+        return std::nullopt;
+      }
+      return args[++i];
+    };
+    try {
+      if (arg == "--port") {
+        auto v = next("a port");
+        if (!v) return 2;
+        port = static_cast<std::uint16_t>(std::stoul(*v));
+      } else if (arg == "--port-file") {
+        auto v = next("a path");
+        if (!v) return 2;
+        port_file = *v;
+      } else if (arg == "--workers") {
+        auto v = next("a count");
+        if (!v) return 2;
+        config.workers = std::stoul(*v);
+      } else if (arg == "--queue-cap") {
+        auto v = next("a count");
+        if (!v) return 2;
+        config.queue_capacity = std::stoul(*v);
+      } else if (arg == "--max-warm") {
+        auto v = next("a count");
+        if (!v) return 2;
+        config.max_warm_sessions = std::stoul(*v);
+      } else if (arg == "--cache-cap") {
+        auto v = next("a count");
+        if (!v) return 2;
+        config.cache_capacity = std::stoul(*v);
+      } else if (arg == "--config-epoch") {
+        auto v = next("a number");
+        if (!v) return 2;
+        config.config_epoch = std::stoull(*v);
+      } else if (arg == "--metrics-out") {
+        auto v = next("a path");
+        if (!v) return 2;
+        metrics_path = *v;
+      } else if (arg == "--trace-out") {
+        auto v = next("a path");
+        if (!v) return 2;
+        trace_path = *v;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << kUsage;
+        return 0;
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n" << kUsage;
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bad argument for " << arg << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (!trace_path.empty()) dp::obs::default_tracer().set_enabled(true);
+
+  try {
+    dp::service::DiagnosisService service(config);
+    dp::service::Daemon daemon(service, port);
+    g_daemon = &daemon;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    if (!port_file.empty()) {
+      std::ofstream out(port_file);
+      out << daemon.port() << "\n";
+    }
+    std::cout << "diffprovd listening on 127.0.0.1:" << daemon.port() << " ("
+              << config.workers << " workers, queue " << config.queue_capacity
+              << ")" << std::endl;
+
+    daemon.serve();
+    service.shutdown(/*drain=*/true);
+    g_daemon = nullptr;
+
+    std::cout << service.stats().to_text();
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path, std::ios::binary);
+      out << service.metrics().to_json();
+      std::cout << "wrote metrics (" << service.metrics().size()
+                << " series) to " << metrics_path << "\n";
+    }
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path, std::ios::binary);
+      out << dp::obs::default_tracer().to_chrome_json();
+      std::cout << "wrote trace (" << dp::obs::default_tracer().size()
+                << " events) to " << trace_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "diffprovd: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

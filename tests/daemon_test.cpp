@@ -1,0 +1,260 @@
+// Tests for the diffprovd transport: the NDJSON protocol handler (no
+// sockets) and the loopback TCP daemon end-to-end -- a raw socket client
+// submits queries and the served bytes must equal the in-process CLI's
+// stdout exactly.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_check.h"
+#include "service/daemon.h"
+#include "service/protocol.h"
+#include "service/service.h"
+#include "tools/cli.h"
+
+namespace dp::service {
+namespace {
+
+using obs::Json;
+using obs::json_quote;
+
+std::string cli_stdout(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  cli::run(args, out, err);
+  return out.str();
+}
+
+Json parse_ok(const std::string& line) {
+  std::string error;
+  auto json = Json::parse(line, error);
+  EXPECT_TRUE(json.has_value()) << error << " in: " << line;
+  return json.value_or(Json{});
+}
+
+// ------------------------------------------------------------ protocol --
+
+TEST(Protocol, SubmitWaitRoundTripCarriesTheReport) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  bool shutdown_requested = false;
+  const Json submitted = parse_ok(handle_request(
+      service, R"({"op":"submit","scenario":"sdn1"})", shutdown_requested));
+  ASSERT_TRUE(submitted.get_bool("ok"));
+  const auto id = static_cast<std::uint64_t>(submitted.get_number("id"));
+
+  const Json done = parse_ok(handle_request(
+      service, "{\"op\":\"wait\",\"id\":" + std::to_string(id) + "}",
+      shutdown_requested));
+  ASSERT_TRUE(done.get_bool("ok"));
+  EXPECT_EQ(done.get_string("state"), "done");
+  EXPECT_EQ(done.get_string("out"), cli_stdout({"--scenario", "sdn1"}));
+  EXPECT_EQ(done.get_number("exit_code", -1), 0);
+  EXPECT_FALSE(shutdown_requested);
+}
+
+TEST(Protocol, MalformedAndUnknownRequestsAreCleanErrors) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  bool shutdown_requested = false;
+
+  for (const char* line :
+       {"this is not json", "[1,2,3]", "{\"op\":\"frobnicate\"}",
+        R"({"op":"poll"})", R"({"op":"poll","id":"seven"})",
+        R"({"op":"submit","scenario":"nope"})",
+        R"({"op":"probe","scenario":"sdn1"})"}) {
+    const Json response =
+        parse_ok(handle_request(service, line, shutdown_requested));
+    EXPECT_FALSE(response.get_bool("ok")) << line;
+    EXPECT_FALSE(response.get_string("error").empty()) << line;
+  }
+  EXPECT_FALSE(shutdown_requested);
+
+  const Json unknown = parse_ok(handle_request(
+      service, R"({"op":"poll","id":999999})", shutdown_requested));
+  EXPECT_FALSE(unknown.get_bool("ok"));
+}
+
+TEST(Protocol, ShutdownOpSetsTheFlag) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  bool shutdown_requested = false;
+  const Json response = parse_ok(
+      handle_request(service, R"({"op":"shutdown"})", shutdown_requested));
+  EXPECT_TRUE(response.get_bool("ok"));
+  EXPECT_TRUE(shutdown_requested);
+}
+
+TEST(Protocol, StatsReportsCountersAsJson) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  bool shutdown_requested = false;
+
+  const Json submitted = parse_ok(handle_request(
+      service, R"({"op":"submit","scenario":"sdn1"})", shutdown_requested));
+  handle_request(service,
+                 "{\"op\":\"wait\",\"id\":" +
+                     std::to_string(static_cast<std::uint64_t>(
+                         submitted.get_number("id"))) +
+                     "}",
+                 shutdown_requested);
+
+  const Json stats =
+      parse_ok(handle_request(service, R"({"op":"stats"})", shutdown_requested));
+  ASSERT_TRUE(stats.get_bool("ok"));
+  const Json* inner = stats.find("stats");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->get_number("submitted"), 1);
+  EXPECT_EQ(inner->get_number("runs"), 1);
+  ASSERT_NE(inner->find("per_session"), nullptr);
+}
+
+// -------------------------------------------------------------- daemon --
+
+/// Minimal blocking line client against 127.0.0.1:port.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  std::string round_trip(const std::string& request) {
+    std::string line = request + "\n";
+    EXPECT_EQ(::send(fd_, line.data(), line.size(), 0),
+              static_cast<ssize_t>(line.size()));
+    std::string response;
+    char c = 0;
+    while (::recv(fd_, &c, 1, 0) == 1 && c != '\n') response.push_back(c);
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+struct DaemonFixture {
+  DaemonFixture() : service(make_config()), daemon(service, /*port=*/0) {
+    server = std::thread([this] { daemon.serve(); });
+  }
+  ~DaemonFixture() {
+    daemon.stop();
+    server.join();
+    service.shutdown();
+  }
+  ServiceConfig make_config() {
+    ServiceConfig config;
+    config.workers = 2;
+    config.metrics = &registry;
+    return config;
+  }
+
+  obs::MetricsRegistry registry;
+  DiagnosisService service;
+  Daemon daemon;
+  std::thread server;
+};
+
+TEST(Daemon, ServesByteIdenticalReportsOverTcp) {
+  DaemonFixture fixture;
+  TestClient client(fixture.daemon.port());
+  ASSERT_TRUE(client.connected());
+
+  const Json submitted = parse_ok(
+      client.round_trip(R"({"op":"submit","scenario":"sdn1"})"));
+  ASSERT_TRUE(submitted.get_bool("ok")) << submitted.get_string("error");
+  const auto id = static_cast<std::uint64_t>(submitted.get_number("id"));
+  const Json done = parse_ok(
+      client.round_trip("{\"op\":\"wait\",\"id\":" + std::to_string(id) + "}"));
+  ASSERT_EQ(done.get_string("state"), "done");
+  // The served report survives JSON escaping and the socket byte-for-byte.
+  EXPECT_EQ(done.get_string("out"), cli_stdout({"--scenario", "sdn1"}));
+}
+
+TEST(Daemon, ConcurrentConnectionsShareTheCache) {
+  DaemonFixture fixture;
+
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&fixture, &failures] {
+      TestClient client(fixture.daemon.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      const Json submitted = parse_ok(
+          client.round_trip(R"({"op":"submit","scenario":"sdn2"})"));
+      if (!submitted.get_bool("ok")) {
+        ++failures;
+        return;
+      }
+      const Json done = parse_ok(client.round_trip(
+          "{\"op\":\"wait\",\"id\":" +
+          std::to_string(static_cast<std::uint64_t>(
+              submitted.get_number("id"))) +
+          "}"));
+      if (done.get_string("state") != "done") ++failures;
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All four connections asked the same question: one underlying run.
+  EXPECT_EQ(fixture.registry.counter("dp.service.runs").value(), 1u);
+}
+
+TEST(Daemon, MalformedLinesGetErrorResponsesNotDisconnects) {
+  DaemonFixture fixture;
+  TestClient client(fixture.daemon.port());
+  ASSERT_TRUE(client.connected());
+
+  const Json bad = parse_ok(client.round_trip("{{{{"));
+  EXPECT_FALSE(bad.get_bool("ok"));
+  // The connection survives for the next, valid request.
+  const Json stats = parse_ok(client.round_trip(R"({"op":"stats"})"));
+  EXPECT_TRUE(stats.get_bool("ok"));
+}
+
+TEST(Daemon, ProbeWorksOverTheWire) {
+  DaemonFixture fixture;
+  TestClient client(fixture.daemon.port());
+  ASSERT_TRUE(client.connected());
+
+  const std::string request =
+      std::string(R"({"op":"probe","scenario":"sdn1","tuple":)") +
+      json_quote("policyRoute(@ctl, \"sw2\", 100, 4.3.2.0/24, \"sw6\")") + "}";
+  const Json response = parse_ok(client.round_trip(request));
+  ASSERT_TRUE(response.get_bool("ok")) << response.get_string("error");
+  EXPECT_TRUE(response.get_bool("live"));
+}
+
+}  // namespace
+}  // namespace dp::service

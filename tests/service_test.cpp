@@ -1,0 +1,541 @@
+// Tests for the concurrent diagnosis service (src/service): byte-identity
+// with the one-shot CLI, result caching and single-flight coalescing, warm
+// sessions skipping replays, admission control (shed, not block), cancel,
+// and drain-on-shutdown. The concurrency tests are the TSan targets: N
+// threads hammer the service with duplicate and distinct queries across
+// several scenarios, and every response must equal the single-threaded CLI
+// answer while exactly one underlying run happens per distinct query.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/bounded_queue.h"
+#include "service/cache.h"
+#include "service/service.h"
+#include "tools/cli.h"
+
+namespace dp::service {
+namespace {
+
+constexpr const char* kSdn1Good = "delivered(@w1, 1, 4.3.2.1, 8.8.1.1)";
+constexpr const char* kSdn1Bad = "delivered(@w2, 2, 4.3.3.1, 8.8.1.1)";
+
+/// The single-threaded in-process CLI: the byte-identity oracle.
+struct CliAnswer {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliAnswer run_cli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int exit_code = cli::run(args, out, err);
+  return {exit_code, out.str(), err.str()};
+}
+
+QueryStatus wait_done(DiagnosisService& service, const SubmitOutcome& s) {
+  EXPECT_TRUE(s.ok()) << s.error;
+  auto status = service.wait(s.id);
+  EXPECT_TRUE(status.has_value());
+  return *status;
+}
+
+// ----------------------------------------------------- building blocks --
+
+TEST(BoundedQueue, ShedsWhenFullAndDrainsOnClose) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full: shed, not block
+  EXPECT_EQ(queue.size(), 2u);
+
+  queue.close();
+  EXPECT_FALSE(queue.try_push(4));  // closed
+  EXPECT_EQ(queue.pop(), 1);       // drain continues after close
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // closed + empty: consumer exits
+}
+
+TEST(BoundedQueue, CloseAndClearReturnsOrphans) {
+  BoundedQueue<int> queue(4);
+  queue.try_push(1);
+  queue.try_push(2);
+  const std::vector<int> orphans = queue.close_and_clear();
+  EXPECT_EQ(orphans, (std::vector<int>{1, 2}));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(ResultCache, LruEvictionKeepsRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put("a", {0, "A", ""});
+  cache.put("b", {0, "B", ""});
+  EXPECT_TRUE(cache.get("a"));  // refresh a; b is now LRU
+  cache.put("c", {0, "C", ""});
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.get("b"));
+  EXPECT_TRUE(cache.get("a"));
+  EXPECT_TRUE(cache.get("c"));
+}
+
+TEST(ResultCache, KeyDistinguishesEveryQueryDimension) {
+  const std::string base = make_cache_key(1, "bad()", "good()", false, 0);
+  EXPECT_NE(base, make_cache_key(2, "bad()", "good()", false, 0));
+  EXPECT_NE(base, make_cache_key(1, "bad2()", "good()", false, 0));
+  EXPECT_NE(base, make_cache_key(1, "bad()", "<auto>", false, 0));
+  EXPECT_NE(base, make_cache_key(1, "bad()", "good()", true, 0));
+  EXPECT_NE(base, make_cache_key(1, "bad()", "good()", false, 3));
+  EXPECT_EQ(base, make_cache_key(1, "bad()", "good()", false, 0));
+}
+
+// -------------------------------------------------------- byte identity --
+
+TEST(Service, AnswersAreByteIdenticalToTheCli) {
+  const CliAnswer expected =
+      run_cli({"--scenario", "sdn1", "--good", kSdn1Good, "--bad", kSdn1Bad});
+  ASSERT_EQ(expected.exit_code, 0);
+
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 2;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query query;
+  query.scenario = "sdn1";
+  query.good = kSdn1Good;
+  query.bad = kSdn1Bad;
+  const QueryStatus status = wait_done(service, service.submit(query));
+  EXPECT_EQ(status.state, QueryState::kDone);
+  EXPECT_EQ(status.result.out, expected.out);
+  EXPECT_EQ(status.result.err, expected.err);
+  EXPECT_EQ(status.result.exit_code, expected.exit_code);
+}
+
+TEST(Service, AutoReferenceAndMinimizeMatchTheCliToo) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  {
+    const CliAnswer expected =
+        run_cli({"--scenario", "sdn1", "--auto-reference"});
+    Query query;
+    query.scenario = "sdn1";
+    query.auto_reference = true;
+    const QueryStatus status = wait_done(service, service.submit(query));
+    EXPECT_EQ(status.result.out, expected.out);
+    EXPECT_EQ(status.result.exit_code, expected.exit_code);
+  }
+  {
+    const CliAnswer expected = run_cli({"--scenario", "sdn2", "--minimize"});
+    Query query;
+    query.scenario = "sdn2";
+    query.minimize = true;
+    const QueryStatus status = wait_done(service, service.submit(query));
+    EXPECT_EQ(status.result.out, expected.out);
+    EXPECT_EQ(status.result.exit_code, expected.exit_code);
+  }
+}
+
+TEST(Service, InlineProblemsMatchTheCliFilePath) {
+  // The same program/log text through both front-ends: --program/--log
+  // files for the CLI, inline JSON-style text for the service.
+  const std::string program_text = R"(
+    table packet(3) base immutable event.
+    table flowEntry(4) keys(0, 2) base mutable.
+    table delivered(3) derived.
+    table packetAt(3) derived event.
+    rule r0 packetAt(@Sw, Pkt, Dst) :- packet(@Sw, Pkt, Dst).
+    rule r1 argmax Prio
+      delivered(@Next, Pkt, Dst) :-
+        packetAt(@Sw, Pkt, Dst),
+        flowEntry(@Sw, Prio, Prefix, Next),
+        f_matches(Dst, Prefix) == 1.
+  )";
+  const std::string log_text =
+      "+ flowEntry(@S1, 10, 10.0.0.0/8, \"h1\") @ 0\n"
+      "+ flowEntry(@S1, 5, 20.0.0.0/8, \"h2\") @ 0\n"
+      "+ packet(@S1, 1, 10.1.1.1) @ 100\n"
+      "+ packet(@S1, 2, 20.1.1.1) @ 200\n";
+  const std::string dir = ::testing::TempDir();
+  const std::string program_path = dir + "/service_test_program.ndlog";
+  const std::string log_path = dir + "/service_test_log.txt";
+  std::ofstream(program_path) << program_text;
+  std::ofstream(log_path) << log_text;
+
+  const std::string good = "delivered(@h1, 1, 10.1.1.1)";
+  const std::string bad = "delivered(@h2, 2, 20.1.1.1)";
+  const CliAnswer expected = run_cli({"--program", program_path, "--log",
+                                      log_path, "--good", good, "--bad", bad});
+
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  Query query;
+  query.program_text = program_text;
+  query.log_text = log_text;
+  query.good = good;
+  query.bad = bad;
+  const QueryStatus status = wait_done(service, service.submit(query));
+  EXPECT_EQ(status.result.out, expected.out);
+  EXPECT_EQ(status.result.err, expected.err);
+  EXPECT_EQ(status.result.exit_code, expected.exit_code);
+
+  // Same text again: same session, same cache line.
+  const QueryStatus again = wait_done(service, service.submit(query));
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.result.out, expected.out);
+}
+
+TEST(Service, ValidationErrorsAreExplicit) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query query;  // names nothing
+  EXPECT_FALSE(service.submit(query).ok());
+
+  query.scenario = "no-such-scenario";
+  const SubmitOutcome unknown = service.submit(query);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error.find("no-such-scenario"), std::string::npos);
+
+  query.scenario = "sdn1";
+  query.bad = "not a tuple ((";
+  const SubmitOutcome malformed = service.submit(query);
+  EXPECT_FALSE(malformed.ok());
+  EXPECT_NE(malformed.error.find("bad tuple"), std::string::npos);
+}
+
+// --------------------------------------- cache, coalescing, warm state --
+
+TEST(Service, RepeatQueryHitsTheCacheWithoutASecondRun) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query query;
+  query.scenario = "sdn1";
+  const QueryStatus first = wait_done(service, service.submit(query));
+  EXPECT_FALSE(first.cache_hit);
+  const QueryStatus second = wait_done(service, service.submit(query));
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.out, first.result.out);
+
+  EXPECT_EQ(registry.counter("dp.service.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("dp.service.cache.hits").value(), 1u);
+  EXPECT_EQ(registry.counter("dp.service.cache.misses").value(), 1u);
+}
+
+TEST(Service, WarmSessionSkipsTheReplayOnLaterQueries) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query query;
+  query.scenario = "sdn1";
+  wait_done(service, service.submit(query));
+  // A *distinct* query against the same scenario (different key, so no
+  // cache hit): the resident run serves it without a fresh full replay.
+  query.minimize = true;
+  wait_done(service, service.submit(query));
+
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.per_session.size(), 1u);
+  const SessionStats& session = stats.per_session[0].second;
+  EXPECT_EQ(session.queries, 2u);
+  EXPECT_EQ(session.cold_replays, 1u);
+  EXPECT_EQ(session.warm_hits, 1u);
+  EXPECT_EQ(registry.counter("dp.service.session.cold_replays").value(), 1u);
+  EXPECT_EQ(registry.counter("dp.service.session.warm_hits").value(), 1u);
+}
+
+TEST(Service, BypassCacheAlwaysRuns) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query query;
+  query.scenario = "sdn1";
+  query.bypass_cache = true;
+  const QueryStatus first = wait_done(service, service.submit(query));
+  const QueryStatus second = wait_done(service, service.submit(query));
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(second.result.out, first.result.out);
+  EXPECT_EQ(registry.counter("dp.service.runs").value(), 2u);
+}
+
+// ------------------------------------------------- admission + cancel --
+
+/// Holds every job at the on_job_start hook until release() -- makes queue
+/// occupancy deterministic for the shed/cancel tests.
+class WorkerGate {
+ public:
+  void wait_at_gate() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++arrived_;
+    arrived_cv_.notify_all();
+    open_cv_.wait(lock, [&] { return open_; });
+  }
+  void await_arrivals(int n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    arrived_cv_.wait(lock, [&] { return arrived_ >= n; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    open_cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable arrived_cv_, open_cv_;
+  int arrived_ = 0;
+  bool open_ = false;
+};
+
+TEST(Service, FullQueueShedsInsteadOfBlocking) {
+  WorkerGate gate;
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.metrics = &registry;
+  config.on_job_start = [&gate] { gate.wait_at_gate(); };
+  DiagnosisService service(config);
+
+  // Three distinct keys against one scenario. A occupies the worker (held
+  // at the gate), B occupies the single queue slot, C must be shed.
+  Query a, b, c;
+  a.scenario = b.scenario = c.scenario = "sdn1";
+  b.minimize = true;
+  c.auto_reference = true;
+
+  const SubmitOutcome sa = service.submit(a);
+  ASSERT_TRUE(sa.ok());
+  gate.await_arrivals(1);  // the worker holds A; the queue is empty again
+
+  const SubmitOutcome sb = service.submit(b);
+  ASSERT_TRUE(sb.ok());
+  const SubmitOutcome sc = service.submit(c);
+  EXPECT_FALSE(sc.ok());
+  EXPECT_TRUE(sc.shed);
+  EXPECT_NE(sc.error.find("queue full"), std::string::npos);
+  EXPECT_EQ(registry.counter("dp.service.shed").value(), 1u);
+
+  // A duplicate of the queued query still coalesces -- duplicates never
+  // occupy queue slots, so they are not shed.
+  const SubmitOutcome sb2 = service.submit(b);
+  EXPECT_TRUE(sb2.ok());
+
+  gate.release();
+  EXPECT_EQ(wait_done(service, sa).state, QueryState::kDone);
+  EXPECT_EQ(wait_done(service, sb).state, QueryState::kDone);
+  const QueryStatus dup = wait_done(service, sb2);
+  EXPECT_EQ(dup.state, QueryState::kDone);
+  EXPECT_TRUE(dup.coalesced);
+}
+
+TEST(Service, CancelStopsQueuedQueriesOnly) {
+  WorkerGate gate;
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.metrics = &registry;
+  config.on_job_start = [&gate] { gate.wait_at_gate(); };
+  DiagnosisService service(config);
+
+  Query a, b;
+  a.scenario = b.scenario = "sdn1";
+  b.minimize = true;
+  const SubmitOutcome sa = service.submit(a);
+  gate.await_arrivals(1);
+  const SubmitOutcome sb = service.submit(b);
+
+  EXPECT_FALSE(service.cancel(sa.id)) << "A is already running";
+  EXPECT_TRUE(service.cancel(sb.id));
+  EXPECT_FALSE(service.cancel(sb.id)) << "second cancel is a no-op";
+  EXPECT_EQ(registry.counter("dp.service.cancelled").value(), 1u);
+
+  gate.release();
+  EXPECT_EQ(wait_done(service, sa).state, QueryState::kDone);
+  const auto cancelled = service.wait(sb.id);
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_EQ(cancelled->state, QueryState::kCancelled);
+  // The cancelled job never ran: one run for A only.
+  EXPECT_EQ(registry.counter("dp.service.runs").value(), 1u);
+}
+
+TEST(Service, ShutdownDrainsQueuedWork) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 1;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query a, b;
+  a.scenario = "sdn1";
+  b.scenario = "sdn2";
+  const SubmitOutcome sa = service.submit(a);
+  const SubmitOutcome sb = service.submit(b);
+  service.shutdown(/*drain=*/true);
+
+  EXPECT_EQ(service.poll(sa.id)->state, QueryState::kDone);
+  EXPECT_EQ(service.poll(sb.id)->state, QueryState::kDone);
+  EXPECT_FALSE(service.submit(a).ok()) << "no admissions after shutdown";
+}
+
+// ------------------------------------------------------- concurrency --
+// The TSan targets: everything below runs many client threads against one
+// service instance.
+
+TEST(ServiceConcurrency, MixedDuplicateAndDistinctQueriesMatchTheCli) {
+  // Four distinct queries across two scenarios; every thread submits all of
+  // them several times in a scrambled order.
+  struct Case {
+    Query query;
+    CliAnswer expected;
+  };
+  std::vector<Case> cases(4);
+  cases[0].query.scenario = "sdn1";
+  cases[0].expected = run_cli({"--scenario", "sdn1"});
+  cases[1].query.scenario = "sdn1";
+  cases[1].query.minimize = true;
+  cases[1].expected = run_cli({"--scenario", "sdn1", "--minimize"});
+  cases[2].query.scenario = "sdn2";
+  cases[2].expected = run_cli({"--scenario", "sdn2"});
+  cases[3].query.scenario = "sdn2";
+  cases[3].query.auto_reference = true;
+  cases[3].expected = run_cli({"--scenario", "sdn2", "--auto-reference"});
+
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_capacity = 256;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+          const Case& c = cases[(i + t + round) % cases.size()];
+          const SubmitOutcome s = service.submit(c.query);
+          if (!s.ok()) {
+            ++mismatches;
+            continue;
+          }
+          const auto status = service.wait(s.id);
+          if (!status || status->state != QueryState::kDone ||
+              status->result.out != c.expected.out ||
+              status->result.exit_code != c.expected.exit_code) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // Single-flight + cache: however the 96 submissions interleaved, each
+  // distinct query ran exactly once.
+  EXPECT_EQ(registry.counter("dp.service.runs").value(), cases.size());
+  EXPECT_EQ(registry.counter("dp.service.submitted").value(),
+            static_cast<std::uint64_t>(kThreads * kRoundsPerThread) *
+                cases.size());
+  const std::uint64_t hits = registry.counter("dp.service.cache.hits").value();
+  const std::uint64_t coalesced =
+      registry.counter("dp.service.cache.coalesced").value();
+  EXPECT_EQ(hits + coalesced + cases.size(),
+            static_cast<std::uint64_t>(kThreads * kRoundsPerThread) *
+                cases.size());
+}
+
+TEST(ServiceConcurrency, ParallelProbesAndQueriesStayConsistent) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 4;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  // A base tuple present in sdn1's log and one that is not.
+  const std::string present = "policyRoute(@ctl, \"sw2\", 100, 4.3.2.0/24, \"sw6\")";
+  const std::string absent = "policyRoute(@ctl, \"sw2\", 100, 9.9.9.0/24, \"sw6\")";
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 5; ++i) {
+        if (t % 2 == 0) {
+          Query query;
+          query.scenario = "sdn1";
+          const SubmitOutcome s = service.submit(query);
+          if (!s.ok() || !service.wait(s.id)) ++failures;
+        } else {
+          bool live = false;
+          const SubmitOutcome s =
+              service.probe("sdn1", i % 2 == 0 ? present : absent, live);
+          if (!s.ok() || live != (i % 2 == 0)) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ServiceConcurrency, ShutdownRacesWithSubmittersSafely) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 2;
+  config.metrics = &registry;
+  auto service = std::make_unique<DiagnosisService>(config);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      Query query;
+      query.scenario = "sdn3";
+      while (!stop.load(std::memory_order_relaxed)) {
+        const SubmitOutcome s = service->submit(query);
+        if (!s.ok()) break;  // shutdown closed admissions: expected
+        if (!service->wait(s.id)) break;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service->shutdown(/*drain=*/true);
+  stop.store(true);
+  for (auto& thread : submitters) thread.join();
+  // Drained shutdown: everything admitted also completed (or was cancelled).
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.cancelled + stats.shed);
+}
+
+}  // namespace
+}  // namespace dp::service
