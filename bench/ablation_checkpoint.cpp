@@ -49,9 +49,9 @@ int main() {
   for (const LogRecord& r : s.log.records()) {
     if (r.time <= checkpoint_time) {
       if (r.op == LogRecord::Op::kInsert) {
-        prefix_engine.schedule_insert(r.tuple, r.time);
+        prefix_engine.schedule_insert(r.tuple(), r.time);
       } else {
-        prefix_engine.schedule_delete(r.tuple, r.time);
+        prefix_engine.schedule_delete(r.tuple(), r.time);
       }
     }
   }
@@ -63,9 +63,9 @@ int main() {
   Engine full_engine(sdn::make_program());
   for (const LogRecord& r : s.log.records()) {
     if (r.op == LogRecord::Op::kInsert) {
-      full_engine.schedule_insert(r.tuple, r.time);
+      full_engine.schedule_insert(r.tuple(), r.time);
     } else {
-      full_engine.schedule_delete(r.tuple, r.time);
+      full_engine.schedule_delete(r.tuple(), r.time);
     }
   }
   full_engine.run();
@@ -78,9 +78,9 @@ int main() {
   for (const LogRecord& r : s.log.records()) {
     if (r.time <= checkpoint_time) continue;
     if (r.op == LogRecord::Op::kInsert) {
-      suffix_engine.schedule_insert(r.tuple, r.time);
+      suffix_engine.schedule_insert(r.tuple(), r.time);
     } else {
-      suffix_engine.schedule_delete(r.tuple, r.time);
+      suffix_engine.schedule_delete(r.tuple(), r.time);
     }
   }
   suffix_engine.run();

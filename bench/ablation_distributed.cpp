@@ -30,9 +30,9 @@ int main() {
   engine.add_observer(&sharded);
   for (const LogRecord& r : s.log.records()) {
     if (r.op == LogRecord::Op::kInsert) {
-      engine.schedule_insert(r.tuple, r.time);
+      engine.schedule_insert(r.tuple(), r.time);
     } else {
-      engine.schedule_delete(r.tuple, r.time);
+      engine.schedule_delete(r.tuple(), r.time);
     }
   }
   bench::WallTimer run_timer;

@@ -40,9 +40,9 @@ void BM_EngineForwarding(benchmark::State& state) {
     Engine engine(sdn::make_program());
     for (const LogRecord& r : log.records()) {
       if (r.op == LogRecord::Op::kInsert) {
-        engine.schedule_insert(r.tuple, r.time);
+        engine.schedule_insert(r.tuple(), r.time);
       } else {
-        engine.schedule_delete(r.tuple, r.time);
+        engine.schedule_delete(r.tuple(), r.time);
       }
     }
     engine.run();
@@ -108,9 +108,9 @@ void BM_EngineWithProvenance(benchmark::State& state) {
     engine.add_observer(&recorder);
     for (const LogRecord& r : log.records()) {
       if (r.op == LogRecord::Op::kInsert) {
-        engine.schedule_insert(r.tuple, r.time);
+        engine.schedule_insert(r.tuple(), r.time);
       } else {
-        engine.schedule_delete(r.tuple, r.time);
+        engine.schedule_delete(r.tuple(), r.time);
       }
     }
     engine.run();
@@ -168,9 +168,9 @@ Trees sdn1_trees() {
   engine.add_observer(&recorder);
   for (const LogRecord& r : s.log.records()) {
     if (r.op == LogRecord::Op::kInsert) {
-      engine.schedule_insert(r.tuple, r.time);
+      engine.schedule_insert(r.tuple(), r.time);
     } else {
-      engine.schedule_delete(r.tuple, r.time);
+      engine.schedule_delete(r.tuple(), r.time);
     }
   }
   engine.run();
@@ -189,7 +189,7 @@ void BM_TreeProjection(benchmark::State& state) {
   engine.add_observer(&recorder);
   for (const LogRecord& r : s.log.records()) {
     if (r.op == LogRecord::Op::kInsert) {
-      engine.schedule_insert(r.tuple, r.time);
+      engine.schedule_insert(r.tuple(), r.time);
     }
   }
   engine.run();

@@ -34,9 +34,9 @@ double sdn_run_seconds(const sdn::Scenario& base, const EventLog& trace,
   // each record as it is logged (the write path of a real deployment).
   struct Writer final : RuntimeObserver {
     std::ostringstream* sink;
-    void on_base_insert(const Tuple& tuple, LogicalTime t,
+    void on_base_insert(TupleRef tuple, LogicalTime t,
                         bool is_event) override {
-      if (is_event && tuple.location() != "sw1") return;
+      if (is_event && global_store().location(tuple) != "sw1") return;
       EventLog one;
       one.append_insert(tuple, t);
       one.serialize(*sink);
@@ -48,10 +48,10 @@ double sdn_run_seconds(const sdn::Scenario& base, const EventLog& trace,
     engine.add_observer(&writer);
   }
   for (const LogRecord& r : base.log.records()) {
-    engine.schedule_insert(r.tuple, r.time);
+    engine.schedule_insert(r.tuple(), r.time);
   }
   for (const LogRecord& r : trace.records()) {
-    engine.schedule_insert(r.tuple, r.time);
+    engine.schedule_insert(r.tuple(), r.time);
   }
   bench::WallTimer timer;
   engine.run();
@@ -94,9 +94,9 @@ int main() {
     std::ostringstream sink;
     EventLog log;
     for (const LogRecord& r : trace.records()) {
-      log.append_insert(r.tuple, r.time);
+      log.append_insert(r.tuple(), r.time);
       EventLog one;
-      one.append_insert(r.tuple, r.time);
+      one.append_insert(r.tuple(), r.time);
       one.serialize(sink);
     }
     benchmark_guard += sink.str().size();

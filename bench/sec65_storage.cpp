@@ -61,10 +61,10 @@ int main() {
     logging.set_border_nodes(std::move(borders));
     engine.add_observer(&logging);
     for (const LogRecord& r : scenario.log.records()) {
-      engine.schedule_insert(r.tuple, r.time);
+      engine.schedule_insert(r.tuple(), r.time);
     }
     for (const LogRecord& r : trace.records()) {
-      engine.schedule_insert(r.tuple, r.time);
+      engine.schedule_insert(r.tuple(), r.time);
     }
     engine.run();
     return logging.log().byte_size();
@@ -76,10 +76,10 @@ int main() {
   LoggingEngine runtime_mode(LoggingMode::kRuntime);
   engine.add_observer(&runtime_mode);
   for (const LogRecord& r : scenario.log.records()) {
-    engine.schedule_insert(r.tuple, r.time);
+    engine.schedule_insert(r.tuple(), r.time);
   }
   for (const LogRecord& r : trace.records()) {
-    engine.schedule_insert(r.tuple, r.time);
+    engine.schedule_insert(r.tuple(), r.time);
   }
   engine.run();
   const auto everywhere =

@@ -58,7 +58,7 @@ void TreeAnnotations::annotate_chain(ProvTree::NodeIndex exist_node,
 
 void TreeAnnotations::process_spine_derive(ProvTree::NodeIndex derive_node) {
   const Vertex& v = tree_->vertex_of(derive_node);
-  const Rule* rule = program_->find_rule(v.rule);
+  const Rule* rule = program_->find_rule(v.rule());
   if (rule == nullptr) return;  // external-spec pseudo rule: stop taints
   const auto& children = tree_->node(derive_node).children;
   // Aggregate derivations carry one extra child (the previous aggregate in
@@ -78,7 +78,7 @@ void TreeAnnotations::process_spine_derive(ProvTree::NodeIndex derive_node) {
           child_formulas->fields[j]) {
         f = child_formulas->fields[j];
       } else {
-        f = Formula::make_const(child.tuple.at(j));
+        f = Formula::make_const(child.tuple().at(j));
       }
       bind(env, atom.args[j].var, std::move(f));
     }
@@ -122,7 +122,7 @@ void TreeAnnotations::process_spine_derive(ProvTree::NodeIndex derive_node) {
         auto it = env.find(atom.args[j].var);
         if (it != env.end()) f = it->second;
       }
-      if (!f) f = Formula::make_const(child.tuple.at(j));
+      if (!f) f = Formula::make_const(child.tuple().at(j));
       any_tainted = any_tainted || f->tainted();
       child_formulas.fields.push_back(std::move(f));
     }
@@ -140,7 +140,7 @@ void TreeAnnotations::annotate_downward(ProvTree::NodeIndex exist_node) {
     for (ProvTree::NodeIndex derive : tree_->node(appear).children) {
       const Vertex& dv = tree_->vertex_of(derive);
       if (dv.kind != VertexKind::kDerive) continue;
-      const Rule* rule = program_->find_rule(dv.rule);
+      const Rule* rule = program_->find_rule(dv.rule());
       if (rule == nullptr) continue;
       const auto& children = tree_->node(derive).children;
       if (children.size() < rule->body.size()) continue;
@@ -153,7 +153,7 @@ void TreeAnnotations::annotate_downward(ProvTree::NodeIndex exist_node) {
         FormulaPtr f = i < head_formulas->fields.size() &&
                                head_formulas->fields[i]
                            ? head_formulas->fields[i]
-                           : Formula::make_const(dv.tuple.at(i));
+                           : Formula::make_const(dv.tuple().at(i));
         if (e.kind == Expr::Kind::kVar) bind(env, e.var, std::move(f));
       }
       // Second pass: single-unknown inversion of computed head fields.
@@ -176,7 +176,7 @@ void TreeAnnotations::annotate_downward(ProvTree::NodeIndex exist_node) {
         FormulaPtr target = i < head_formulas->fields.size() &&
                                     head_formulas->fields[i]
                                 ? head_formulas->fields[i]
-                                : Formula::make_const(dv.tuple.at(i));
+                                : Formula::make_const(dv.tuple().at(i));
         if (auto inv = invert_expr_for_var(e, unknown, target, env)) {
           bind(env, unknown, std::move(*inv));
         }
@@ -223,7 +223,7 @@ void TreeAnnotations::annotate_downward(ProvTree::NodeIndex exist_node) {
             auto env_it = env.find(atom.args[j].var);
             if (env_it != env.end()) f = env_it->second;
           }
-          if (!f) f = Formula::make_const(child.tuple.at(j));
+          if (!f) f = Formula::make_const(child.tuple().at(j));
           any_tainted = any_tainted || f->tainted();
           child_formulas.fields.push_back(std::move(f));
         }
@@ -246,10 +246,10 @@ std::optional<Tuple> TreeAnnotations::expected_tuple(
     ProvTree::NodeIndex node, const std::vector<Value>& seed_b_fields) const {
   const Vertex& v = tree_->vertex_of(node);
   const TupleFormulas* formulas = formulas_for(node);
-  if (formulas == nullptr) return v.tuple;  // fully verbatim
-  auto values = formulas->eval_expected(seed_b_fields, v.tuple.values());
+  if (formulas == nullptr) return v.tuple();  // fully verbatim
+  auto values = formulas->eval_expected(seed_b_fields, v.tuple().values());
   if (!values) return std::nullopt;
-  return Tuple(v.tuple.table(), std::move(*values));
+  return Tuple(v.tuple().table(), std::move(*values));
 }
 
 const FormulaEnv* TreeAnnotations::env_for_derive(

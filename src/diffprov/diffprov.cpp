@@ -370,7 +370,7 @@ bool DiffProv::ensure_child(RoundState& state, ProvTree::NodeIndex good_child,
   }
   return state.fail(DiffProvStatus::kNotInvertible,
                     "no derivation of " +
-                        good.vertex_of(good_child).tuple.to_string() +
+                        good.vertex_of(good_child).tuple().to_string() +
                         " in the reference tree (unexpanded boundary)");
 }
 
@@ -605,10 +605,10 @@ bool DiffProv::clear_argmax_blockers(RoundState& state, const Rule& rule,
       for (std::size_t qi = 0; qi < queue.size() && !base_victim; ++qi) {
         const Vertex& v = state.graph->vertex(queue[qi]);
         if (v.kind == VertexKind::kInsert) {
-          const TableDecl& base_decl = program_->table(v.tuple.table());
+          const TableDecl& base_decl = program_->table(v.tuple().table());
           if (base_decl.kind == TupleKind::kBase &&
               base_decl.mutability == Mutability::kMutable) {
-            base_victim = v.tuple;
+            base_victim = v.tuple();
           }
           continue;
         }
@@ -641,10 +641,10 @@ bool DiffProv::make_appear(RoundState& state, ProvTree::NodeIndex good_derive,
   }
   const ProvTree& good = *state.good;
   const Vertex& derive_vertex = good.vertex_of(good_derive);
-  const Rule* rule = program_->find_rule(derive_vertex.rule);
+  const Rule* rule = program_->find_rule(derive_vertex.rule());
   if (rule == nullptr) {
     return state.fail(DiffProvStatus::kNotInvertible,
-                      "rule " + derive_vertex.rule +
+                      "rule " + derive_vertex.rule() +
                           " is not part of the program model");
   }
   const auto& children = good.node(good_derive).children;
@@ -656,14 +656,14 @@ bool DiffProv::make_appear(RoundState& state, ProvTree::NodeIndex good_derive,
     // before the spine ever reaches this vertex.
     return state.fail(DiffProvStatus::kNotInvertible,
                       "cannot re-derive the aggregate " +
-                          derive_vertex.tuple.to_string() +
+                          derive_vertex.tuple().to_string() +
                           " through MakeAppear; pick a reference whose "
                           "divergence lies below the aggregation");
   }
   if (children.size() != rule->body.size()) {
     return state.fail(DiffProvStatus::kNotInvertible,
                       "malformed derivation of " +
-                          derive_vertex.tuple.to_string());
+                          derive_vertex.tuple().to_string());
   }
 
   // Default expected children and head from the taint annotations, mapped
@@ -676,7 +676,7 @@ bool DiffProv::make_appear(RoundState& state, ProvTree::NodeIndex good_derive,
     if (!expected) {
       return state.fail(DiffProvStatus::kNotInvertible,
                         "taint formula failed for " +
-                            good.vertex_of(child).tuple.to_string());
+                            good.vertex_of(child).tuple().to_string());
     }
     expected_children.push_back(std::move(*expected));
   }
@@ -689,7 +689,7 @@ bool DiffProv::make_appear(RoundState& state, ProvTree::NodeIndex good_derive,
   if (!default_head) {
     return state.fail(DiffProvStatus::kNotInvertible,
                       "taint formula failed for head " +
-                          derive_vertex.tuple.to_string());
+                          derive_vertex.tuple().to_string());
   }
 
   // If the caller needs a head different from the taint default (downward
@@ -856,7 +856,7 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
       const Vertex& v = good_tree.vertex_of(i);
       if (v.kind != VertexKind::kDerive || v.time >= best) return;
       for (const ProvTree::NodeIndex child : good_tree.node(i).children) {
-        if (good_tree.vertex_of(child).tuple == tuple) {
+        if (good_tree.vertex_of(child).tuple() == tuple) {
           best = v.time;
           return;
         }
@@ -901,8 +901,8 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
         break;
       }
       const Vertex& bad_vertex = bad_tree.vertex_of(bad_spine[i]);
-      if (!(*expected == bad_vertex.tuple) ||
-          good_tree.vertex_of(good_spine[i]).rule != bad_vertex.rule) {
+      if (!(*expected == bad_vertex.tuple()) ||
+          good_tree.vertex_of(good_spine[i]).rule() != bad_vertex.rule()) {
         divergence = i;
         found_divergence = true;
         break;
@@ -1045,7 +1045,7 @@ DiffProvResult DiffProv::diagnose(const ProvTree& good_tree,
         if (derivations.empty()) break;
         const VertexId last = derivations.back();
         const Vertex& dv = graph.vertex(last);
-        const auto head_exist = graph.latest_exist_before(dv.tuple, dv.time);
+        const auto head_exist = graph.latest_exist_before(dv.tuple(), dv.time);
         if (!head_exist) break;
         current = head_exist;
       }

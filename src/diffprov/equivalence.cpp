@@ -45,12 +45,12 @@ struct Comparator {
     if (!expected) {
       return fail(g, "taint formula failed to evaluate");
     }
-    if (!(*expected == bv.tuple)) {
+    if (!(*expected == bv.tuple())) {
       return fail(g, "tuple mismatch: expected " + expected->to_string() +
-                         ", found " + bv.tuple.to_string());
+                         ", found " + bv.tuple().to_string());
     }
-    if (gv.kind == VertexKind::kDerive && gv.rule != bv.rule) {
-      return fail(g, "rule mismatch: " + gv.rule + " vs " + bv.rule);
+    if (gv.kind == VertexKind::kDerive && gv.rule() != bv.rule()) {
+      return fail(g, "rule mismatch: " + gv.rule() + " vs " + bv.rule());
     }
     const auto& g_children = good.node(g).children;
     const auto& b_children = bad.node(b).children;

@@ -27,7 +27,7 @@ std::optional<SeedInfo> find_seed(const ProvTree& tree) {
         SeedInfo seed;
         seed.insert_node = current;
         seed.exist_node = last_exist;
-        seed.tuple = v.tuple;
+        seed.tuple = v.tuple();
         seed.time = v.time;
         return seed;
       }

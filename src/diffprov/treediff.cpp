@@ -9,10 +9,10 @@ namespace dp {
 std::string diff_label(const Vertex& v) {
   std::string out(vertex_kind_name(v.kind));
   out += "|";
-  out += v.tuple.to_string();
-  if (!v.rule.empty()) {
+  out += v.tuple().to_string();
+  if (!v.rule().empty()) {
     out += "|";
-    out += v.rule;
+    out += v.rule();
   }
   return out;
 }

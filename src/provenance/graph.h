@@ -1,20 +1,29 @@
-// Append-only temporal provenance graph.
+// Append-only temporal provenance graph, stored column-wise.
 //
 // Built incrementally while the (primary or replayed) system runs. Supports
 // the lookups DiffProv needs: the EXIST vertex of a tuple alive at a given
 // time, the latest derivation "triggered by" a tuple (to climb the spine
 // from a seed), and tree projection (see tree.h).
+//
+// Storage is struct-of-arrays: parallel kind/tuple-ref/rule-ref/time columns
+// plus a CSR-style flat edge array (children appended after a vertex was
+// created -- only APPEARs gaining additional support -- go to a small
+// overflow table). Tuples themselves live once in the process-wide interned
+// store; a vertex carries a 32-bit TupleRef, so a tuple derived 10k times
+// costs 10k refs, not 10k copies. The exist-index is keyed by TupleRef
+// (O(1) hash on a 4-byte key) instead of the former std::map<Tuple,...>,
+// which both ordered-compared and *stored* a second copy of every tuple.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "provenance/vertex.h"
+#include "store/store.h"
 
 namespace dp {
 
@@ -22,29 +31,80 @@ class ProvenanceGraph {
  public:
   /// Records INSERT -> APPEAR -> EXIST for a base tuple. Event tuples get a
   /// closed one-instant EXIST interval [t, t+1). Returns the EXIST vertex.
+  VertexId record_base_insert(TupleRef tuple, LogicalTime t, bool is_event);
   VertexId record_base_insert(const Tuple& tuple, LogicalTime t,
-                              bool is_event);
+                              bool is_event) {
+    return record_base_insert(intern_tuple(tuple), t, is_event);
+  }
 
   /// Records DERIVE -> APPEAR -> EXIST for a derived tuple, with the DERIVE
   /// pointing at the live EXIST vertices of the body tuples. If the head is
   /// already alive (additional support), only a DERIVE vertex is added and
   /// attached to the existing APPEAR. Returns the head's EXIST vertex.
+  VertexId record_derive(TupleRef head, NameRef rule,
+                         const std::vector<TupleRef>& body,
+                         std::size_t trigger_index, LogicalTime t,
+                         bool is_event);
   VertexId record_derive(const Tuple& head, const std::string& rule,
                          const std::vector<Tuple>& body,
                          std::size_t trigger_index, LogicalTime t,
                          bool is_event);
 
   /// Records DELETE -> DISAPPEAR and closes the live EXIST interval.
-  void record_base_delete(const Tuple& tuple, LogicalTime t);
+  void record_base_delete(TupleRef tuple, LogicalTime t);
+  void record_base_delete(const Tuple& tuple, LogicalTime t) {
+    record_base_delete(intern_tuple(tuple), t);
+  }
 
   /// Records UNDERIVE -> DISAPPEAR and closes the live EXIST interval.
+  void record_underive(TupleRef tuple, NameRef rule, LogicalTime t);
   void record_underive(const Tuple& tuple, const std::string& rule,
-                       LogicalTime t);
+                       LogicalTime t) {
+    record_underive(intern_tuple(tuple), intern_name(rule), t);
+  }
 
-  [[nodiscard]] const Vertex& vertex(VertexId id) const { return nodes_[id]; }
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  /// Materializes the vertex view (columns + children copied into one
+  /// struct). Bind to `const Vertex&` or a value; the view stays meaningful
+  /// after further recording (refs are stable, children of a finished vertex
+  /// only ever grow for APPEARs gaining support).
+  [[nodiscard]] Vertex vertex(VertexId id) const;
+  [[nodiscard]] std::size_t size() const { return kind_.size(); }
+
+  // --- columnar accessors (no materialization; the hot-path API) ---
+  [[nodiscard]] VertexKind kind(VertexId id) const { return kind_[id]; }
+  [[nodiscard]] TupleRef tuple_ref(VertexId id) const { return tuple_[id]; }
+  [[nodiscard]] NameRef rule_ref(VertexId id) const { return rule_[id]; }
+  [[nodiscard]] LogicalTime time_of(VertexId id) const { return time_[id]; }
+  [[nodiscard]] std::int32_t trigger_of(VertexId id) const {
+    return trigger_[id];
+  }
+  [[nodiscard]] TimeInterval interval_of(VertexId id) const {
+    if (kind_[id] != VertexKind::kExist) return {};
+    return {time_[id], exist_end_[id]};
+  }
+  [[nodiscard]] std::size_t child_count(VertexId id) const {
+    const auto it = extra_edges_.find(id);
+    return edge_count_[id] + (it == extra_edges_.end() ? 0 : it->second.size());
+  }
+  /// First child (causal order). Precondition: child_count(id) > 0.
+  [[nodiscard]] VertexId first_child(VertexId id) const {
+    return edge_count_[id] > 0 ? edges_[edge_begin_[id]]
+                               : extra_edges_.find(id)->second.front();
+  }
+  /// Children in causal order: the CSR span, then post-creation appends.
+  template <typename Visitor>
+  void for_each_child(VertexId id, Visitor&& fn) const {
+    const std::uint32_t begin = edge_begin_[id];
+    for (std::uint32_t i = 0; i < edge_count_[id]; ++i) fn(edges_[begin + i]);
+    if (const auto it = extra_edges_.find(id); it != extra_edges_.end()) {
+      for (const VertexId child : it->second) fn(child);
+    }
+  }
+  [[nodiscard]] std::vector<VertexId> children_of(VertexId id) const;
 
   /// EXIST vertex of `tuple` alive at `at` (interval contains `at`), if any.
+  [[nodiscard]] std::optional<VertexId> exist_at(TupleRef tuple,
+                                                 LogicalTime at) const;
   [[nodiscard]] std::optional<VertexId> exist_at(const Tuple& tuple,
                                                  LogicalTime at) const;
 
@@ -52,17 +112,24 @@ class ProvenanceGraph {
   /// (regardless of whether it is still alive at `at`). Used to locate event
   /// tuples, whose EXIST closes immediately.
   [[nodiscard]] std::optional<VertexId> latest_exist_before(
+      TupleRef tuple, LogicalTime at) const;
+  [[nodiscard]] std::optional<VertexId> latest_exist_before(
       const Tuple& tuple, LogicalTime at) const;
 
   /// All EXIST vertices of `tuple`, in insertion (time) order.
+  [[nodiscard]] std::vector<VertexId> exists_of(TupleRef tuple) const;
   [[nodiscard]] std::vector<VertexId> exists_of(const Tuple& tuple) const;
 
   /// Iterates every distinct tuple the graph has seen, with its EXIST
-  /// vertices (deterministic order). Used by the reference finder.
-  void for_each_tuple(
-      const std::function<void(const Tuple&, const std::vector<VertexId>&)>&
-          fn) const {
-    for (const auto& [tuple, exists] : exist_index_) fn(tuple, exists);
+  /// vertices, in structural tuple order (deterministic; identical to the
+  /// former std::map iteration). Used by the reference finder. `fn` is any
+  /// callable taking (const Tuple&, const std::vector<VertexId>&); a
+  /// template rather than std::function so tight visitors inline.
+  template <typename Visitor>
+  void for_each_tuple(Visitor&& fn) const {
+    for (const TupleRef ref : sorted_tuples()) {
+      fn(global_store().resolve(ref), exist_index_.find(ref)->second);
+    }
   }
 
   /// DERIVE vertices whose *trigger* child is the EXIST vertex `exist`.
@@ -74,8 +141,13 @@ class ProvenanceGraph {
   /// The APPEAR time of the tuple behind an EXIST vertex (== interval
   /// start); the quantity compared when looking for the "last" precondition.
   [[nodiscard]] LogicalTime appear_time(VertexId exist) const {
-    return nodes_[exist].interval.start;
+    return time_[exist];
   }
+
+  /// Resident bytes of this graph's own storage (columns, edge array,
+  /// indexes). The interned tuples are shared process-wide and accounted in
+  /// dp.store.bytes, not here.
+  [[nodiscard]] std::size_t resident_bytes() const;
 
   /// Growth and query counters, maintained as plain fields on the hot path.
   struct Counters {
@@ -91,15 +163,35 @@ class ProvenanceGraph {
   void publish_metrics(obs::MetricsRegistry& registry);
 
  private:
-  VertexId add_vertex(Vertex v);
-  [[nodiscard]] std::optional<VertexId> live_exist(const Tuple& tuple) const;
-  void close_exist(const Tuple& tuple, LogicalTime t);
+  VertexId add_vertex(VertexKind kind, TupleRef tuple, NameRef rule,
+                      LogicalTime t);
+  void add_edge(VertexId child) { edges_.push_back(child); }
+  [[nodiscard]] std::optional<VertexId> live_exist(TupleRef tuple) const;
+  void close_exist(TupleRef tuple, LogicalTime t);
+  [[nodiscard]] const std::vector<TupleRef>& sorted_tuples() const;
 
-  std::vector<Vertex> nodes_;
+  // Vertex columns (struct of arrays; one entry per vertex).
+  std::vector<VertexKind> kind_;
+  std::vector<TupleRef> tuple_;
+  std::vector<NameRef> rule_;
+  std::vector<LogicalTime> time_;
+  std::vector<LogicalTime> exist_end_;  // EXIST: interval end, else +inf
+  std::vector<std::int32_t> trigger_;
+  // CSR edge storage: vertex id -> [edge_begin_, +edge_count_) in edges_.
+  // Vertices are closed in creation order, so each span is contiguous.
+  std::vector<std::uint32_t> edge_begin_;
+  std::vector<std::uint32_t> edge_count_;
+  std::vector<VertexId> edges_;
+  // Children attached after creation (APPEARs gaining additional support).
+  std::unordered_map<VertexId, std::vector<VertexId>> extra_edges_;
+
   // All EXIST vertices per tuple, in chronological order.
-  std::map<Tuple, std::vector<VertexId>> exist_index_;
+  std::unordered_map<TupleRef, std::vector<VertexId>> exist_index_;
+  // Structurally-sorted exist-index keys, rebuilt lazily when the key set
+  // grew (for_each_tuple determinism).
+  mutable std::vector<TupleRef> sorted_tuples_;
   // trigger EXIST -> DERIVE vertices it triggered.
-  std::map<VertexId, std::vector<VertexId>> trigger_index_;
+  std::unordered_map<VertexId, std::vector<VertexId>> trigger_index_;
   // mutable: the const lookups count themselves.
   mutable Counters counters_;
   Counters published_;

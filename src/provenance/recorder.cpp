@@ -2,31 +2,42 @@
 
 namespace dp {
 
-void ProvenanceRecorder::on_base_insert(const Tuple& tuple, LogicalTime t,
+void ProvenanceRecorder::on_base_insert(TupleRef tuple, LogicalTime t,
                                         bool is_event) {
   if (!wanted(tuple)) return;
   graph_.record_base_insert(tuple, t, is_event);
 }
 
-void ProvenanceRecorder::on_base_delete(const Tuple& tuple, LogicalTime t) {
+void ProvenanceRecorder::on_base_delete(TupleRef tuple, LogicalTime t) {
   if (!wanted(tuple)) return;
   graph_.record_base_delete(tuple, t);
 }
 
-void ProvenanceRecorder::on_derive(const Tuple& head, const std::string& rule,
-                                   const std::vector<Tuple>& body,
+void ProvenanceRecorder::on_derive(TupleRef head, NameRef rule,
+                                   const std::vector<TupleRef>& body,
                                    std::size_t trigger_index, LogicalTime t,
                                    bool is_event) {
   if (!wanted(head)) return;
   graph_.record_derive(head, rule, body, trigger_index, t, is_event);
 }
 
-void ProvenanceRecorder::on_underive(const Tuple& head,
-                                     const std::string& rule,
-                                     const Tuple& cause, LogicalTime t) {
+void ProvenanceRecorder::on_underive(TupleRef head, NameRef rule,
+                                     TupleRef cause, LogicalTime t) {
   (void)cause;
   if (!wanted(head)) return;
   graph_.record_underive(head, rule, t);
+}
+
+void ProvenanceRecorder::report_derivation(const Tuple& head,
+                                           const std::string& rule,
+                                           const std::vector<Tuple>& body,
+                                           std::size_t trigger_index,
+                                           LogicalTime t, bool is_event) {
+  std::vector<TupleRef> body_refs;
+  body_refs.reserve(body.size());
+  for (const Tuple& b : body) body_refs.push_back(intern_tuple(b));
+  on_derive(intern_tuple(head), intern_name(rule), body_refs, trigger_index,
+            t, is_event);
 }
 
 }  // namespace dp

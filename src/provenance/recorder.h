@@ -40,32 +40,34 @@ class ProvenanceRecorder final : public RuntimeObserver {
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
   // --- RuntimeObserver (the "infer" mode) ---
-  void on_base_insert(const Tuple& tuple, LogicalTime t,
-                      bool is_event) override;
-  void on_base_delete(const Tuple& tuple, LogicalTime t) override;
-  void on_derive(const Tuple& head, const std::string& rule,
-                 const std::vector<Tuple>& body, std::size_t trigger_index,
+  void on_base_insert(TupleRef tuple, LogicalTime t, bool is_event) override;
+  void on_base_delete(TupleRef tuple, LogicalTime t) override;
+  void on_derive(TupleRef head, NameRef rule,
+                 const std::vector<TupleRef>& body, std::size_t trigger_index,
                  LogicalTime t, bool is_event) override;
-  void on_underive(const Tuple& head, const std::string& rule,
-                   const Tuple& cause, LogicalTime t) override;
+  void on_underive(TupleRef head, NameRef rule, TupleRef cause,
+                   LogicalTime t) override;
 
   // --- direct reporting (the "report" / "external specification" modes) ---
+  // Tuple-valued: instrumented imperative systems hold real tuples, so these
+  // intern on entry and forward to the ref paths.
   void report_base(const Tuple& tuple, LogicalTime t, bool is_event = false) {
-    on_base_insert(tuple, t, is_event);
+    on_base_insert(intern_tuple(tuple), t, is_event);
   }
   void report_delete(const Tuple& tuple, LogicalTime t) {
-    on_base_delete(tuple, t);
+    on_base_delete(intern_tuple(tuple), t);
   }
   void report_derivation(const Tuple& head, const std::string& rule,
                          const std::vector<Tuple>& body,
                          std::size_t trigger_index, LogicalTime t,
-                         bool is_event = false) {
-    on_derive(head, rule, body, trigger_index, t, is_event);
-  }
+                         bool is_event = false);
 
  private:
-  [[nodiscard]] bool wanted(const Tuple& tuple) const {
-    return enabled_ && (!filter_ || filter_(tuple));
+  /// The selective-reconstruction filter speaks Tuples (it comes from
+  /// ReplayOptions); resolving a ref returns the store's canonical copy, so
+  /// no materialization happens after the first query of a given tuple.
+  [[nodiscard]] bool wanted(TupleRef tuple) const {
+    return enabled_ && (!filter_ || filter_(resolve_tuple(tuple)));
   }
 
   ProvenanceGraph graph_;

@@ -6,21 +6,21 @@
 
 namespace dp {
 
-ProvenanceGraph& ShardedProvenance::shard_for(const Tuple& tuple) {
-  return shards_[tuple.location()];
+ProvenanceGraph& ShardedProvenance::shard_for(TupleRef tuple) {
+  return shards_[global_store().location(tuple)];
 }
 
-void ShardedProvenance::on_base_insert(const Tuple& tuple, LogicalTime t,
+void ShardedProvenance::on_base_insert(TupleRef tuple, LogicalTime t,
                                        bool is_event) {
   shard_for(tuple).record_base_insert(tuple, t, is_event);
 }
 
-void ShardedProvenance::on_base_delete(const Tuple& tuple, LogicalTime t) {
+void ShardedProvenance::on_base_delete(TupleRef tuple, LogicalTime t) {
   shard_for(tuple).record_base_delete(tuple, t);
 }
 
-void ShardedProvenance::on_derive(const Tuple& head, const std::string& rule,
-                                  const std::vector<Tuple>& body,
+void ShardedProvenance::on_derive(TupleRef head, NameRef rule,
+                                  const std::vector<TupleRef>& body,
                                   std::size_t trigger_index, LogicalTime t,
                                   bool is_event) {
   // The head's shard records the derivation; body tuples that live on other
@@ -29,8 +29,8 @@ void ShardedProvenance::on_derive(const Tuple& head, const std::string& rule,
   shard_for(head).record_derive(head, rule, body, trigger_index, t, is_event);
 }
 
-void ShardedProvenance::on_underive(const Tuple& head, const std::string& rule,
-                                    const Tuple& cause, LogicalTime t) {
+void ShardedProvenance::on_underive(TupleRef head, NameRef rule,
+                                    TupleRef cause, LogicalTime t) {
   (void)cause;
   shard_for(head).record_underive(head, rule, t);
 }
@@ -69,17 +69,18 @@ std::optional<ProvTree> ShardedProvenance::project(const Tuple& event) {
   while (!stack.empty()) {
     Frame frame = stack.back();
     stack.pop_back();
-    const Vertex* v = &frame.graph->vertex(frame.id);
+    Vertex v = frame.graph->vertex(frame.id);
 
     // A local stub for a remote tuple: materialize the owning shard's
     // vertex on demand and continue the walk there.
-    if (v->kind == VertexKind::kExist && v->tuple.location() != *frame.shard) {
-      const auto remote_it = shards_.find(v->tuple.location());
+    if (v.kind == VertexKind::kExist && v.node() != *frame.shard) {
+      const auto remote_it = shards_.find(v.node());
       if (remote_it != shards_.end()) {
-        auto remote = remote_it->second.exist_at(v->tuple, v->interval.start);
+        auto remote =
+            remote_it->second.exist_at(v.tuple_ref, v.interval.start);
         if (!remote) {
-          remote = remote_it->second.latest_exist_before(v->tuple,
-                                                         v->interval.start);
+          remote = remote_it->second.latest_exist_before(v.tuple_ref,
+                                                         v.interval.start);
         }
         if (remote) {
           ++stats_.remote_fetches;
@@ -87,14 +88,14 @@ std::optional<ProvTree> ShardedProvenance::project(const Tuple& event) {
           frame.graph = &remote_it->second;
           frame.shard = &remote_it->first;
           frame.id = *remote;
-          v = &frame.graph->vertex(frame.id);
+          v = frame.graph->vertex(frame.id);
         }
       }
     }
 
     ++stats_.vertices_visited;
-    const ProvTree::NodeIndex index = builder.add(*v, frame.parent);
-    const auto& children = v->children;
+    const std::vector<VertexId> children = v.children;
+    const ProvTree::NodeIndex index = builder.add(std::move(v), frame.parent);
     for (auto it = children.rbegin(); it != children.rend(); ++it) {
       stack.push_back({frame.graph, frame.shard, *it, index});
     }

@@ -27,14 +27,13 @@ namespace dp {
 class ShardedProvenance final : public RuntimeObserver {
  public:
   // --- RuntimeObserver: records route to the shard of the tuple's node ---
-  void on_base_insert(const Tuple& tuple, LogicalTime t,
-                      bool is_event) override;
-  void on_base_delete(const Tuple& tuple, LogicalTime t) override;
-  void on_derive(const Tuple& head, const std::string& rule,
-                 const std::vector<Tuple>& body, std::size_t trigger_index,
+  void on_base_insert(TupleRef tuple, LogicalTime t, bool is_event) override;
+  void on_base_delete(TupleRef tuple, LogicalTime t) override;
+  void on_derive(TupleRef head, NameRef rule,
+                 const std::vector<TupleRef>& body, std::size_t trigger_index,
                  LogicalTime t, bool is_event) override;
-  void on_underive(const Tuple& head, const std::string& rule,
-                   const Tuple& cause, LogicalTime t) override;
+  void on_underive(TupleRef head, NameRef rule, TupleRef cause,
+                   LogicalTime t) override;
 
   /// The shard of one node (nullptr if nothing was ever stored there).
   [[nodiscard]] const ProvenanceGraph* shard(const NodeName& node) const;
@@ -59,7 +58,7 @@ class ShardedProvenance final : public RuntimeObserver {
   [[nodiscard]] std::optional<ProvTree> project(const Tuple& event);
 
  private:
-  ProvenanceGraph& shard_for(const Tuple& tuple);
+  ProvenanceGraph& shard_for(TupleRef tuple);
 
   std::map<NodeName, ProvenanceGraph> shards_;
   QueryStats stats_;

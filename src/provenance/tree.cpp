@@ -23,9 +23,9 @@ ProvTree ProvTree::project(const ProvenanceGraph& graph, VertexId root) {
       tree.nodes_[static_cast<std::size_t>(frame.parent)].children.push_back(
           index);
     }
-    const Vertex& v = graph.vertex(frame.vertex);
     // Push children in reverse so they are visited (and numbered) in order.
-    for (auto it = v.children.rbegin(); it != v.children.rend(); ++it) {
+    const std::vector<VertexId>& children = tree.vertices_.back().children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
       stack.push_back({*it, index});
     }
   }

@@ -10,6 +10,12 @@
 // (INSERT | DERIVE), and DERIVE -> the EXIST vertices of the rule body. The
 // graph is append-only; deletions add negative vertices rather than removing
 // anything (paper section 3.1).
+//
+// A Vertex does not own its tuple or rule name: it carries 32-bit refs into
+// the process-wide interned store (store/store.h) and resolves them on
+// access. ProvenanceGraph stores vertices column-wise and materializes a
+// Vertex view on demand; ProvTree copies these views, which stay valid for
+// the process lifetime because interned records are never freed.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +23,7 @@
 #include <vector>
 
 #include "ndlog/tuple.h"
+#include "store/store.h"
 #include "util/time.h"
 
 namespace dp {
@@ -38,10 +45,10 @@ inline constexpr VertexId kNoVertex = static_cast<VertexId>(-1);
 
 struct Vertex {
   VertexKind kind = VertexKind::kInsert;
-  Tuple tuple;
-  std::string rule;        // DERIVE / UNDERIVE only
-  LogicalTime time = 0;    // instant kinds; for EXIST, == interval.start
-  TimeInterval interval;   // EXIST only
+  TupleRef tuple_ref = kNoTupleRef;  // interned in global_store()
+  NameRef rule_ref = kNoName;        // DERIVE / UNDERIVE only
+  LogicalTime time = 0;              // instant kinds; for EXIST, == interval.start
+  TimeInterval interval;             // EXIST only
   // Direct causes, in causal order. For DERIVE vertices these are the EXIST
   // vertices of the body tuples, in rule body order.
   std::vector<VertexId> children;
@@ -49,7 +56,16 @@ struct Vertex {
   // triggered the rule (the paper's "last precondition"; section 4.2).
   std::int32_t trigger_index = -1;
 
-  [[nodiscard]] const NodeName& node() const { return tuple.location(); }
+  /// The canonical interned tuple (resolved lazily; one shared copy per
+  /// distinct tuple, stable for the process lifetime).
+  [[nodiscard]] const Tuple& tuple() const { return resolve_tuple(tuple_ref); }
+  /// The rule name; empty for non-(UN)DERIVE kinds.
+  [[nodiscard]] const std::string& rule() const {
+    return resolve_name(rule_ref);
+  }
+  [[nodiscard]] const NodeName& node() const {
+    return global_store().location(tuple_ref);
+  }
   [[nodiscard]] std::string label() const;
 };
 

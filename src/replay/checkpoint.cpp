@@ -58,7 +58,7 @@ Checkpoint Checkpoint::deserialize(std::istream& in) {
           std::to_string(offset) + ")");
     }
     checkpoint.captured_at_ = record.time;
-    checkpoint.tuples_.push_back(record.tuple);
+    checkpoint.tuples_.push_back(record.tuple());
     offset += EventLog::record_size(record);
   }
   return checkpoint;

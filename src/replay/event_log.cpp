@@ -40,6 +40,11 @@ void put_string(std::ostream& out, const std::string& s) {
 constexpr std::uint32_t kMaxNameLen = 1u << 16;    // table names
 constexpr std::uint32_t kMaxStringLen = 1u << 24;  // string field payloads
 constexpr std::uint16_t kMaxArity = 1024;
+constexpr std::uint32_t kMaxRefTable = 1u << 26;   // distinct tuples per log
+
+// Ref-table format marker; the legacy flat format starts with an op byte
+// (0/1), so the first byte disambiguates.
+constexpr char kMagic[4] = {'D', 'P', 'L', '2'};
 
 /// Byte-counting reader over an istream: every primitive read advances
 /// `offset`, and every failure reports the offset where decoding stopped.
@@ -165,36 +170,79 @@ std::uint64_t value_size(const Value& v) {
   return 1;
 }
 
-}  // namespace
-
-std::uint64_t EventLog::record_size(const LogRecord& record) {
-  std::uint64_t size = 1 + 8;  // op + time
-  size += 4 + record.tuple.table().size();
-  size += 2;  // field count
-  for (const Value& v : record.tuple.values()) size += value_size(v);
+/// Ref-table entry size: table name (len-prefixed) + field count + fields.
+std::uint64_t tuple_payload_size(const Tuple& tuple) {
+  std::uint64_t size = 4 + tuple.table().size() + 2;
+  for (const Value& v : tuple.values()) size += value_size(v);
   return size;
 }
 
+void put_tuple(std::ostream& out, const Tuple& tuple) {
+  put_string(out, tuple.table());
+  put_u16(out, static_cast<std::uint16_t>(tuple.arity()));
+  for (const Value& v : tuple.values()) put_value(out, v);
+}
+
+Tuple get_tuple(ByteReader& reader) {
+  std::string table = reader.string(kMaxNameLen);
+  const std::uint16_t arity = reader.u16();
+  if (arity > kMaxArity) {
+    reader.fail("implausible arity " + std::to_string(arity));
+  }
+  std::vector<Value> values;
+  values.reserve(arity);
+  for (std::uint16_t i = 0; i < arity; ++i) {
+    values.push_back(get_value(reader));
+  }
+  return Tuple(std::move(table), std::move(values));
+}
+
+// op + time + ref-table index.
+constexpr std::uint64_t kRecordFixedSize = 1 + 8 + 4;
+
+}  // namespace
+
+std::uint64_t EventLog::record_size(const LogRecord& record) {
+  return 1 + 8 + tuple_payload_size(record.tuple());
+}
+
 void EventLog::append(LogRecord record) {
-  byte_size_ += record_size(record);
-  records_.push_back(std::move(record));
+  const auto [it, inserted] = ref_index_.emplace(
+      record.tuple_ref, static_cast<std::uint32_t>(ref_table_.size()));
+  if (inserted) {
+    ref_table_.push_back(record.tuple_ref);
+    byte_size_ += tuple_payload_size(record.tuple());
+  }
+  byte_size_ += kRecordFixedSize;
+  records_.push_back(record);
 }
 
-void EventLog::append_insert(Tuple tuple, LogicalTime t) {
-  append(LogRecord{LogRecord::Op::kInsert, t, std::move(tuple)});
+void EventLog::append_insert(const Tuple& tuple, LogicalTime t) {
+  append(LogRecord{LogRecord::Op::kInsert, t, intern_tuple(tuple)});
 }
 
-void EventLog::append_delete(Tuple tuple, LogicalTime t) {
-  append(LogRecord{LogRecord::Op::kDelete, t, std::move(tuple)});
+void EventLog::append_delete(const Tuple& tuple, LogicalTime t) {
+  append(LogRecord{LogRecord::Op::kDelete, t, intern_tuple(tuple)});
+}
+
+void EventLog::append_insert(TupleRef tuple, LogicalTime t) {
+  append(LogRecord{LogRecord::Op::kInsert, t, tuple});
+}
+
+void EventLog::append_delete(TupleRef tuple, LogicalTime t) {
+  append(LogRecord{LogRecord::Op::kDelete, t, tuple});
 }
 
 void EventLog::serialize(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  put_u32(out, static_cast<std::uint32_t>(ref_table_.size()));
+  for (const TupleRef ref : ref_table_) {
+    put_tuple(out, resolve_tuple(ref));
+  }
   for (const LogRecord& record : records_) {
     put_u8(out, static_cast<std::uint8_t>(record.op));
     put_u64(out, static_cast<std::uint64_t>(record.time));
-    put_string(out, record.tuple.table());
-    put_u16(out, static_cast<std::uint16_t>(record.tuple.arity()));
-    for (const Value& v : record.tuple.values()) put_value(out, v);
+    put_u32(out, ref_index_.find(record.tuple_ref)->second);
   }
 }
 
@@ -202,7 +250,7 @@ std::string EventLog::to_text() const {
   std::string out;
   for (const LogRecord& record : records_) {
     out += record.op == LogRecord::Op::kInsert ? "+ " : "- ";
-    out += record.tuple.to_string();
+    out += record.tuple().to_string();
     out += " @ " + std::to_string(record.time) + "\n";
   }
   return out;
@@ -261,11 +309,11 @@ EventLog EventLog::from_text(std::string_view text) {
       if (c != ' ' && c != '\t') throw fail("trailing content after tuple");
     }
     try {
-      record.tuple = parse_tuple(line.substr(0, paren + 1));
+      record.tuple_ref = intern_tuple(parse_tuple(line.substr(0, paren + 1)));
     } catch (const std::exception& e) {
       throw fail(e.what());
     }
-    log.append(std::move(record));
+    log.append(record);
   }
   return log;
 }
@@ -273,6 +321,51 @@ EventLog EventLog::from_text(std::string_view text) {
 EventLog EventLog::deserialize(std::istream& in) {
   EventLog log;
   ByteReader reader{in};
+  if (reader.at_eof()) return log;
+
+  if (in.peek() == kMagic[0]) {
+    // Ref-table format: magic, table of distinct tuples, then records.
+    for (char expected : kMagic) {
+      const std::uint64_t magic_offset = reader.offset;
+      const std::uint8_t b = reader.u8();
+      if (b != static_cast<std::uint8_t>(expected)) {
+        throw std::runtime_error("event log: corrupt format magic at byte "
+                                 "offset " +
+                                 std::to_string(magic_offset));
+      }
+    }
+    const std::uint32_t count = reader.u32();
+    if (count > kMaxRefTable) {
+      reader.fail("implausible ref-table count " + std::to_string(count));
+    }
+    std::vector<TupleRef> refs;
+    refs.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      refs.push_back(intern_tuple(get_tuple(reader)));
+    }
+    while (!reader.at_eof()) {
+      const std::uint64_t record_offset = reader.offset;
+      const std::uint8_t op = reader.u8();
+      if (op > static_cast<std::uint8_t>(LogRecord::Op::kDelete)) {
+        throw std::runtime_error("event log: corrupt op byte " +
+                                 std::to_string(op) + " at byte offset " +
+                                 std::to_string(record_offset));
+      }
+      const auto time = static_cast<LogicalTime>(reader.u64());
+      const std::uint32_t index = reader.u32();
+      if (index >= count) {
+        throw std::runtime_error(
+            "event log: ref-table index " + std::to_string(index) +
+            " out of range (table holds " + std::to_string(count) +
+            ") at byte offset " + std::to_string(record_offset));
+      }
+      log.append(LogRecord{static_cast<LogRecord::Op>(op), time,
+                           refs[index]});
+    }
+    return log;
+  }
+
+  // Legacy flat format: every record carries the full tuple payload.
   while (!reader.at_eof()) {
     LogRecord record;
     const std::uint64_t record_offset = reader.offset;
@@ -284,18 +377,8 @@ EventLog EventLog::deserialize(std::istream& in) {
     }
     record.op = static_cast<LogRecord::Op>(op);
     record.time = static_cast<LogicalTime>(reader.u64());
-    std::string table = reader.string(kMaxNameLen);
-    const std::uint16_t arity = reader.u16();
-    if (arity > kMaxArity) {
-      reader.fail("implausible arity " + std::to_string(arity));
-    }
-    std::vector<Value> values;
-    values.reserve(arity);
-    for (std::uint16_t i = 0; i < arity; ++i) {
-      values.push_back(get_value(reader));
-    }
-    record.tuple = Tuple(std::move(table), std::move(values));
-    log.append(std::move(record));
+    record.tuple_ref = intern_tuple(get_tuple(reader));
+    log.append(record);
   }
   return log;
 }

@@ -2,18 +2,18 @@
 
 namespace dp {
 
-void LoggingEngine::on_base_insert(const Tuple& tuple, LogicalTime t,
+void LoggingEngine::on_base_insert(TupleRef tuple, LogicalTime t,
                                    bool is_event) {
-  if (is_event && !logs_events_at(tuple.location())) return;
+  if (is_event && !logs_events_at(global_store().location(tuple))) return;
   log_.append_insert(tuple, t);
 }
 
-void LoggingEngine::on_base_delete(const Tuple& tuple, LogicalTime t) {
+void LoggingEngine::on_base_delete(TupleRef tuple, LogicalTime t) {
   log_.append_delete(tuple, t);
 }
 
-void LoggingEngine::on_derive(const Tuple& head, const std::string& rule,
-                              const std::vector<Tuple>& body,
+void LoggingEngine::on_derive(TupleRef head, NameRef rule,
+                              const std::vector<TupleRef>& body,
                               std::size_t trigger_index, LogicalTime t,
                               bool is_event) {
   (void)body;
@@ -22,8 +22,9 @@ void LoggingEngine::on_derive(const Tuple& head, const std::string& rule,
   if (mode_ != LoggingMode::kRuntime) return;
   // Runtime mode writes a derivation record: head tuple + rule name. We
   // account its size but keep it out of the replayable base log.
-  LogRecord record{LogRecord::Op::kInsert, t, head};
-  derivation_bytes_ += EventLog::record_size(record) + rule.size();
+  derivation_bytes_ +=
+      EventLog::record_size(LogRecord{LogRecord::Op::kInsert, t, head}) +
+      resolve_name(rule).size();
 }
 
 }  // namespace dp

@@ -44,11 +44,10 @@ class LoggingEngine final : public RuntimeObserver {
   }
 
   // RuntimeObserver:
-  void on_base_insert(const Tuple& tuple, LogicalTime t,
-                      bool is_event) override;
-  void on_base_delete(const Tuple& tuple, LogicalTime t) override;
-  void on_derive(const Tuple& head, const std::string& rule,
-                 const std::vector<Tuple>& body, std::size_t trigger_index,
+  void on_base_insert(TupleRef tuple, LogicalTime t, bool is_event) override;
+  void on_base_delete(TupleRef tuple, LogicalTime t) override;
+  void on_derive(TupleRef head, NameRef rule,
+                 const std::vector<TupleRef>& body, std::size_t trigger_index,
                  LogicalTime t, bool is_event) override;
 
  private:

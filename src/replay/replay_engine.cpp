@@ -38,9 +38,9 @@ ReplayResult replay(const Program& program, const Topology& topology,
 
   for (const LogRecord& record : log.records()) {
     if (record.op == LogRecord::Op::kInsert) {
-      result.engine->schedule_insert(record.tuple, record.time);
+      result.engine->schedule_insert(record.tuple(), record.time);
     } else {
-      result.engine->schedule_delete(record.tuple, record.time);
+      result.engine->schedule_delete(record.tuple(), record.time);
     }
   }
   for (const DeltaOp& op : delta) {

@@ -271,34 +271,43 @@ void Engine::process_insert(const Event& event) {
   const bool is_base = event.kind == Event::Kind::kBaseInsert;
   const bool is_event = decl.is_event();
 
+  const bool notify = !observers_.empty();
   bool newly_appeared = true;
   if (!is_event) {
     Table& table = table_for(tuple);
     const Table::InsertResult result = table.insert(tuple, event.time);
     if (result.displaced) {
       // Key upsert displaced a live row: observers see its disappearance
-      // first, and its dependents are underived at the same timestamp.
+      // first, and its dependents are underived at the same timestamp. The
+      // displaced row may legitimately be absent from the store (recorded
+      // with no observers attached); then nothing can reference it either.
       ++stats_.base_deletes;
+      const TupleRef displaced_ref =
+          notify ? intern_tuple(*result.displaced)
+                 : global_store().find(*result.displaced);
       for (RuntimeObserver* obs : observers_) {
-        obs->on_base_delete(*result.displaced, event.time);
+        obs->on_base_delete(displaced_ref, event.time);
       }
-      retract_dependents_of(*result.displaced, event.time);
+      if (displaced_ref != kNoTupleRef) {
+        retract_dependents_of(displaced_ref, event.time);
+      }
     }
     newly_appeared = result.inserted;
   }
 
-  // Notify observers and maintain support bookkeeping.
+  // Notify observers and maintain support bookkeeping. Tuples are interned
+  // once here; every observer (recorder, event log, metrics) and the support
+  // maps share the resulting refs.
   if (is_base) {
     ++stats_.base_inserts;
-    for (RuntimeObserver* obs : observers_) {
-      obs->on_base_insert(tuple, event.time, is_event);
+    if (notify) {
+      const TupleRef ref = intern_tuple(tuple);
+      for (RuntimeObserver* obs : observers_) {
+        obs->on_base_insert(ref, event.time, is_event);
+      }
     }
   } else {
     ++stats_.derivations;
-    for (RuntimeObserver* obs : observers_) {
-      obs->on_derive(tuple, event.rule, event.body, event.trigger_index,
-                     event.time, is_event);
-    }
     // Derivations triggered by an event tuple are one-shot: the event is
     // gone the instant after, so the head is a fact about something that
     // happened (e.g. "this packet was delivered") and is not subject to
@@ -311,14 +320,28 @@ void Engine::process_insert(const Event& event) {
         break;
       }
     }
-    if (!is_event && !event_triggered) {
-      const std::size_t record_id = records_.size();
-      records_.push_back(DerivRecord{tuple, event.rule, event.body, true});
-      records_by_head_[tuple].push_back(record_id);
+    const bool track_support = !is_event && !event_triggered;
+    if (notify || track_support) {
+      const TupleRef head_ref = intern_tuple(tuple);
+      const NameRef rule_ref = intern_name(event.rule);
+      body_refs_scratch_.clear();
+      body_refs_scratch_.reserve(event.body.size());
       for (const Tuple& b : event.body) {
-        records_by_body_[b].push_back(record_id);
+        body_refs_scratch_.push_back(intern_tuple(b));
       }
-      ++support_[tuple];
+      for (RuntimeObserver* obs : observers_) {
+        obs->on_derive(head_ref, rule_ref, body_refs_scratch_,
+                       event.trigger_index, event.time, is_event);
+      }
+      if (track_support) {
+        const std::size_t record_id = records_.size();
+        records_.push_back(DerivRecord{head_ref, rule_ref, true});
+        records_by_head_[head_ref].push_back(record_id);
+        for (const TupleRef b : body_refs_scratch_) {
+          records_by_body_[b].push_back(record_id);
+        }
+        ++support_[head_ref];
+      }
     }
   }
 
@@ -352,13 +375,17 @@ void Engine::process_delete(const Tuple& tuple, LogicalTime t) {
     return;
   }
   ++stats_.base_deletes;
+  const TupleRef ref = observers_.empty() ? global_store().find(tuple)
+                                          : intern_tuple(tuple);
   for (RuntimeObserver* obs : observers_) {
-    obs->on_base_delete(tuple, t);
+    obs->on_base_delete(ref, t);
   }
-  retract_dependents_of(tuple, t);
+  // Absent from the store means nothing was ever recorded against it, so no
+  // derivation record can reference it either.
+  if (ref != kNoTupleRef) retract_dependents_of(ref, t);
 }
 
-void Engine::retract_dependents_of(const Tuple& tuple, LogicalTime t) {
+void Engine::retract_dependents_of(TupleRef tuple, LogicalTime t) {
   // Deactivate this tuple's own derivation records (it is gone). Its support
   // entry is erased outright -- leaving a zero behind would grow the map by
   // one dead entry per underived tuple for the lifetime of the engine.
@@ -380,8 +407,9 @@ void Engine::retract_dependents_of(const Tuple& tuple, LogicalTime t) {
     if (--support_it->second > 0) continue;
     support_.erase(support_it);
     // Support exhausted: underive the head now (same timestamp).
-    Table& head_table = table_for(record.head);
-    if (!head_table.remove(record.head, t)) continue;
+    const Tuple& head = resolve_tuple(record.head);
+    Table& head_table = table_for(head);
+    if (!head_table.remove(head, t)) continue;
     ++stats_.underivations;
     for (RuntimeObserver* obs : observers_) {
       obs->on_underive(record.head, record.rule, tuple, t);

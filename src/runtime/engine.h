@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "ndlog/eval.h"
@@ -184,10 +185,12 @@ class Engine {
     }
   };
 
+  // One unit of support for a derived head. The head and rule are interned
+  // refs (the record's body registers in records_by_body_ and is not needed
+  // afterwards), so a record is 12 bytes however wide the tuples are.
   struct DerivRecord {
-    Tuple head;
-    std::string rule;
-    std::vector<Tuple> body;
+    TupleRef head = kNoTupleRef;
+    NameRef rule = kNoName;
     bool active = true;
   };
 
@@ -208,7 +211,7 @@ class Engine {
   /// Cascades support-count maintenance after `tuple` disappeared:
   /// derivations that consumed it are deactivated and heads whose support
   /// reaches zero are underived, recursively (same timestamp).
-  void retract_dependents_of(const Tuple& tuple, LogicalTime t);
+  void retract_dependents_of(TupleRef tuple, LogicalTime t);
 
   /// Reference evaluator: joins `arrival` (already bound at body position
   /// `atom_index` of `rule`) against node-local state by scanning each
@@ -255,9 +258,14 @@ class Engine {
   std::vector<RuntimeObserver*> observers_;
 
   std::vector<DerivRecord> records_;
-  std::map<Tuple, std::vector<std::size_t>> records_by_body_;
-  std::map<Tuple, std::vector<std::size_t>> records_by_head_;
-  std::map<Tuple, std::int64_t> support_;
+  // Support bookkeeping keyed by interned refs: O(1) hashes of a 4-byte key
+  // instead of ordered full-tuple comparisons, and no second tuple copy.
+  std::unordered_map<TupleRef, std::vector<std::size_t>> records_by_body_;
+  std::unordered_map<TupleRef, std::vector<std::size_t>> records_by_head_;
+  std::unordered_map<TupleRef, std::int64_t> support_;
+  // Scratch for the per-derivation body refs handed to observers (reused so
+  // the notify path does not allocate per firing).
+  std::vector<TupleRef> body_refs_scratch_;
 
   // Hot-path counters are plain (the engine is single-threaded); they are
   // delta-published into metrics_ when a run completes. published_ /

@@ -9,13 +9,13 @@
 #pragma once
 
 #include <array>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
-#include "ndlog/tuple.h"
 #include "obs/metrics.h"
 #include "runtime/observer.h"
+#include "store/store.h"
 
 namespace dp {
 
@@ -24,43 +24,46 @@ class MetricsObserver final : public RuntimeObserver {
   explicit MetricsObserver(obs::MetricsRegistry& registry)
       : registry_(registry) {}
 
-  void on_base_insert(const Tuple& tuple, LogicalTime /*t*/,
+  void on_base_insert(TupleRef tuple, LogicalTime /*t*/,
                       bool /*is_event*/) override {
-    cell(tuple.table(), kInserts).inc();
+    cell(tuple, kInserts).inc();
   }
-  void on_base_delete(const Tuple& tuple, LogicalTime /*t*/) override {
-    cell(tuple.table(), kDeletes).inc();
+  void on_base_delete(TupleRef tuple, LogicalTime /*t*/) override {
+    cell(tuple, kDeletes).inc();
   }
-  void on_derive(const Tuple& head, const std::string& /*rule*/,
-                 const std::vector<Tuple>& /*body*/,
+  void on_derive(TupleRef head, NameRef /*rule*/,
+                 const std::vector<TupleRef>& /*body*/,
                  std::size_t /*trigger_index*/, LogicalTime /*t*/,
                  bool /*is_event*/) override {
-    cell(head.table(), kDerives).inc();
+    cell(head, kDerives).inc();
   }
-  void on_underive(const Tuple& head, const std::string& /*rule*/,
-                   const Tuple& /*cause*/, LogicalTime /*t*/) override {
-    cell(head.table(), kUnderives).inc();
+  void on_underive(TupleRef head, NameRef /*rule*/, TupleRef /*cause*/,
+                   LogicalTime /*t*/) override {
+    cell(head, kUnderives).inc();
   }
 
  private:
   enum Action { kInserts, kDeletes, kDerives, kUnderives };
 
-  // Counter lookups take the registry mutex; cache the resolved pointers so
+  // Counter lookups take the registry mutex; cache the resolved pointers,
+  // keyed by the interned table id (a 4-byte hash, no string compare), so
   // steady-state cost is one map find + one relaxed add.
-  obs::Counter& cell(const std::string& table, Action action) {
+  obs::Counter& cell(TupleRef tuple, Action action) {
     static constexpr const char* kActionName[] = {"inserts", "deletes",
                                                   "derives", "underives"};
+    const NameRef table = global_store().table_id(tuple);
     obs::Counter*& slot = cache_[table][action];
     if (slot == nullptr) {
-      slot = &registry_.counter("dp.runtime.table." +
-                                obs::sanitize_metric_segment(table) + "." +
-                                kActionName[action]);
+      slot = &registry_.counter(
+          "dp.runtime.table." +
+          obs::sanitize_metric_segment(global_store().table_name(tuple)) +
+          "." + kActionName[action]);
     }
     return *slot;
   }
 
   obs::MetricsRegistry& registry_;
-  std::map<std::string, std::array<obs::Counter*, 4>> cache_;
+  std::unordered_map<NameRef, std::array<obs::Counter*, 4>> cache_;
 };
 
 }  // namespace dp

@@ -4,12 +4,17 @@
 // the logging engine (section 5, "logging engine") attach here. Observers
 // are notified synchronously, in registration order, in deterministic event
 // order.
+//
+// Callbacks carry interned refs (store/store.h), not tuple copies: the
+// engine interns each notified tuple once into the process-wide store, and
+// every observer downstream -- recorder, event log, metrics -- shares that
+// single record. An observer that needs value semantics resolves the ref
+// (`resolve_tuple`), which returns the store's canonical copy.
 #pragma once
 
-#include <string>
 #include <vector>
 
-#include "ndlog/tuple.h"
+#include "store/store.h"
 #include "util/time.h"
 
 namespace dp {
@@ -18,23 +23,22 @@ class RuntimeObserver {
  public:
   virtual ~RuntimeObserver() = default;
 
-  /// A base tuple was inserted on `tuple.location()` at `t`. `is_event` is
+  /// A base tuple was inserted on its location node at `t`. `is_event` is
   /// true for non-materialized (event) tables whose tuples exist only for an
   /// instant.
-  virtual void on_base_insert(const Tuple& tuple, LogicalTime t,
-                              bool is_event) {
+  virtual void on_base_insert(TupleRef tuple, LogicalTime t, bool is_event) {
     (void)tuple; (void)t; (void)is_event;
   }
 
   /// A base tuple was deleted (externally, or displaced by key upsert).
-  virtual void on_base_delete(const Tuple& tuple, LogicalTime t) {
+  virtual void on_base_delete(TupleRef tuple, LogicalTime t) {
     (void)tuple; (void)t;
   }
 
   /// `head` was derived via `rule` from `body` (in rule body order); body
   /// tuple `trigger_index` is the one whose appearance triggered the firing.
-  virtual void on_derive(const Tuple& head, const std::string& rule,
-                         const std::vector<Tuple>& body,
+  virtual void on_derive(TupleRef head, NameRef rule,
+                         const std::vector<TupleRef>& body,
                          std::size_t trigger_index, LogicalTime t,
                          bool is_event) {
     (void)head; (void)rule; (void)body; (void)trigger_index; (void)t;
@@ -44,8 +48,8 @@ class RuntimeObserver {
   /// `head` lost its last remaining derivation (support reached zero)
   /// because `cause` was deleted; `rule` is the rule of the removed
   /// derivation.
-  virtual void on_underive(const Tuple& head, const std::string& rule,
-                           const Tuple& cause, LogicalTime t) {
+  virtual void on_underive(TupleRef head, NameRef rule, TupleRef cause,
+                           LogicalTime t) {
     (void)head; (void)rule; (void)cause; (void)t;
   }
 };

@@ -118,7 +118,9 @@ std::string handle_stats(DiagnosisService& service) {
       << ",\"cache_size\":" << stats.cache_size
       << ",\"cache_evictions\":" << stats.cache_evictions
       << ",\"sessions\":" << stats.sessions
-      << ",\"warm_sessions\":" << stats.warm_sessions << ",\"per_session\":{";
+      << ",\"warm_sessions\":" << stats.warm_sessions
+      << ",\"warm_resident_bytes\":" << stats.warm_resident_bytes
+      << ",\"per_session\":{";
   bool first = true;
   for (const auto& [key, s] : stats.per_session) {
     if (!first) out << ",";

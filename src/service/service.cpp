@@ -51,7 +51,8 @@ std::string ServiceStats::to_text() const {
       << " coalesced " << coalesced << " entries " << cache_size
       << " evictions " << cache_evictions << "\n"
       << "queue " << queue_depth << "/" << queue_capacity << " sessions "
-      << sessions << " (" << warm_sessions << " warm)\n";
+      << sessions << " (" << warm_sessions << " warm, "
+      << warm_resident_bytes << " resident bytes)\n";
   for (const auto& [key, s] : per_session) {
     out << "  session " << key << ": queries " << s.queries << " warm_hits "
         << s.warm_hits << " cold_replays " << s.cold_replays << " probes "
@@ -66,7 +67,8 @@ DiagnosisService::DiagnosisService(ServiceConfig config)
       registry_(config_.metrics != nullptr ? config_.metrics
                                            : &obs::default_registry()),
       replay_options_(with_metrics(config_.replay, registry_)),
-      sessions_(config_.max_warm_sessions, replay_options_, *registry_),
+      sessions_(config_.max_warm_sessions, config_.warm_bytes_budget,
+                replay_options_, *registry_),
       queue_(config_.queue_capacity),
       cache_(config_.cache_capacity),
       submitted_(registry_->counter("dp.service.submitted")),
@@ -241,6 +243,10 @@ void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
     result.out = outcome.pre + outcome.out;
     result.err = outcome.err;
   }
+  // The warm-up above may have changed this session's measured footprint;
+  // re-apply the byte budget now that the session lock is released (the
+  // budget pass try-locks sessions, so it must not run while we hold one).
+  sessions_.enforce_budget();
   runs_.inc();
   const auto finished_at = std::chrono::steady_clock::now();
   const double exec_us = micros_between(started_at, finished_at);
@@ -379,6 +385,7 @@ ServiceStats DiagnosisService::stats() const {
   }
   stats.sessions = sessions_.size();
   stats.warm_sessions = sessions_.warm_count();
+  stats.warm_resident_bytes = sessions_.warm_bytes();
   stats.per_session = sessions_.stats();
   return stats;
 }

@@ -44,6 +44,11 @@ struct ServiceConfig {
   std::size_t queue_capacity = 64;
   /// Sessions allowed to keep their replayed run resident (LRU beyond).
   std::size_t max_warm_sessions = 8;
+  /// Byte budget for the warm set, measured against each session's resident
+  /// provenance-graph footprint (dp.service.session.resident_bytes); LRU
+  /// sessions are cooled to their checkpoint tier while over. 0 = no byte
+  /// budget (session-count cap only).
+  std::uint64_t warm_bytes_budget = 512ull << 20;
   std::size_t cache_capacity = 256;
   /// Bumped by the operator when anything outside the key changes (program
   /// semantics, engine version): old cache entries stop matching.
@@ -117,6 +122,7 @@ struct ServiceStats {
   std::uint64_t cache_evictions = 0;
   std::size_t sessions = 0;
   std::size_t warm_sessions = 0;
+  std::uint64_t warm_resident_bytes = 0;  // measured warm-set footprint
   std::vector<std::pair<std::string, SessionStats>> per_session;
 
   [[nodiscard]] std::string to_text() const;

@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include <iterator>
 #include <sstream>
 
 #include "obs/obs.h"
@@ -44,6 +45,14 @@ std::shared_ptr<const BadRun> WarmSession::ensure_warm() {
   // so the snapshot covers the whole recorded history and probe restores
   // replay an empty (or truncated-run) suffix.
   if (!checkpoint_) checkpoint_ = Checkpoint::capture(*engine_);
+
+  // Measure what this warm run actually costs to keep resident: the columnar
+  // provenance graph (the dominant term now that tuples live once in the
+  // interned store). Floor of 1 so warm => nonzero, which is what the
+  // manager's budget pass keys on.
+  const std::uint64_t measured = recorder_->graph().resident_bytes();
+  resident_bytes_.store(measured > 0 ? measured : 1,
+                        std::memory_order_relaxed);
   return run_;
 }
 
@@ -54,6 +63,7 @@ void WarmSession::cool() {
   recorder_.reset();
   engine_.reset();
   probe_engine_.reset();
+  resident_bytes_.store(0, std::memory_order_relaxed);
   registry_->counter("dp.service.session.evictions").inc();
 }
 
@@ -88,9 +98,9 @@ std::unique_ptr<Engine> WarmSession::restore_from_checkpoint() {
   for (const auto& record : problem_.log.records()) {
     if (record.time <= checkpoint_->captured_at()) continue;
     if (record.op == LogRecord::Op::kInsert) {
-      engine->schedule_insert(record.tuple, record.time);
+      engine->schedule_insert(record.tuple(), record.time);
     } else {
-      engine->schedule_delete(record.tuple, record.time);
+      engine->schedule_delete(record.tuple(), record.time);
     }
   }
   if (options_.until == kTimeInfinity) {
@@ -101,9 +111,12 @@ std::unique_ptr<Engine> WarmSession::restore_from_checkpoint() {
   return engine;
 }
 
-SessionManager::SessionManager(std::size_t max_warm, ReplayOptions options,
+SessionManager::SessionManager(std::size_t max_warm,
+                               std::uint64_t warm_bytes_budget,
+                               ReplayOptions options,
                                obs::MetricsRegistry& registry)
     : max_warm_(max_warm),
+      warm_bytes_budget_(warm_bytes_budget),
       options_(std::move(options)),
       registry_(&registry) {}
 
@@ -175,24 +188,60 @@ std::shared_ptr<WarmSession> SessionManager::intern(
   return it->second;
 }
 
+void SessionManager::enforce_budget() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enforce_budget_locked();
+}
+
 void SessionManager::enforce_budget_locked() {
-  if (sessions_.size() <= max_warm_) return;
-  // Cool least-recently-used sessions beyond the warm budget. try_lock so a
-  // session mid-query is never torn down under a worker; it simply stays
-  // warm until the next enforcement pass finds it idle.
-  std::size_t over = sessions_.size() - max_warm_;
-  for (auto rit = recency_.rbegin(); rit != recency_.rend() && over > 0;
+  // The warm set's measured footprint: sessions report the resident bytes of
+  // their replayed provenance graph (0 when cooled), so the budget tracks
+  // what the graphs actually cost rather than assuming every session weighs
+  // the same.
+  std::uint64_t bytes = 0;
+  std::size_t warm = 0;
+  for (const auto& [key, session] : sessions_) {
+    const std::uint64_t b = session->resident_bytes();
+    if (b > 0) {
+      ++warm;
+      bytes += b;
+    }
+  }
+  const auto over_budget = [&] {
+    return warm > max_warm_ ||
+           (warm_bytes_budget_ != 0 && bytes > warm_bytes_budget_);
+  };
+  // Cool least-recently-used sessions while over either budget, sparing the
+  // most recently used one (cooling it would defeat the warm tier entirely).
+  // try_lock so a session mid-query is never torn down under a worker; it
+  // simply stays warm until the next enforcement pass finds it idle.
+  for (auto rit = recency_.rbegin();
+       rit != recency_.rend() && std::next(rit) != recency_.rend() &&
+       over_budget();
        ++rit) {
     auto it = sessions_.find(*rit);
     if (it == sessions_.end()) continue;
     WarmSession& session = *it->second;
     if (!session.mutex().try_lock()) continue;
+    const std::uint64_t b = session.resident_bytes();
     if (session.is_warm()) {
       session.cool();
-      --over;
+      --warm;
+      bytes -= b;
     }
     session.mutex().unlock();
   }
+  registry_->gauge("dp.service.session.resident_bytes")
+      .set(static_cast<std::int64_t>(bytes));
+}
+
+std::uint64_t SessionManager::warm_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t bytes = 0;
+  for (const auto& [key, session] : sessions_) {
+    bytes += session->resident_bytes();
+  }
+  return bytes;
 }
 
 std::size_t SessionManager::size() const {

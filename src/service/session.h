@@ -25,6 +25,7 @@
 // parallel.
 #pragma once
 
+#include <atomic>
 #include <list>
 #include <map>
 #include <memory>
@@ -69,6 +70,14 @@ class WarmSession {
   /// True if the resident run is in memory (cheap; caller holds mutex()).
   [[nodiscard]] bool is_warm() const { return run_ != nullptr; }
 
+  /// Measured bytes of the resident provenance graph (the store-backed
+  /// columnar footprint), 0 when cooled. Updated at warm-up, cleared by
+  /// cool(); readable without mutex() so the manager can total footprints
+  /// while workers are mid-query.
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    return resident_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Drops the resident run and probe engine; the checkpoint (if one was
   /// captured) survives. Caller holds mutex().
   void cool();
@@ -99,18 +108,23 @@ class WarmSession {
   // Cheap tier: base-state snapshot at quiescence + restored probe engine.
   std::optional<Checkpoint> checkpoint_;
   std::unique_ptr<Engine> probe_engine_;
+  // Warm footprint, measured from the replayed graph (see resident_bytes()).
+  std::atomic<std::uint64_t> resident_bytes_{0};
 
   SessionStats stats_;
 };
 
-/// Keyed store of warm sessions with an LRU warm-set budget: at most
-/// `max_warm` sessions keep their replayed run resident; older ones are
-/// cooled to their checkpoint tier (never while a worker is inside them --
-/// eviction try-locks and skips busy sessions).
+/// Keyed store of warm sessions with an LRU warm-set budget driven by
+/// *measured* footprint: sessions report the resident bytes of their replayed
+/// provenance graph (via the store metrics), and least-recently-used sessions
+/// are cooled to their checkpoint tier while the warm set exceeds
+/// `warm_bytes_budget` (0 = unlimited) or `max_warm` sessions. The most
+/// recently used session is never cooled, and neither is a session a worker
+/// is inside (eviction try-locks and skips busy sessions).
 class SessionManager {
  public:
-  SessionManager(std::size_t max_warm, ReplayOptions options,
-                 obs::MetricsRegistry& registry);
+  SessionManager(std::size_t max_warm, std::uint64_t warm_bytes_budget,
+                 ReplayOptions options, obs::MetricsRegistry& registry);
 
   /// Session for a built-in scenario; creates it on first use. Unknown
   /// scenario: returns nullptr and sets `error`.
@@ -125,7 +139,16 @@ class SessionManager {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t warm_count() const;
+  /// Total measured footprint of the warm set (sum of per-session
+  /// resident_bytes); also published as dp.service.session.resident_bytes.
+  [[nodiscard]] std::uint64_t warm_bytes() const;
   [[nodiscard]] std::vector<std::pair<std::string, SessionStats>> stats() const;
+
+  /// Re-applies the cooling budget. Call after a warm-up changed a session's
+  /// footprint (warm-up happens outside the manager lock, so intern-time
+  /// enforcement alone would act on stale sizes). Must not be called while
+  /// holding any session's mutex.
+  void enforce_budget();
 
  private:
   std::shared_ptr<WarmSession> intern(const std::string& key,
@@ -134,6 +157,7 @@ class SessionManager {
   void enforce_budget_locked();
 
   std::size_t max_warm_;
+  std::uint64_t warm_bytes_budget_;
   ReplayOptions options_;
   obs::MetricsRegistry* registry_;
 

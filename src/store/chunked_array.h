@@ -1,0 +1,112 @@
+// Append-only chunked storage with stable addresses and lock-free reads.
+//
+// The interning pools (store.h) grow concurrently while earlier entries are
+// read from other threads. A std::vector would reallocate under the readers
+// and a std::deque's internal map is not safe to grow concurrently, so the
+// pools store their columns in fixed-size chunks behind an atomic chunk
+// table: a chunk pointer is published once with release ordering and never
+// moves or shrinks afterwards, which makes operator[] safe without a lock
+// for any index a reader legitimately learned about (a ref handed out by
+// intern() always travels to other threads through some synchronizing
+// channel, which carries the happens-before edge for the slot's contents).
+//
+// Writers must be serialized externally (the owning pool's mutex).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dp::store_detail {
+
+template <typename T>
+class ChunkedArray {
+ public:
+  /// `chunk_bits` entries-per-chunk exponent; capacity is
+  /// `max_chunks << chunk_bits` entries.
+  explicit ChunkedArray(std::size_t chunk_bits = 12,
+                        std::size_t max_chunks = std::size_t{1} << 16)
+      : chunk_bits_(chunk_bits),
+        chunk_mask_((std::size_t{1} << chunk_bits) - 1),
+        max_chunks_(max_chunks),
+        chunks_(new std::atomic<T*>[max_chunks]) {
+    for (std::size_t i = 0; i < max_chunks_; ++i) {
+      chunks_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  ~ChunkedArray() {
+    for (std::size_t i = 0; i < max_chunks_; ++i) {
+      delete[] chunks_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  ChunkedArray(const ChunkedArray&) = delete;
+  ChunkedArray& operator=(const ChunkedArray&) = delete;
+
+  /// Appends `value`; returns its index. Caller holds the pool's write lock.
+  std::size_t push_back(T value) {
+    const std::size_t index = emplace_default();
+    chunk_of(index)[index & chunk_mask_] = std::move(value);
+    publish(index + 1);
+    return index;
+  }
+
+  /// Appends a default-constructed slot (for non-movable element types such
+  /// as std::atomic<T*>; the caller sets it through mutable_at).
+  std::size_t emplace_default() {
+    const std::size_t index = size_.load(std::memory_order_relaxed);
+    const std::size_t chunk = index >> chunk_bits_;
+    if (chunk >= max_chunks_) {
+      throw std::length_error("ChunkedArray: capacity exhausted");
+    }
+    if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[chunk].store(new T[chunk_mask_ + 1](),
+                           std::memory_order_release);
+      chunks_allocated_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return index;
+  }
+
+  /// Makes index `count - 1` (and everything before it) visible to readers.
+  /// push_back publishes automatically; emplace_default callers publish once
+  /// the slot's columns are all written.
+  void publish(std::size_t count) {
+    size_.store(count, std::memory_order_release);
+  }
+
+  const T& operator[](std::size_t index) const {
+    return chunks_[index >> chunk_bits_].load(
+        std::memory_order_acquire)[index & chunk_mask_];
+  }
+
+  T& mutable_at(std::size_t index) {
+    return chunk_of(index)[index & chunk_mask_];
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes of chunk storage currently allocated (excludes the chunk table).
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    return chunks_allocated_.load(std::memory_order_relaxed) *
+           (chunk_mask_ + 1) * sizeof(T);
+  }
+
+ private:
+  T* chunk_of(std::size_t index) {
+    return chunks_[index >> chunk_bits_].load(std::memory_order_relaxed);
+  }
+
+  const std::size_t chunk_bits_;
+  const std::size_t chunk_mask_;
+  const std::size_t max_chunks_;
+  std::unique_ptr<std::atomic<T*>[]> chunks_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::size_t> chunks_allocated_{0};
+};
+
+}  // namespace dp::store_detail

@@ -21,7 +21,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: diffprovd [--port N] [--port-file FILE] [--workers N]\n"
-    "                 [--queue-cap N] [--max-warm N] [--cache-cap N]\n"
+    "                 [--queue-cap N] [--max-warm N] [--warm-bytes N]\n"
+    "                 [--cache-cap N]\n"
     "                 [--config-epoch N] [--metrics-out FILE]\n"
     "                 [--trace-out FILE]\n"
     "\n"
@@ -75,6 +76,10 @@ int main(int argc, char** argv) {
         auto v = next("a count");
         if (!v) return 2;
         config.max_warm_sessions = std::stoul(*v);
+      } else if (arg == "--warm-bytes") {
+        auto v = next("a byte count (0 = unlimited)");
+        if (!v) return 2;
+        config.warm_bytes_budget = std::stoull(*v);
       } else if (arg == "--cache-cap") {
         auto v = next("a count");
         if (!v) return 2;

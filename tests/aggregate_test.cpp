@@ -66,8 +66,8 @@ TEST(Aggregate, ProvenanceFormsAContributionChain) {
   int count_values = 0;
   tree.visit([&](ProvTree::NodeIndex i) {
     const Vertex& v = tree.vertex_of(i);
-    if (v.kind == VertexKind::kDerive && v.rule == "c") ++derive_links;
-    if (v.kind == VertexKind::kExist && v.tuple.table() == "hits") {
+    if (v.kind == VertexKind::kDerive && v.rule() == "c") ++derive_links;
+    if (v.kind == VertexKind::kExist && v.tuple().table() == "hits") {
       ++count_values;
     }
   });

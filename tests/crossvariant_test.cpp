@@ -63,8 +63,8 @@ TEST_P(CrossVariant, InferAndReportModesAgreeStructurally) {
       const Vertex& a = infer_tree.vertex_of(index);
       const Vertex& b = report_tree.vertex_of(index);
       ASSERT_EQ(a.kind, b.kind) << t.to_string() << " node " << i;
-      ASSERT_EQ(a.tuple, b.tuple) << t.to_string() << " node " << i;
-      ASSERT_EQ(a.rule, b.rule) << t.to_string() << " node " << i;
+      ASSERT_EQ(a.tuple(), b.tuple()) << t.to_string() << " node " << i;
+      ASSERT_EQ(a.rule(), b.rule()) << t.to_string() << " node " << i;
     }
   });
   EXPECT_GE(compared, 25u);

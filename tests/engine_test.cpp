@@ -15,24 +15,26 @@ Tuple make(const std::string& table, std::vector<Value> values) {
 // Collects observer callbacks as readable strings for assertions.
 class TraceObserver final : public RuntimeObserver {
  public:
-  void on_base_insert(const Tuple& tuple, LogicalTime t,
+  void on_base_insert(TupleRef tuple, LogicalTime t,
                       bool /*is_event*/) override {
-    log.push_back("+" + tuple.to_string() + "@" + std::to_string(t));
-  }
-  void on_base_delete(const Tuple& tuple, LogicalTime t) override {
-    log.push_back("-" + tuple.to_string() + "@" + std::to_string(t));
-  }
-  void on_derive(const Tuple& head, const std::string& rule,
-                 const std::vector<Tuple>& body, std::size_t trigger_index,
-                 LogicalTime t, bool /*is_event*/) override {
-    log.push_back("D[" + rule + "]" + head.to_string() + "@" +
-                  std::to_string(t) + " trig=" +
-                  body[trigger_index].to_string());
-  }
-  void on_underive(const Tuple& head, const std::string& rule,
-                   const Tuple& /*cause*/, LogicalTime t) override {
-    log.push_back("U[" + rule + "]" + head.to_string() + "@" +
+    log.push_back("+" + resolve_tuple(tuple).to_string() + "@" +
                   std::to_string(t));
+  }
+  void on_base_delete(TupleRef tuple, LogicalTime t) override {
+    log.push_back("-" + resolve_tuple(tuple).to_string() + "@" +
+                  std::to_string(t));
+  }
+  void on_derive(TupleRef head, NameRef rule,
+                 const std::vector<TupleRef>& body, std::size_t trigger_index,
+                 LogicalTime t, bool /*is_event*/) override {
+    log.push_back("D[" + resolve_name(rule) + "]" +
+                  resolve_tuple(head).to_string() + "@" + std::to_string(t) +
+                  " trig=" + resolve_tuple(body[trigger_index]).to_string());
+  }
+  void on_underive(TupleRef head, NameRef rule, TupleRef /*cause*/,
+                   LogicalTime t) override {
+    log.push_back("U[" + resolve_name(rule) + "]" +
+                  resolve_tuple(head).to_string() + "@" + std::to_string(t));
   }
   std::vector<std::string> log;
 };

@@ -75,9 +75,9 @@ RunResult run_scenario(const ScenarioRun& scenario, bool use_join_plans) {
   engine.add_observer(&recorder);
   for (const LogRecord& r : scenario.log.records()) {
     if (r.op == LogRecord::Op::kInsert) {
-      engine.schedule_insert(r.tuple, r.time);
+      engine.schedule_insert(r.tuple(), r.time);
     } else {
-      engine.schedule_delete(r.tuple, r.time);
+      engine.schedule_delete(r.tuple(), r.time);
     }
   }
   engine.run();
@@ -98,8 +98,8 @@ void expect_identical_graphs(const ProvenanceGraph& a,
     const Vertex& va = a.vertex(id);
     const Vertex& vb = b.vertex(id);
     ASSERT_EQ(va.kind, vb.kind) << "vertex " << id;
-    ASSERT_EQ(va.tuple, vb.tuple) << "vertex " << id;
-    ASSERT_EQ(va.rule, vb.rule) << "vertex " << id;
+    ASSERT_EQ(va.tuple(), vb.tuple()) << "vertex " << id;
+    ASSERT_EQ(va.rule(), vb.rule()) << "vertex " << id;
     ASSERT_EQ(va.time, vb.time) << "vertex " << id;
     ASSERT_EQ(va.interval.start, vb.interval.start) << "vertex " << id;
     ASSERT_EQ(va.interval.end, vb.interval.end) << "vertex " << id;

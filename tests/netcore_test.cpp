@@ -86,7 +86,7 @@ TEST(NetCoreEndToEnd, Figure1PolicyReproducesSdn1Diagnosis) {
   // Strip the hand-made policyRoute records; keep links, liveness, packets.
   EventLog stripped;
   for (const LogRecord& record : s.log.records()) {
-    if (record.tuple.table() != "policyRoute") stripped.append(record);
+    if (record.tuple().table() != "policyRoute") stripped.append(record);
   }
   const auto program = parse_netcore(R"(
     switch sw1 { fwd(sw2) }

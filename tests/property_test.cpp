@@ -393,7 +393,7 @@ TEST_P(EngineProperties, ProvenanceTreesAreWellFormed) {
     // INSERT of a packet; the spine is non-empty; every DERIVE's rule is in
     // the program.
     EXPECT_EQ(tree.vertex_of(tree.root()).kind, VertexKind::kExist);
-    EXPECT_EQ(tree.vertex_of(tree.root()).tuple, t);
+    EXPECT_EQ(tree.vertex_of(tree.root()).tuple(), t);
     const auto seed = find_seed(tree);
     ASSERT_TRUE(seed.has_value());
     EXPECT_EQ(seed->tuple.table(), "packet");
@@ -401,7 +401,7 @@ TEST_P(EngineProperties, ProvenanceTreesAreWellFormed) {
     tree.visit([&](ProvTree::NodeIndex i) {
       const Vertex& v = tree.vertex_of(i);
       if (v.kind == VertexKind::kDerive) {
-        EXPECT_NE(program.find_rule(v.rule), nullptr) << v.rule;
+        EXPECT_NE(program.find_rule(v.rule()), nullptr) << v.rule();
         // A derivation happens while (or right after) its children exist.
         for (const auto child : tree.node(i).children) {
           EXPECT_LE(tree.vertex_of(child).interval.start, v.time);

@@ -50,10 +50,10 @@ TEST(Graph, DeriveLinksBodyExists) {
   const Vertex& appear = graph.vertex(ev.children[0]);
   const Vertex& derive = graph.vertex(appear.children[0]);
   EXPECT_EQ(derive.kind, VertexKind::kDerive);
-  EXPECT_EQ(derive.rule, "r1");
+  EXPECT_EQ(derive.rule(), "r1");
   ASSERT_EQ(derive.children.size(), 2u);
-  EXPECT_EQ(graph.vertex(derive.children[0]).tuple, b1);
-  EXPECT_EQ(graph.vertex(derive.children[1]).tuple, b2);
+  EXPECT_EQ(graph.vertex(derive.children[0]).tuple(), b1);
+  EXPECT_EQ(graph.vertex(derive.children[1]).tuple(), b2);
   EXPECT_EQ(derive.trigger_index, 1);
 }
 
@@ -89,7 +89,7 @@ TEST(Graph, TriggerIndexFindsDownstreamDerivations) {
   graph.record_derive(head, "r1", {seed}, 0, 2, true);
   const auto derivations = graph.derivations_triggered_by(seed_exist);
   ASSERT_EQ(derivations.size(), 1u);
-  EXPECT_EQ(graph.vertex(derivations[0]).tuple, head);
+  EXPECT_EQ(graph.vertex(derivations[0]).tuple(), head);
 }
 
 // ---------------------------------------------------------------- trees --
@@ -126,7 +126,7 @@ TEST(Tree, ProjectionExpandsFullCausalChain) {
   EXPECT_EQ(hist.at(VertexKind::kDerive), 2u);
   EXPECT_EQ(hist.at(VertexKind::kInsert), 2u);
   EXPECT_EQ(tree.depth(), 9u);
-  EXPECT_EQ(tree.vertex_of(tree.root()).tuple, top);
+  EXPECT_EQ(tree.vertex_of(tree.root()).tuple(), top);
 }
 
 TEST(Tree, TextAndDotRenderings) {

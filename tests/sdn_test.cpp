@@ -189,8 +189,8 @@ TEST(Trace, SourcesFallIntoConfiguredSubnets) {
   generate_trace(config, log);
   const auto subnet = *IpPrefix::parse("4.3.2.0/24");
   for (const LogRecord& r : log.records()) {
-    EXPECT_TRUE(subnet.contains(r.tuple.at(2).as_ip()))
-        << r.tuple.to_string();
+    EXPECT_TRUE(subnet.contains(r.tuple().at(2).as_ip()))
+        << r.tuple().to_string();
   }
 }
 

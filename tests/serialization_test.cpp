@@ -218,8 +218,8 @@ TEST(SerializationHardening, CorruptValueTagNamesItsOffset) {
   EventLog log;
   log.append_insert(Tuple("t", {Value(1)}), 5);
   std::string bytes = serialized(log);
-  // Layout: op(1) time(8) name-len(4) name(1) arity(2) tag(1) payload(8).
-  const std::size_t tag_offset = 1 + 8 + 4 + 1 + 2;
+  // Layout: magic(4) count(4) name-len(4) name(1) arity(2) tag(1) payload(8).
+  const std::size_t tag_offset = 4 + 4 + 4 + 1 + 2;
   bytes[tag_offset] = 99;
   std::istringstream in(bytes);
   try {
@@ -243,6 +243,86 @@ TEST(SerializationHardening, ImplausibleLengthsAreRejectedNotAllocated) {
   bytes[9] = '\xff';  // high byte of the table-name length
   std::istringstream in(bytes);
   EXPECT_THROW(EventLog::deserialize(in), std::runtime_error);
+}
+
+TEST(SerializationHardening, RefTableIndexOutOfRangeIsRejected) {
+  EventLog log;
+  log.append_insert(Tuple("t", {Value(1)}), 5);
+  std::string bytes = serialized(log);
+  // The only record's ref-index is the last 4 bytes; point it past the table.
+  bytes[bytes.size() - 1] = 9;
+  std::istringstream in(bytes);
+  try {
+    EventLog::deserialize(in);
+    FAIL() << "out-of-range ref-table index accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("ref-table index 9"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializationHardening, ImplausibleRefTableCountIsRejectedNotAllocated) {
+  std::string bytes = serialized(small_log());
+  bytes[4] = '\xff';  // high byte of the ref-table count
+  std::istringstream in(bytes);
+  EXPECT_THROW(EventLog::deserialize(in), std::runtime_error);
+}
+
+TEST(SerializationFormat, RefTableSerializesEachDistinctTupleOnce) {
+  // A tuple toggled many times costs its payload once (in the ref table)
+  // plus a fixed 13 bytes per record -- the compression the interned store
+  // makes possible on the wire.
+  EventLog log;
+  const Tuple config("cfg", {Value("node"), Value(42)});
+  log.append_insert(config, 1);
+  const std::uint64_t after_first = log.byte_size();
+  for (int i = 0; i < 10; ++i) {
+    log.append_delete(config, 2 * i + 2);
+    log.append_insert(config, 2 * i + 3);
+  }
+  EXPECT_EQ(log.ref_table().size(), 1u);
+  EXPECT_EQ(log.byte_size(), after_first + 20 * 13);
+  std::ostringstream out;
+  log.serialize(out);
+  EXPECT_EQ(log.byte_size(), out.str().size());
+  std::istringstream in(out.str());
+  EXPECT_EQ(EventLog::deserialize(in).records(), log.records());
+}
+
+TEST(SerializationFormat, LegacyFlatFormatStillDecodes) {
+  // Pre-ref-table logs inlined the tuple payload in every record; the
+  // decoder must keep reading them (no magic, records start with an op
+  // byte). Hand-encode one: op(1) time(8) name-len(4) name arity(2) fields.
+  std::string bytes;
+  auto put32 = [&bytes](std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      bytes += static_cast<char>((v >> shift) & 0xff);
+    }
+  };
+  auto put64 = [&bytes, &put32](std::uint64_t v) {
+    put32(static_cast<std::uint32_t>(v >> 32));
+    put32(static_cast<std::uint32_t>(v));
+  };
+  for (int i = 0; i < 2; ++i) {
+    bytes += '\0';  // op: insert
+    put64(static_cast<std::uint64_t>(7 + i));
+    put32(1);  // table-name length
+    bytes += 't';
+    bytes += '\0';
+    bytes += '\x01';  // arity 1
+    bytes += '\0';    // tag: int
+    put64(static_cast<std::uint64_t>(100 + i));
+  }
+  std::istringstream in(bytes);
+  const EventLog log = EventLog::deserialize(in);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].tuple(), Tuple("t", {Value(100)}));
+  EXPECT_EQ(log.records()[1].tuple(), Tuple("t", {Value(101)}));
+  EXPECT_EQ(log.records()[0].time, 7);
+  EXPECT_EQ(log.records()[1].time, 8);
 }
 
 TEST(SerializationHardening, TextErrorsNameTheLine) {

@@ -264,6 +264,67 @@ TEST(Service, WarmSessionSkipsTheReplayOnLaterQueries) {
   EXPECT_EQ(registry.counter("dp.service.session.warm_hits").value(), 1u);
 }
 
+TEST(SessionManager, ByteBudgetCoolsLruSessionsByMeasuredFootprint) {
+  obs::MetricsRegistry registry;
+  // A 1-byte budget: any warm session exceeds it, so after warming two
+  // sessions the LRU one must be cooled while the most recent is spared
+  // (cooling it too would defeat the warm tier entirely).
+  SessionManager manager(/*max_warm=*/8, /*warm_bytes_budget=*/1,
+                         ReplayOptions{}, registry);
+  std::string error;
+  std::shared_ptr<WarmSession> a = manager.get_scenario("sdn1", error);
+  ASSERT_NE(a, nullptr) << error;
+  std::shared_ptr<WarmSession> b = manager.get_scenario("sdn2", error);
+  ASSERT_NE(b, nullptr) << error;
+  {
+    std::lock_guard<std::mutex> lock(a->mutex());
+    a->ensure_warm();
+    // Footprint is measured, not assumed: a replayed SDN1 graph is far more
+    // than the 1-byte floor.
+    EXPECT_GT(a->resident_bytes(), 1u);
+  }
+  {
+    std::lock_guard<std::mutex> lock(b->mutex());
+    b->ensure_warm();
+  }
+  manager.enforce_budget();
+  {
+    std::lock_guard<std::mutex> lock(a->mutex());
+    EXPECT_FALSE(a->is_warm());
+    EXPECT_EQ(a->resident_bytes(), 0u);
+  }
+  {
+    std::lock_guard<std::mutex> lock(b->mutex());
+    EXPECT_TRUE(b->is_warm());
+  }
+  EXPECT_EQ(registry.counter("dp.service.session.evictions").value(), 1u);
+  EXPECT_EQ(manager.warm_bytes(), b->resident_bytes());
+  EXPECT_EQ(registry.gauge("dp.service.session.resident_bytes").value(),
+            static_cast<std::int64_t>(manager.warm_bytes()));
+}
+
+TEST(SessionManager, GenerousByteBudgetKeepsTheWarmSetResident) {
+  obs::MetricsRegistry registry;
+  SessionManager manager(/*max_warm=*/8, /*warm_bytes_budget=*/1ull << 30,
+                         ReplayOptions{}, registry);
+  std::string error;
+  std::shared_ptr<WarmSession> a = manager.get_scenario("sdn1", error);
+  ASSERT_NE(a, nullptr) << error;
+  std::shared_ptr<WarmSession> b = manager.get_scenario("sdn2", error);
+  ASSERT_NE(b, nullptr) << error;
+  for (const auto& session : {a, b}) {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    session->ensure_warm();
+  }
+  manager.enforce_budget();
+  for (const auto& session : {a, b}) {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    EXPECT_TRUE(session->is_warm());
+  }
+  EXPECT_EQ(registry.counter("dp.service.session.evictions").value(), 0u);
+  EXPECT_EQ(manager.warm_bytes(), a->resident_bytes() + b->resident_bytes());
+}
+
 TEST(Service, BypassCacheAlwaysRuns) {
   obs::MetricsRegistry registry;
   ServiceConfig config;

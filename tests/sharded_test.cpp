@@ -28,9 +28,9 @@ void run_scenario(const sdn::Scenario& s, DualRun& out) {
   }
   for (const LogRecord& r : s.log.records()) {
     if (r.op == LogRecord::Op::kInsert) {
-      engine.schedule_insert(r.tuple, r.time);
+      engine.schedule_insert(r.tuple(), r.time);
     } else {
-      engine.schedule_delete(r.tuple, r.time);
+      engine.schedule_delete(r.tuple(), r.time);
     }
   }
   engine.run();
@@ -74,7 +74,7 @@ TEST(Sharded, ProjectionMatchesTheMonolithicTree) {
     for (std::size_t i = 0; i < mono.size(); ++i) {
       const auto index = static_cast<ProvTree::NodeIndex>(i);
       EXPECT_EQ(mono.vertex_of(index).kind, dist->vertex_of(index).kind);
-      EXPECT_EQ(mono.vertex_of(index).tuple, dist->vertex_of(index).tuple);
+      EXPECT_EQ(mono.vertex_of(index).tuple(), dist->vertex_of(index).tuple());
     }
   }
 }
@@ -130,7 +130,7 @@ TEST(Sharded, TemporalHistorySurvivesSharding) {
   bool found_expired = false;
   good->visit([&](ProvTree::NodeIndex i) {
     const Vertex& v = good->vertex_of(i);
-    if (v.kind == VertexKind::kExist && v.tuple.table() == "policyRoute" &&
+    if (v.kind == VertexKind::kExist && v.tuple().table() == "policyRoute" &&
         !v.interval.open_ended()) {
       found_expired = true;
     }
