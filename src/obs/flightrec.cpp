@@ -1,0 +1,280 @@
+#include "obs/flightrec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "obs/json_check.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace dp::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Coarse flight clock.
+// ---------------------------------------------------------------------------
+
+std::atomic<std::uint64_t> g_flight_clock{0};
+
+// ---------------------------------------------------------------------------
+// Ring storage. One Ring per (live or recently-dead) thread; every shared
+// field is a relaxed atomic so concurrent snapshot() never races with a
+// writer in the C++-memory-model sense -- consistency of a slot's fields is
+// what the per-slot sequence number provides, not the individual loads.
+// ---------------------------------------------------------------------------
+
+// kFlightNameCap bytes of name, stored as whole 64-bit words.
+constexpr std::size_t kNameWords = kFlightNameCap / 8;
+static_assert(kFlightNameCap % 8 == 0, "name cap must be word-aligned");
+static_assert((kFlightRingSize & (kFlightRingSize - 1)) == 0,
+              "ring size must be a power of two");
+
+struct Slot {
+  // Odd while a writer is mid-update, even when stable; 0 = never written.
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint64_t> time_us{0};
+  std::atomic<std::uint64_t> trace_id{0};
+  // Packed: low 32 = duration_us, byte 4 = kind, byte 5 = level,
+  // byte 6 = name length.
+  std::atomic<std::uint64_t> meta{0};
+  std::atomic<std::uint64_t> name[kNameWords];
+};
+
+struct Ring {
+  std::atomic<std::uint64_t> head{0};  // total records ever written
+  std::atomic<std::uint32_t> tid{0};   // last owning thread
+  Slot slots[kFlightRingSize];
+  Ring* next_free = nullptr;  // free-list link, guarded by Registry::mutex
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<Ring*> rings;  // every ring ever leased; rings are never freed
+  Ring* free_list = nullptr;
+};
+
+Registry& registry() {
+  // Leaked on purpose: connection threads may still be draining through
+  // their thread_local RingLease destructors during static destruction.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Ring* lease_ring() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  if (reg.free_list != nullptr) {
+    Ring* ring = reg.free_list;
+    reg.free_list = ring->next_free;
+    ring->next_free = nullptr;
+    return ring;
+  }
+  Ring* ring = new Ring();
+  reg.rings.push_back(ring);
+  return ring;
+}
+
+void return_ring(Ring* ring) {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  // Events are deliberately kept: a crashed worker's final spans stay
+  // visible in the next dump even after its thread exited.
+  ring->next_free = reg.free_list;
+  reg.free_list = ring;
+}
+
+// Thread-local lease: acquires a ring on first record, returns it (events
+// intact) when the thread exits so long-lived daemons don't grow one ring
+// per past connection.
+struct RingLease {
+  Ring* ring = nullptr;
+  std::uint32_t countdown = 0;  // records until the next clock refresh
+  ~RingLease() {
+    if (ring != nullptr) return_ring(ring);
+  }
+};
+
+thread_local RingLease t_lease;
+
+std::uint64_t pack_meta(FlightEvent::Kind kind, std::uint8_t level,
+                        std::uint32_t duration_us, std::size_t name_len) {
+  return static_cast<std::uint64_t>(duration_us) |
+         (static_cast<std::uint64_t>(static_cast<std::uint8_t>(kind)) << 32) |
+         (static_cast<std::uint64_t>(level) << 40) |
+         (static_cast<std::uint64_t>(name_len) << 48);
+}
+
+void log_sink_trampoline(LogLevel level, const char* message,
+                         std::size_t length) {
+  FlightRecorder::instance().record_log(
+      static_cast<std::uint8_t>(level), std::string_view(message, length));
+}
+
+}  // namespace
+
+std::uint64_t flight_now_us() {
+  std::uint64_t now = g_flight_clock.load(std::memory_order_relaxed);
+  if (now == 0) {
+    refresh_flight_clock();
+    now = g_flight_clock.load(std::memory_order_relaxed);
+  }
+  return now;
+}
+
+void refresh_flight_clock() {
+  g_flight_clock.store(monotonic_micros(), std::memory_order_relaxed);
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::install_log_hook() {
+  set_log_sink(&log_sink_trampoline);
+}
+
+void FlightRecorder::record(FlightEvent::Kind kind, std::uint8_t level,
+                            std::string_view name, std::uint64_t trace_id,
+                            std::uint64_t duration_us) {
+  RingLease& lease = t_lease;
+  if (lease.ring == nullptr) {
+    lease.ring = lease_ring();
+    lease.ring->tid.store(trace_thread_id(), std::memory_order_relaxed);
+  }
+  if (lease.countdown == 0) {
+    // Amortized clock refresh: between refreshes (ours, other threads', the
+    // service watchdog's) events share a timestamp, which is fine for a
+    // "last moments before the hang" recorder.
+    refresh_flight_clock();
+    lease.countdown = 64;
+  }
+  --lease.countdown;
+
+  Ring& ring = *lease.ring;
+  const std::uint64_t index =
+      ring.head.load(std::memory_order_relaxed) & (kFlightRingSize - 1);
+  Slot& slot = ring.slots[index];
+
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_relaxed);  // odd: in progress
+  slot.time_us.store(flight_now_us(), std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  const std::size_t name_len = std::min(name.size(), kFlightNameCap);
+  const std::uint32_t dur = duration_us > 0xFFFFFFFFu
+                                ? 0xFFFFFFFFu
+                                : static_cast<std::uint32_t>(duration_us);
+  slot.meta.store(pack_meta(kind, level, dur, name_len),
+                  std::memory_order_relaxed);
+  for (std::size_t w = 0; w * 8 < name_len; ++w) {
+    std::uint64_t word = 0;
+    const std::size_t n = std::min<std::size_t>(8, name_len - w * 8);
+    std::memcpy(&word, name.data() + w * 8, n);
+    slot.name[w].store(word, std::memory_order_relaxed);
+  }
+  slot.seq.store(seq + 2, std::memory_order_release);  // even: published
+  ring.head.store(ring.head.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<Ring*> rings;
+  {
+    Registry& reg = registry();
+    std::lock_guard lock(reg.mutex);
+    rings = reg.rings;
+  }
+  std::vector<FlightEvent> out;
+  out.reserve(rings.size() * 8);
+  for (Ring* ring : rings) {
+    const std::uint32_t tid = ring->tid.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kFlightRingSize; ++i) {
+      const Slot& slot = ring->slots[i];
+      const std::uint32_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before == 0 || (seq_before & 1u) != 0) continue;  // empty/busy
+      FlightEvent event;
+      event.time_us = slot.time_us.load(std::memory_order_relaxed);
+      event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      const std::uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+      std::uint64_t words[kNameWords];
+      for (std::size_t w = 0; w < kNameWords; ++w) {
+        words[w] = slot.name[w].load(std::memory_order_relaxed);
+      }
+      // Re-check: if a writer lapped us mid-read the fields above may mix
+      // two events -- drop the slot rather than report a chimera.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+      event.duration_us = static_cast<std::uint32_t>(meta & 0xFFFFFFFFu);
+      event.kind = static_cast<FlightEvent::Kind>((meta >> 32) & 0xFF);
+      event.level = static_cast<std::uint8_t>((meta >> 40) & 0xFF);
+      const std::size_t name_len =
+          std::min<std::size_t>((meta >> 48) & 0xFF, kFlightNameCap);
+      std::memcpy(event.name, words, kFlightNameCap);
+      event.name[name_len] = '\0';
+      event.tid = tid;
+      out.push_back(event);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     if (a.time_us != b.time_us) return a.time_us < b.time_us;
+                     return a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::string FlightRecorder::to_json() const {
+  const std::vector<FlightEvent> events = snapshot();
+  std::ostringstream out;
+  out << "{\"enabled\": " << (enabled() ? "true" : "false")
+      << ", \"ring_size\": " << kFlightRingSize << ", \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    out << (i == 0 ? "" : ", ") << "{\"kind\": \""
+        << (e.kind == FlightEvent::Kind::kLog ? "log" : "span")
+        << "\", \"name\": " << json_quote(e.name) << ", \"time_us\": "
+        << e.time_us << ", \"tid\": " << e.tid;
+    if (e.trace_id != 0) {
+      out << ", \"trace_id\": \"" << format_trace_id(e.trace_id) << "\"";
+    }
+    if (e.kind == FlightEvent::Kind::kSpan) {
+      out << ", \"duration_us\": " << e.duration_us;
+    } else {
+      out << ", \"level\": " << static_cast<int>(e.level);
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void FlightRecorder::dump_to_stderr(std::string_view reason) const {
+  std::string line;
+  line.reserve(256);
+  line += "[dp:FLIGHTREC] ";
+  line += reason;
+  line += ": ";
+  line += to_json();
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+void FlightRecorder::clear() {
+  Registry& reg = registry();
+  std::lock_guard lock(reg.mutex);
+  for (Ring* ring : reg.rings) {
+    for (Slot& slot : ring->slots) {
+      // seq -> 0 marks the slot empty; bump past any concurrent writer's
+      // window by resetting head too. clear() is a test helper, not expected
+      // to race with writers for correctness-critical state.
+      slot.seq.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dp::obs

@@ -1,0 +1,124 @@
+// Always-on flight recorder: a lock-free per-thread ring buffer of the last
+// N completed spans and emitted DP_LOG lines, dumpable on demand while the
+// process keeps serving (diffprovd's /tracez endpoint, the client's
+// `flightrec` op) and automatically when a worker panics or the service
+// watchdog flags it as stuck.
+//
+// Design constraints, in order:
+//   1. The write path must be cheap enough to leave enabled in production
+//      (the bench_obs gate: <= 2% over the obs-compiled-out baseline on a
+//      rule-firing-sized workload). Hence: no locks, no allocation, no
+//      clock syscalls -- timestamps come from a coarse clock (an atomic
+//      refreshed by the service watchdog and, as a fallback, every 64
+//      records per thread), and names are bounded byte copies.
+//   2. Dumping must be safe while writers keep writing. Each slot is a tiny
+//      seqlock: the writer bumps the slot's sequence to odd, stores the
+//      payload, then publishes an even sequence with release order; readers
+//      retry or skip slots whose sequence is odd or changed underneath them.
+//      Every shared field is a relaxed atomic, so the scheme is TSan-clean
+//      (no non-atomic access ever races).
+//   3. Threads come and go (the daemon runs a thread per connection), so
+//      rings are pooled: a thread leases a ring on first use and its exit
+//      returns the ring -- events intact, so a dead thread's last moments
+//      stay visible in the next dump -- to a free list for reuse.
+//
+// The recorder is process-wide and disabled by default; diffprovd enables it
+// at startup. When obs is compiled out (DP_OBS_ENABLED=0) spans never reach
+// it, though the class itself stays linkable so tools can still dump.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dp::obs {
+
+/// Events kept per thread; must be a power of two.
+inline constexpr std::size_t kFlightRingSize = 256;
+/// Stored name bytes (longer names are truncated).
+inline constexpr std::size_t kFlightNameCap = 40;
+
+/// One recorded event, as returned by snapshot() (plain data; the in-ring
+/// representation is atomic word arrays).
+struct FlightEvent {
+  enum class Kind : std::uint8_t { kSpan = 0, kLog = 1 };
+  std::uint64_t time_us = 0;   // coarse completion time (see flight_now_us)
+  std::uint64_t trace_id = 0;  // propagated context, 0 = none
+  std::uint32_t tid = 0;       // trace_thread_id() of the recording thread
+  Kind kind = Kind::kSpan;
+  std::uint8_t level = 0;          // dp::LogLevel for kLog events
+  std::uint32_t duration_us = 0;   // span duration when known (tracer on)
+  char name[kFlightNameCap + 1] = {};  // NUL-terminated, truncated
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a completed span (called by obs::Span; enabled() is the
+  /// caller's gate, re-checked cheaply here).
+  void record_span(std::string_view name, std::uint64_t trace_id,
+                   std::uint64_t duration_us) {
+    if (!enabled()) return;
+    record(FlightEvent::Kind::kSpan, /*level=*/0, name, trace_id, duration_us);
+  }
+
+  /// Records an emitted DP_LOG line (installed as the logging sink by
+  /// install_log_hook).
+  void record_log(std::uint8_t level, std::string_view message) {
+    if (!enabled()) return;
+    record(FlightEvent::Kind::kLog, level, message, /*trace_id=*/0,
+           /*duration_us=*/0);
+  }
+
+  /// Routes emitted DP_LOG lines into the recorder (idempotent). Called by
+  /// set_enabled(true) users that want log capture -- diffprovd does.
+  static void install_log_hook();
+
+  /// Consistent-enough copy of every ring, oldest first per thread, merged
+  /// and sorted by (time, tid). Safe under concurrent writers; slots being
+  /// written during the scan are skipped.
+  [[nodiscard]] std::vector<FlightEvent> snapshot() const;
+
+  /// Single-line JSON: {"enabled":...,"ring_size":...,"events":[...]}
+  /// (single-line so the NDJSON protocol can embed it verbatim).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes "flight recorder dump: <to_json()>" to stderr in one stdio call
+  /// -- the automatic dump on worker panic / watchdog timeout.
+  void dump_to_stderr(std::string_view reason) const;
+
+  /// Drops all recorded events (tests).
+  void clear();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder() = default;
+
+  void record(FlightEvent::Kind kind, std::uint8_t level,
+              std::string_view name, std::uint64_t trace_id,
+              std::uint64_t duration_us);
+
+  std::atomic<bool> enabled_{false};
+};
+
+/// The coarse flight clock: monotonic_micros() as of the last refresh.
+/// Refreshed by the service watchdog every tick and by each recording thread
+/// every 64 events, so timestamps are accurate to ~the watchdog interval
+/// under load and never require a syscall on the record path.
+std::uint64_t flight_now_us();
+void refresh_flight_clock();
+
+}  // namespace dp::obs

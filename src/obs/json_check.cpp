@@ -396,9 +396,66 @@ MetricsCheck check_metrics_json(std::string_view text) {
       if (std::string_view(section) == "histograms") {
         const Json* buckets = value.find("buckets");
         const Json* count = value.find("count");
+        const Json* sum = value.find("sum");
         if (buckets == nullptr || buckets->kind != Json::Kind::kArray ||
             count == nullptr || count->kind != Json::Kind::kNumber) {
           check.error = "histogram " + name + " lacks buckets/count";
+          return check;
+        }
+        // Semantic checks: bounds strictly increase and end at +Inf, the
+        // per-bucket counts sum to `count`, latency sums are non-negative.
+        double prev_le = -1;
+        bool saw_inf = false;
+        double bucket_total = 0;
+        for (std::size_t b = 0; b < buckets->array.size(); ++b) {
+          const Json& bucket = buckets->array[b];
+          const Json* le = bucket.find("le");
+          const Json* bc = bucket.find("count");
+          if (bc == nullptr || bc->kind != Json::Kind::kNumber ||
+              bc->number < 0) {
+            check.error = "histogram " + name + " bucket " +
+                          std::to_string(b) + " lacks a non-negative count";
+            return check;
+          }
+          bucket_total += bc->number;
+          if (le != nullptr && le->kind == Json::Kind::kString &&
+              le->string == "+Inf") {
+            if (b + 1 != buckets->array.size()) {
+              check.error =
+                  "histogram " + name + " has +Inf before the last bucket";
+              return check;
+            }
+            saw_inf = true;
+          } else if (le != nullptr && le->kind == Json::Kind::kNumber) {
+            if (!(le->number > prev_le)) {
+              check.error = "histogram " + name +
+                            " le bounds not strictly increasing at bucket " +
+                            std::to_string(b);
+              return check;
+            }
+            prev_le = le->number;
+          } else {
+            check.error = "histogram " + name + " bucket " +
+                          std::to_string(b) + " has a malformed le";
+            return check;
+          }
+        }
+        if (!saw_inf) {
+          check.error = "histogram " + name + " lacks a +Inf bucket";
+          return check;
+        }
+        if (bucket_total != count->number) {
+          check.error = "histogram " + name + " bucket counts sum to " +
+                        std::to_string(bucket_total) + " but count is " +
+                        std::to_string(count->number);
+          return check;
+        }
+        const bool latency = name.size() >= 3 &&
+                             (name.compare(name.size() - 3, 3, "_us") == 0 ||
+                              name.compare(name.size() - 3, 3, ".us") == 0);
+        if (latency && (sum == nullptr || sum->kind != Json::Kind::kNumber ||
+                        sum->number < 0)) {
+          check.error = "latency histogram " + name + " has a negative sum";
           return check;
         }
       } else if (value.kind != Json::Kind::kNumber) {
@@ -406,6 +463,203 @@ MetricsCheck check_metrics_json(std::string_view text) {
         return check;
       }
     }
+  }
+  check.ok = true;
+  return check;
+}
+
+namespace {
+
+/// One parsed Prometheus sample line: name, optional le label, value.
+struct PromSample {
+  std::string name;
+  std::string le;  // empty if no {le="..."} label
+  double value = 0;
+};
+
+bool parse_prom_sample(std::string_view line, PromSample& out,
+                       std::string& error) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != ' ' && line[i] != '{') ++i;
+  if (i == 0) {
+    error = "sample line lacks a metric name";
+    return false;
+  }
+  out.name = std::string(line.substr(0, i));
+  if (i < line.size() && line[i] == '{') {
+    const std::size_t close = line.find('}', i);
+    if (close == std::string_view::npos) {
+      error = "unterminated label set";
+      return false;
+    }
+    const std::string_view labels = line.substr(i + 1, close - i - 1);
+    // The registry only emits the `le` label; accept exactly that form.
+    constexpr std::string_view kLe = "le=\"";
+    if (labels.substr(0, kLe.size()) != kLe || labels.empty() ||
+        labels.back() != '"') {
+      error = "unsupported label set {" + std::string(labels) + "}";
+      return false;
+    }
+    out.le = std::string(labels.substr(kLe.size(),
+                                       labels.size() - kLe.size() - 1));
+    i = close + 1;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    error = "sample lacks a value";
+    return false;
+  }
+  ++i;
+  const std::string value_text(line.substr(i));
+  char* end = nullptr;
+  out.value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    error = "malformed sample value \"" + value_text + "\"";
+    return false;
+  }
+  return true;
+}
+
+/// Accumulated histogram state while scanning a scrape.
+struct PromHistogram {
+  std::vector<std::pair<double, double>> buckets;  // (le, cumulative count)
+  bool saw_inf = false;
+  double inf_count = 0;
+  bool saw_sum = false;
+  double sum = 0;
+  bool saw_count = false;
+  double count = 0;
+};
+
+}  // namespace
+
+PrometheusCheck check_prometheus_text(std::string_view text) {
+  PrometheusCheck check;
+  std::map<std::string, std::string> types;        // name -> TYPE
+  std::map<std::string, PromHistogram> histograms; // base name -> state
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fail = [&](const std::string& message) {
+      check.error = "line " + std::to_string(line_no) + ": " + message;
+      return check;
+    };
+    if (line[0] == '#') {
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.substr(0, kType.size()) != kType) continue;  // comment/HELP
+      const std::string_view rest = line.substr(kType.size());
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        return fail("malformed TYPE line");
+      }
+      const std::string name(rest.substr(0, space));
+      const std::string type(rest.substr(space + 1));
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail("unknown type \"" + type + "\"");
+      }
+      if (!types.emplace(name, type).second) {
+        return fail("duplicate TYPE for " + name);
+      }
+      continue;
+    }
+    PromSample sample;
+    std::string error;
+    if (!parse_prom_sample(line, sample, error)) return fail(error);
+
+    // Resolve the sample to its declared family (histograms expose
+    // name_bucket/name_sum/name_count under one TYPE line).
+    std::string base = sample.name;
+    std::string suffix;
+    for (const char* s : {"_bucket", "_sum", "_count"}) {
+      const std::string_view sv(s);
+      if (base.size() > sv.size() &&
+          std::string_view(base).substr(base.size() - sv.size()) == sv &&
+          types.count(base.substr(0, base.size() - sv.size())) != 0 &&
+          types[base.substr(0, base.size() - sv.size())] == "histogram") {
+        suffix = s;
+        base = base.substr(0, base.size() - sv.size());
+        break;
+      }
+    }
+    const auto type_it = types.find(base);
+    if (type_it == types.end()) {
+      return fail("sample " + sample.name + " has no preceding TYPE");
+    }
+    if (type_it->second == "histogram") {
+      PromHistogram& h = histograms[base];
+      if (suffix == "_bucket") {
+        if (sample.le.empty()) return fail(sample.name + " lacks an le label");
+        if (sample.value < 0) {
+          return fail(sample.name + " bucket count is negative");
+        }
+        if (sample.le == "+Inf") {
+          if (h.saw_inf) return fail(base + " has two +Inf buckets");
+          h.saw_inf = true;
+          h.inf_count = sample.value;
+        } else {
+          if (h.saw_inf) return fail(base + " has a bucket after +Inf");
+          char* end = nullptr;
+          const double le = std::strtod(sample.le.c_str(), &end);
+          if (end == sample.le.c_str() || *end != '\0') {
+            return fail(base + " has a non-numeric le \"" + sample.le + "\"");
+          }
+          if (!h.buckets.empty()) {
+            if (!(le > h.buckets.back().first)) {
+              return fail(base + " le bounds not strictly increasing");
+            }
+            if (sample.value < h.buckets.back().second) {
+              return fail(base + " cumulative bucket counts decrease");
+            }
+          }
+          h.buckets.emplace_back(le, sample.value);
+        }
+      } else if (suffix == "_sum") {
+        h.saw_sum = true;
+        h.sum = sample.value;
+      } else if (suffix == "_count") {
+        h.saw_count = true;
+        h.count = sample.value;
+      } else {
+        return fail("bare sample " + sample.name +
+                    " for histogram-typed family");
+      }
+      continue;
+    }
+    if (type_it->second == "counter" && sample.value < 0) {
+      return fail("counter " + sample.name + " is negative");
+    }
+    check.names.insert(sample.name);
+    ++check.series;
+  }
+
+  for (const auto& [name, h] : histograms) {
+    const auto fail = [&](const std::string& message) {
+      check.error = "histogram " + name + ": " + message;
+      return check;
+    };
+    if (!h.saw_inf) return fail("missing +Inf bucket");
+    if (!h.saw_count || !h.saw_sum) return fail("missing _sum or _count");
+    if (!h.buckets.empty() && h.inf_count < h.buckets.back().second) {
+      return fail("+Inf bucket below the last finite bucket");
+    }
+    if (h.inf_count != h.count) return fail("+Inf bucket != _count");
+    for (const auto& [le, cumulative] : h.buckets) {
+      if (cumulative > h.count) {
+        return fail("cumulative bucket count exceeds _count");
+      }
+    }
+    const bool latency =
+        name.size() >= 3 && name.compare(name.size() - 3, 3, "_us") == 0;
+    if (latency && h.sum < 0) return fail("latency histogram has negative sum");
+    check.names.insert(name);
+    ++check.series;
   }
   check.ok = true;
   return check;

@@ -77,7 +77,25 @@ struct MetricsCheck {
 };
 
 /// Validates a MetricsRegistry::to_json() dump: well-formed JSON with
-/// "counters"/"gauges"/"histograms" objects.
+/// "counters"/"gauges"/"histograms" objects, plus histogram *semantics*:
+/// finite "le" bounds strictly increasing and ending in "+Inf", per-bucket
+/// counts summing exactly to "count", and "sum" >= 0 for latency histograms
+/// (names ending in "_us" or ".us").
 MetricsCheck check_metrics_json(std::string_view text);
+
+struct PrometheusCheck {
+  bool ok = false;
+  std::string error;
+  std::size_t series = 0;       // samples excluding histogram component lines
+  std::set<std::string> names;  // metric names as exposed (mangled)
+};
+
+/// Validates a MetricsRegistry::to_prometheus() scrape (the /metrics
+/// endpoint): every sample is "name[{labels}] number", every name has a
+/// preceding "# TYPE", and histogram series are semantically sound --
+/// "le" strictly increasing with a final +Inf bucket, *cumulative* bucket
+/// counts non-decreasing and <= the "_count" sample (+Inf == count), and
+/// "_sum" >= 0 for latency histograms (names ending in "_us").
+PrometheusCheck check_prometheus_text(std::string_view text);
 
 }  // namespace dp::obs

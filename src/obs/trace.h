@@ -3,13 +3,26 @@
 //
 // Spans are RAII: construction captures a start timestamp, destruction
 // appends one "complete" ('ph':'X') event. Events on the same thread nest by
-// time containment, which the viewers render as a flame chart -- no explicit
-// parent pointers are needed because a child span always closes before its
-// enclosing span (stack discipline).
+// time containment, which the viewers render as a flame chart; in addition
+// every recorded span carries explicit ids -- a process-unique span id, the
+// id of its parent span, and a trace id -- so one *logical* operation that
+// hops threads (client -> daemon connection thread -> worker) still reads as
+// one connected trace.
 //
-// Cost model: when the tracer is disabled a span costs one relaxed atomic
-// load and a branch; nothing is allocated or timestamped. When compiled out
-// (DP_OBS_ENABLED=0, see obs.h) the macros vanish entirely.
+// Trace-context propagation: each thread holds a current TraceContext
+// (trace id + innermost live span id). A recording Span adopts the current
+// context as its parent and installs itself for its scope (stack
+// discipline), so same-thread parentage is automatic. Crossing a thread
+// boundary is explicit: the sending side snapshots a TraceContext and the
+// receiving side installs it with ScopedTraceContext -- the diffprovd worker
+// does exactly this with the context minted by diffprov_client and carried
+// in the NDJSON `trace` field.
+//
+// Cost model: when the tracer is disabled a span costs two relaxed atomic
+// loads and branches (tracer + flight recorder gates); nothing is allocated
+// or timestamped. When compiled out (DP_OBS_ENABLED=0, see obs.h) the macros
+// vanish entirely. Spans whose tracer is off but whose flight recorder is on
+// take the cheap path described in flightrec.h.
 #pragma once
 
 #include <atomic>
@@ -18,6 +31,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/flightrec.h"
 
 namespace dp::obs {
 
@@ -29,12 +44,53 @@ std::uint64_t monotonic_micros();
 /// becomes the Chrome trace 'tid'.
 std::uint32_t trace_thread_id();
 
+/// The ambient identity a span inherits: which trace this thread is working
+/// for and which span is its would-be parent. trace_id == 0 means "no
+/// propagated context" (spans still chain locally for flame-graph nesting).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+};
+
+/// This thread's current context (what a new span would inherit).
+TraceContext current_trace_context();
+
+/// Process-unique, nonzero span id (relaxed atomic counter).
+std::uint64_t next_span_id();
+
+/// Installs `context` as the calling thread's current trace context for the
+/// scope, restoring the previous one on destruction. Use at thread-hop
+/// boundaries (worker picks up a job, connection thread serves a request);
+/// within a thread, Span handles propagation itself.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+/// Parses 1-16 hex digits into a nonzero u64. Returns false (and leaves
+/// `out` untouched) on empty, oversized, non-hex, or zero input -- the
+/// validation the wire protocol applies to client-minted ids.
+bool parse_trace_id(std::string_view text, std::uint64_t& out);
+
+/// Lower-case hex, no leading zeros (inverse of parse_trace_id).
+std::string format_trace_id(std::uint64_t id);
+
 struct TraceEvent {
   std::string name;
   const char* category = "dp";  // must point at a string literal
   std::uint64_t start_us = 0;
   std::uint64_t duration_us = 0;
   std::uint32_t tid = 0;
+  /// 0 = span recorded with no propagated trace context.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 class Tracer {
@@ -53,7 +109,9 @@ class Tracer {
   /// Appends one complete event (thread-safe). Called by ~Span; direct use
   /// is fine for events timed by other means.
   void record_complete(std::string name, const char* category,
-                       std::uint64_t start_us, std::uint64_t duration_us);
+                       std::uint64_t start_us, std::uint64_t duration_us,
+                       std::uint64_t trace_id = 0, std::uint64_t span_id = 0,
+                       std::uint64_t parent_span_id = 0);
 
   void clear();
   [[nodiscard]] std::size_t size() const;
@@ -61,7 +119,9 @@ class Tracer {
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   /// {"traceEvents": [...], "displayTimeUnit": "ms"} -- the Chrome
-  /// trace-event JSON array-of-complete-events format.
+  /// trace-event JSON array-of-complete-events format. Spans with ids carry
+  /// them in "args" (trace_id as hex; viewers show args on click, tools can
+  /// re-link cross-thread parentage from them).
   [[nodiscard]] std::string to_chrome_json() const;
 
  private:
@@ -74,9 +134,13 @@ class Tracer {
 /// CLI's --trace-out (or tests); disabled by default.
 Tracer& default_tracer();
 
-/// RAII span. If the tracer is disabled at construction the span is inert
-/// (the name is never copied). end() closes the span early; the destructor
-/// closes it otherwise.
+/// RAII span. If the tracer is disabled at construction the span is inert --
+/// unless the flight recorder is on, in which case the span takes the cheap
+/// flight path: no clock reads or copies at construction, one ring-buffer
+/// write at end(). In flight-only mode the `name` buffer must outlive the
+/// span (string literals and the engine's interned rule labels do; every
+/// DP_SPAN site passes one of those). end() closes the span early; the
+/// destructor closes it otherwise.
 class Span {
  public:
   Span(Tracer& tracer, std::string_view name, const char* category = "dp") {
@@ -85,30 +149,53 @@ class Span {
       name_ = std::string(name);
       category_ = category;
       start_us_ = monotonic_micros();
+      parent_ = current_trace_context();
+      span_id_ = next_span_id();
+      install({parent_.trace_id, span_id_});
+    } else if (FlightRecorder::instance().enabled()) {
+      flight_ = true;
+      name_view_ = name;
     }
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
   ~Span() { end(); }
 
-  /// True if the span will record an event (the tracer was enabled at
+  /// True if the span will record a trace event (the tracer was enabled at
   /// construction and end() has not run yet).
   [[nodiscard]] bool active() const { return tracer_ != nullptr; }
 
   /// Records the event now (idempotent).
   void end() {
-    if (tracer_ == nullptr) return;
-    Tracer* t = tracer_;
-    tracer_ = nullptr;
-    t->record_complete(std::move(name_), category_, start_us_,
-                       monotonic_micros() - start_us_);
+    if (tracer_ != nullptr) {
+      Tracer* t = tracer_;
+      tracer_ = nullptr;
+      install(parent_);
+      const std::uint64_t duration = monotonic_micros() - start_us_;
+      if (FlightRecorder::instance().enabled()) {
+        FlightRecorder::instance().record_span(name_, parent_.trace_id,
+                                               duration);
+      }
+      t->record_complete(std::move(name_), category_, start_us_, duration,
+                         parent_.trace_id, span_id_, parent_.span_id);
+    } else if (flight_) {
+      flight_ = false;
+      FlightRecorder::instance().record_span(
+          name_view_, current_trace_context().trace_id, /*duration_us=*/0);
+    }
   }
 
  private:
-  Tracer* tracer_ = nullptr;  // null = inert
+  static void install(TraceContext context);
+
+  Tracer* tracer_ = nullptr;  // null = not tracing
+  bool flight_ = false;       // flight-only mode (tracer off, recorder on)
   std::string name_;
+  std::string_view name_view_;  // flight-only: borrowed, see class comment
   const char* category_ = "dp";
   std::uint64_t start_us_ = 0;
+  TraceContext parent_{};
+  std::uint64_t span_id_ = 0;
 };
 
 }  // namespace dp::obs

@@ -32,6 +32,11 @@ struct CachedResult {
   int exit_code = 1;
   std::string out;
   std::string err;
+  /// Pre-rendered explain profile of the run that produced this result
+  /// (single-line JSON object, empty if the run recorded none). Served
+  /// as-is on cache hits: it describes the original execution, and the
+  /// per-ticket cache_hit flag tells clients it was not re-measured.
+  std::string profile_json;
 };
 
 class ResultCache {

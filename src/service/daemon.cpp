@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/flightrec.h"
 #include "service/protocol.h"
 
 namespace dp::service {
@@ -81,21 +82,54 @@ void Daemon::serve() {
     const int listener = listen_fd_.load(std::memory_order_acquire);
     if (listener < 0) break;
     const int fd = ::accept(listener, nullptr, nullptr);
+    // Each accept also reaps connections that finished since the last one,
+    // so the handle set tracks *live* connections (plus at most the ones
+    // that finished while accept blocked).
+    reap_finished();
     if (fd < 0) {
       if (errno == EINTR) continue;
       // stop() closed the listener (or it genuinely failed): wind down.
       break;
     }
     std::lock_guard<std::mutex> lock(threads_mutex_);
-    connections_.emplace_back([this, fd] { handle_connection(fd); });
+    const std::uint64_t id = next_connection_id_++;
+    connections_.emplace(id, std::thread([this, fd, id] {
+                           handle_connection(fd, id);
+                         }));
   }
-  std::vector<std::thread> connections;
+  // Wind-down: join everything still registered, finished or not.
+  std::map<std::uint64_t, std::thread> connections;
   {
     std::lock_guard<std::mutex> lock(threads_mutex_);
     connections.swap(connections_);
+    finished_.clear();
   }
-  for (auto& connection : connections) {
+  for (auto& [id, connection] : connections) {
     if (connection.joinable()) connection.join();
+  }
+}
+
+void Daemon::mark_finished(std::uint64_t connection_id) {
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  finished_.push_back(connection_id);
+}
+
+void Daemon::reap_finished() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    for (const std::uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // already taken by wind-down
+      to_join.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  // Join outside the lock: the threads are past their serving loop (they
+  // marked themselves finished), so these joins complete immediately.
+  for (auto& thread : to_join) {
+    if (thread.joinable()) thread.join();
   }
 }
 
@@ -109,18 +143,43 @@ void Daemon::stop() {
   }
 }
 
-void Daemon::handle_connection(int fd) {
+void Daemon::handle_connection(int fd, std::uint64_t connection_id) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   std::string buffer;
   char chunk[4096];
   bool open = true;
+  // Undecided until enough bytes arrive to distinguish an HTTP GET from the
+  // NDJSON protocol ("GET " can only be an HTTP request line: a JSON object
+  // line starts with '{').
+  enum class Mode { kUndecided, kNdjson, kHttp } mode = Mode::kUndecided;
   while (open) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(n));
+
+    if (mode == Mode::kUndecided) {
+      if (buffer.size() >= 4) {
+        mode = buffer.compare(0, 4, "GET ") == 0 ? Mode::kHttp : Mode::kNdjson;
+      } else if (buffer.find('\n') != std::string::npos) {
+        mode = Mode::kNdjson;  // a full (short) line: cannot be HTTP
+      } else {
+        continue;  // need more bytes to tell
+      }
+    }
+    if (mode == Mode::kHttp) {
+      // One request per connection (Connection: close): wait for the end of
+      // the header block, answer, done. Good enough for curl and scrapers.
+      if (buffer.find("\r\n\r\n") == std::string::npos &&
+          buffer.find("\n\n") == std::string::npos) {
+        if (buffer.size() > 64 * 1024) break;  // runaway header block
+        continue;
+      }
+      handle_http(fd, buffer);
+      break;
+    }
 
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start);
@@ -147,6 +206,50 @@ void Daemon::handle_connection(int fd) {
     buffer.erase(0, start);
   }
   ::close(fd);
+  mark_finished(connection_id);
+}
+
+void Daemon::handle_http(int fd, const std::string& buffer) {
+  // Request line: "GET <path>[?query] HTTP/1.x". `buffer` starts with
+  // "GET " (the mode check guarantees it).
+  const std::size_t line_end = buffer.find_first_of("\r\n");
+  const std::string request_line =
+      buffer.substr(0, line_end == std::string::npos ? buffer.size()
+                                                     : line_end);
+  std::string path = request_line.substr(4);
+  if (const std::size_t space = path.find(' '); space != std::string::npos) {
+    path.resize(space);
+  }
+  if (const std::size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);
+  }
+
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (path == "/metrics") {
+    // The Prometheus text exposition format curl/prometheus expect.
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = service_.metrics().to_prometheus();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/tracez") {
+    content_type = "application/json";
+    body = obs::FlightRecorder::instance().to_json();
+    body.push_back('\n');
+  } else {
+    status = "404 Not Found";
+    body = "not found: " + path + "\n";
+  }
+
+  std::string response;
+  response.reserve(body.size() + 160);
+  response += "HTTP/1.1 " + status + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  write_all(fd, response);
 }
 
 }  // namespace dp::service

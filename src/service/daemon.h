@@ -1,4 +1,5 @@
-// diffprovd's transport: newline-delimited JSON over loopback TCP.
+// diffprovd's transport: newline-delimited JSON over loopback TCP, with a
+// minimal HTTP GET fast path on the same listener.
 //
 // Thread-per-connection on top of the in-process DiagnosisService -- the
 // service's own admission control is the backpressure mechanism, so the
@@ -6,10 +7,17 @@
 // Binds 127.0.0.1 only (this is a local diagnosis daemon, not a network
 // service); port 0 asks the kernel for an ephemeral port, which tests and
 // the CI smoke read back via Daemon::port() / --port-file.
+//
+// Scrape endpoints: a connection whose first four bytes are "GET " is
+// served as one HTTP request and closed -- `/metrics` (Prometheus text
+// exposition of the service registry), `/healthz` ("ok"), and `/tracez`
+// (the flight-recorder dump as JSON). Anything else on the socket is the
+// NDJSON protocol, so `curl` and `diffprov_client` share the port.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -42,7 +50,16 @@ class Daemon {
   void stop();
 
  private:
-  void handle_connection(int fd);
+  void handle_connection(int fd, std::uint64_t connection_id);
+  void handle_http(int fd, const std::string& buffer);
+  /// Marks a connection thread done; the accept loop joins it later (a
+  /// thread cannot join itself).
+  void mark_finished(std::uint64_t connection_id);
+  /// Joins and forgets every connection thread that has marked itself
+  /// finished, so a long-lived daemon holds handles only for *live*
+  /// connections instead of accumulating one dead std::thread per past
+  /// client.
+  void reap_finished();
 
   DiagnosisService& service_;
   /// Atomic: stop() swaps in -1 and closes it while serve() is blocked in
@@ -52,7 +69,9 @@ class Daemon {
   std::atomic<bool> stopping_{false};
 
   std::mutex threads_mutex_;
-  std::vector<std::thread> connections_;
+  std::map<std::uint64_t, std::thread> connections_;
+  std::vector<std::uint64_t> finished_;  // ids awaiting their join
+  std::uint64_t next_connection_id_ = 1;
 };
 
 }  // namespace dp::service

@@ -28,6 +28,23 @@ struct DiagnoseSpec {
   bool want_dot = false;
 };
 
+/// Where one diagnosis spent its wall time, in the paper's §4 phase
+/// vocabulary (Figures 7-8), plus the serving-path costs around it. All
+/// times are microseconds of wall clock inside diagnose_problem; the service
+/// layer adds the phases it owns (session wait, warm-up) and an "other"
+/// remainder so the phases sum to the reported exec time.
+struct DiagnoseProfile {
+  /// The initial bad run came from a warm session (no replay here).
+  bool warm_reuse = false;
+  double initial_replay_us = 0;  // cold-path replay of the recorded log
+  double locate_us = 0;          // projecting the good/bad trees
+  DiffProvTiming timing;         // reasoning + UpdateTree replay decomposition
+  double minimize_us = 0;        // optional Δ-minimization post-pass
+  int rounds = 0;
+  std::size_t good_tree_size = 0;
+  std::size_t bad_tree_size = 0;
+};
+
 struct DiagnoseOutcome {
   /// 0 = diagnosis succeeded; 1 = event missing or diagnosis failed.
   int exit_code = 1;
@@ -40,6 +57,8 @@ struct DiagnoseOutcome {
   std::string err;
   /// Graphviz of the bad tree when want_dot was set.
   std::string dot;
+  /// Wall-time decomposition of this run (see DiagnoseProfile).
+  DiagnoseProfile profile;
 
   [[nodiscard]] bool ok() const { return exit_code == 0; }
 };

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/flightrec.h"
 #include "obs/json_check.h"
+#include "obs/trace.h"
 
 namespace dp::service {
 namespace {
@@ -13,6 +15,31 @@ using obs::json_quote;
 
 std::string error_response(const std::string& message) {
   return "{\"ok\":false,\"error\":" + json_quote(message) + "}";
+}
+
+/// Parses the optional "trace" field (the client-minted trace id) into
+/// `trace_id`. Returns false and fills `error` with a named parse error on
+/// anything but a 1-16-digit nonzero hex string -- oversized or malformed
+/// ids are rejected at the wire, never propagated half-parsed.
+bool parse_trace_field(const Json& request, std::uint64_t& trace_id,
+                       std::string& error) {
+  const Json* trace = request.find("trace");
+  if (trace == nullptr) return true;
+  if (trace->kind != Json::Kind::kString) {
+    error = "trace parse error: \"trace\" must be a string of hex digits";
+    return false;
+  }
+  if (trace->string.size() > 16) {
+    error = "trace parse error: trace id exceeds 16 hex digits (got " +
+            std::to_string(trace->string.size()) + ")";
+    return false;
+  }
+  if (!obs::parse_trace_id(trace->string, trace_id)) {
+    error = "trace parse error: \"" + trace->string +
+            "\" is not a nonzero hex trace id";
+    return false;
+  }
+  return true;
 }
 
 std::string format_number(double v) {
@@ -35,6 +62,10 @@ std::string status_response(std::uint64_t id, const QueryStatus& status) {
     out << ",\"exit_code\":" << status.result.exit_code
         << ",\"out\":" << json_quote(status.result.out)
         << ",\"err\":" << json_quote(status.result.err);
+    if (!status.result.profile_json.empty()) {
+      // Pre-rendered by the service at completion time (single-line JSON).
+      out << ",\"profile\":" << status.result.profile_json;
+    }
   }
   out << ",\"cache_hit\":" << (status.cache_hit ? "true" : "false")
       << ",\"coalesced\":" << (status.coalesced ? "true" : "false")
@@ -53,6 +84,10 @@ std::string handle_submit(DiagnosisService& service, const Json& request) {
   query.auto_reference = request.get_bool("auto_reference");
   query.minimize = request.get_bool("minimize");
   query.bypass_cache = request.get_bool("bypass_cache");
+  std::string trace_error;
+  if (!parse_trace_field(request, query.trace_id, trace_error)) {
+    return error_response(trace_error);
+  }
 
   const SubmitOutcome outcome = service.submit(query);
   if (!outcome.ok()) {
@@ -96,8 +131,13 @@ std::string handle_probe(DiagnosisService& service, const Json& request) {
   if (scenario.empty() || tuple.empty()) {
     return error_response("probe needs \"scenario\" and \"tuple\"");
   }
+  std::uint64_t trace_id = 0;
+  std::string trace_error;
+  if (!parse_trace_field(request, trace_id, trace_error)) {
+    return error_response(trace_error);
+  }
   bool live = false;
-  const SubmitOutcome outcome = service.probe(scenario, tuple, live);
+  const SubmitOutcome outcome = service.probe(scenario, tuple, live, trace_id);
   if (!outcome.ok()) return error_response(outcome.error);
   return std::string("{\"ok\":true,\"live\":") + (live ? "true" : "false") +
          "}";
@@ -152,6 +192,11 @@ std::string handle_request(DiagnosisService& service, const std::string& line,
     if (op == "cancel") return handle_cancel(service, *request);
     if (op == "probe") return handle_probe(service, *request);
     if (op == "stats") return handle_stats(service);
+    if (op == "flightrec") {
+      // Already single-line JSON, embeddable verbatim in the NDJSON reply.
+      return "{\"ok\":true,\"flightrec\":" +
+             obs::FlightRecorder::instance().to_json() + "}";
+    }
     if (op == "shutdown") {
       shutdown_requested = true;
       return "{\"ok\":true,\"shutting_down\":true}";

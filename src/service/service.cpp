@@ -1,8 +1,10 @@
 #include "service/service.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "ndlog/parser.h"
+#include "obs/flightrec.h"
 #include "obs/obs.h"
 
 namespace dp::service {
@@ -25,6 +27,65 @@ ReplayOptions with_metrics(ReplayOptions options, obs::MetricsRegistry* r) {
     options.engine_config.metrics = r;
   }
   return options;
+}
+
+/// The explain profile served with a finished response: the paper-§4 phase
+/// decomposition plus the serving-path phases around it, an explicit
+/// "other_us" remainder (so the phases sum to total_us by construction),
+/// the provenance/store footprint this run touched, and its disposition.
+std::string render_profile_json(const DiagnoseProfile& profile,
+                                double session_wait_us, double warm_replay_us,
+                                bool warm_hit, double exec_us,
+                                std::uint64_t trace_id,
+                                std::uint64_t vertices_delta,
+                                std::uint64_t store_tuples,
+                                std::uint64_t store_bytes) {
+  // Profile times are integral microseconds: precise enough to explain a
+  // diagnosis. Each phase is rounded independently, the remainder covers
+  // whatever the named phases did not measure, and total is reconciled with
+  // the rounded sum so "phases add up to total_us" holds *exactly* (the
+  // invariant --explain's percentage column and the tests rely on).
+  const auto us = [](double v) { return std::llround(v); };
+  const long long phases[] = {us(session_wait_us),
+                              us(warm_replay_us),
+                              us(profile.initial_replay_us),
+                              us(profile.locate_us),
+                              us(profile.timing.find_seed_us),
+                              us(profile.timing.annotate_us),
+                              us(profile.timing.divergence_us),
+                              us(profile.timing.make_appear_us),
+                              us(profile.timing.replay_us),
+                              us(profile.minimize_us)};
+  long long accounted = 0;
+  for (const long long phase : phases) accounted += phase;
+  long long total = us(exec_us);
+  const long long other = total > accounted ? total - accounted : 0;
+  total = accounted + other;
+  std::ostringstream out;
+  out << "{\"total_us\":" << total;
+  if (trace_id != 0) {
+    out << ",\"trace_id\":\"" << obs::format_trace_id(trace_id) << "\"";
+  }
+  out << ",\"warm_hit\":" << (warm_hit ? "true" : "false")
+      << ",\"phases\":{\"session_wait_us\":" << phases[0]
+      << ",\"warm_replay_us\":" << phases[1]
+      << ",\"replay_us\":" << phases[2]
+      << ",\"locate_us\":" << phases[3]
+      << ",\"find_seed_us\":" << phases[4]
+      << ",\"annotate_us\":" << phases[5]
+      << ",\"divergence_us\":" << phases[6]
+      << ",\"make_appear_us\":" << phases[7]
+      << ",\"diff_replay_us\":" << phases[8]
+      << ",\"minimize_us\":" << phases[9]
+      << ",\"other_us\":" << other << "}"
+      << ",\"rounds\":" << profile.rounds
+      << ",\"replays\":" << profile.timing.replays
+      << ",\"good_tree_size\":" << profile.good_tree_size
+      << ",\"bad_tree_size\":" << profile.bad_tree_size
+      << ",\"vertices_delta\":" << vertices_delta
+      << ",\"store_tuples\":" << store_tuples
+      << ",\"store_bytes\":" << store_bytes << "}";
+  return out.str();
 }
 
 }  // namespace
@@ -80,12 +141,19 @@ DiagnosisService::DiagnosisService(ServiceConfig config)
       cache_misses_(registry_->counter("dp.service.cache.misses")),
       coalesced_(registry_->counter("dp.service.cache.coalesced")),
       queue_depth_(registry_->gauge("dp.service.queue_depth")),
+      worker_stuck_(registry_->gauge("dp.service.worker.stuck")),
+      worker_panics_(registry_->counter("dp.service.worker.panics")),
       queue_wait_us_(registry_->histogram("dp.service.queue_wait_us")),
       exec_us_(registry_->histogram("dp.service.exec_us")) {
   workers_.reserve(config_.workers);
+  worker_states_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    worker_states_.push_back(std::make_unique<WorkerState>());
   }
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 DiagnosisService::~DiagnosisService() { shutdown(/*drain=*/true); }
@@ -182,6 +250,7 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
   job->session = std::move(session);
   job->spec = std::move(spec);
   job->cacheable = cacheable;
+  job->trace_id = query.trace_id;
   const std::uint64_t id = next_id_++;
   job->ticket_ids.push_back(id);
   if (!queue_.try_push(job)) {
@@ -200,8 +269,52 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
   return outcome;
 }
 
-void DiagnosisService::worker_loop() {
-  while (auto job = queue_.pop()) run_job(*job);
+void DiagnosisService::worker_loop(std::size_t worker_index) {
+  WorkerState& state = *worker_states_[worker_index];
+  while (auto job = queue_.pop()) {
+    // 0 is the "idle" sentinel, but monotonic_micros() is zeroed at first
+    // use -- the first job a worker ever picks can land on the epoch
+    // exactly. Clamp to 1: one microsecond of deadline slack vs. a worker
+    // the watchdog would otherwise never see as busy.
+    const std::uint64_t busy_at = obs::monotonic_micros();
+    state.busy_since_us.store(busy_at == 0 ? 1 : busy_at,
+                              std::memory_order_relaxed);
+    run_job(*job);
+    state.busy_since_us.store(0, std::memory_order_relaxed);
+  }
+}
+
+void DiagnosisService::watchdog_loop() {
+  const std::uint64_t deadline_us =
+      static_cast<std::uint64_t>(config_.worker_deadline.count()) * 1000;
+  std::int64_t last_stuck = 0;
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, config_.watchdog_interval,
+                          [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    // Every tick keeps the flight recorder's coarse clock fresh, so ring
+    // timestamps are accurate to ~one interval even on threads that record
+    // rarely.
+    obs::refresh_flight_clock();
+    if (deadline_us == 0) continue;
+    const std::uint64_t now = obs::monotonic_micros();
+    std::int64_t stuck = 0;
+    for (const auto& ws : worker_states_) {
+      const std::uint64_t busy_since =
+          ws->busy_since_us.load(std::memory_order_relaxed);
+      if (busy_since != 0 && now - busy_since > deadline_us) ++stuck;
+    }
+    worker_stuck_.set(stuck);
+    if (stuck > last_stuck) {
+      // New stuck episode: capture the last moments once (not every tick --
+      // a wedged worker would otherwise flood stderr).
+      obs::FlightRecorder::instance().dump_to_stderr(
+          "watchdog: " + std::to_string(stuck) +
+          " worker(s) past the deadline");
+    }
+    last_stuck = stuck;
+  }
 }
 
 void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
@@ -230,18 +343,48 @@ void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
   }
   if (hook) hook();
 
+  // The job runs under the submitting client's trace context: every span
+  // below (service, session, diffprov, engine) inherits the minted trace id
+  // even though we're on a worker thread, not the connection thread.
+  obs::ScopedTraceContext trace_scope({job->trace_id, 0});
+
+  const std::uint64_t vertices_before =
+      registry_->counter("dp.prov.vertices").value();
+
   CachedResult result;
-  {
+  DiagnoseProfile profile;
+  double session_wait_us = 0;
+  double warm_replay_us = 0;
+  bool warm_hit = false;
+  try {
     DP_SPAN_CAT("dp.service.run", "service");
     // Per-session serialization: one query at a time against a warm engine;
     // jobs for other sessions proceed on other workers in parallel.
+    const auto wait_start = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> session_lock(job->session->mutex());
+    session_wait_us = micros_between(wait_start, std::chrono::steady_clock::now());
+    warm_hit = job->session->is_warm();
+    const auto warm_start = std::chrono::steady_clock::now();
     std::shared_ptr<const BadRun> warm = job->session->ensure_warm();
+    warm_replay_us =
+        micros_between(warm_start, std::chrono::steady_clock::now());
     const DiagnoseOutcome outcome = diagnose_problem(
         job->session->problem(), job->spec, replay_options_, std::move(warm));
     result.exit_code = outcome.exit_code;
     result.out = outcome.pre + outcome.out;
     result.err = outcome.err;
+    profile = outcome.profile;
+  } catch (const std::exception& e) {
+    // Worker panic: the diagnosis threw past the pipeline's own error
+    // handling. Dump the flight recorder (the last spans/logs before the
+    // throw are exactly the forensics wanted here), report the failure to
+    // the waiting tickets, and keep the worker alive.
+    worker_panics_.inc();
+    obs::FlightRecorder::instance().dump_to_stderr(
+        std::string("worker panic: ") + e.what());
+    result.exit_code = 1;
+    result.out.clear();
+    result.err = std::string("internal error: ") + e.what() + "\n";
   }
   // The warm-up above may have changed this session's measured footprint;
   // re-apply the byte budget now that the session lock is released (the
@@ -251,6 +394,12 @@ void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
   const auto finished_at = std::chrono::steady_clock::now();
   const double exec_us = micros_between(started_at, finished_at);
   exec_us_.observe(exec_us);
+  result.profile_json = render_profile_json(
+      profile, session_wait_us, warm_replay_us, warm_hit, exec_us,
+      job->trace_id,
+      registry_->counter("dp.prov.vertices").value() - vertices_before,
+      static_cast<std::uint64_t>(registry_->gauge("dp.store.tuples").value()),
+      static_cast<std::uint64_t>(registry_->gauge("dp.store.bytes").value()));
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -348,7 +497,7 @@ bool DiagnosisService::cancel(std::uint64_t id) {
 
 SubmitOutcome DiagnosisService::probe(const std::string& scenario,
                                       const std::string& tuple_text,
-                                      bool& live) {
+                                      bool& live, std::uint64_t trace_id) {
   SubmitOutcome outcome;
   std::shared_ptr<WarmSession> session =
       sessions_.get_scenario(scenario, outcome.error);
@@ -360,6 +509,9 @@ SubmitOutcome DiagnosisService::probe(const std::string& scenario,
     outcome.error = std::string("bad tuple: ") + e.what();
     return outcome;
   }
+  // Probes run on the caller's (connection) thread; scope its spans to the
+  // client's trace the same way run_job does for diagnoses.
+  obs::ScopedTraceContext trace_scope({trace_id, 0});
   std::lock_guard<std::mutex> session_lock(session->mutex());
   live = session->probe_live(tuple);
   outcome.accepted = true;
@@ -422,7 +574,14 @@ void DiagnosisService::shutdown(bool drain) {
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   queue_depth_.set(0);
+  worker_stuck_.set(0);
 }
 
 }  // namespace dp::service

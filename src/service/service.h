@@ -58,6 +58,14 @@ struct ServiceConfig {
   /// Replay knobs shared by every session (engine_config.metrics is pointed
   /// at the service registry when unset).
   ReplayOptions replay;
+  /// Watchdog deadline: a worker busy on one job longer than this is
+  /// counted in the dp.service.worker.stuck gauge and triggers one flight-
+  /// recorder dump per stuck episode. Zero disables the stuck check (the
+  /// watchdog thread still runs to refresh the flight clock).
+  std::chrono::milliseconds worker_deadline{10000};
+  /// Watchdog scan period (also the flight-recorder clock resolution under
+  /// an otherwise-idle service).
+  std::chrono::milliseconds watchdog_interval{100};
   /// Test hook: runs in the worker thread after a job is marked running and
   /// before it diagnoses. Lets tests hold workers to fill the queue
   /// deterministically.
@@ -79,6 +87,9 @@ struct Query {
   bool minimize = false;
   /// Benchmarking: always run, never read or write the cache or coalesce.
   bool bypass_cache = false;
+  /// Client-minted trace context (0 = none): the worker installs it for the
+  /// job's scope so every span of the diagnosis carries this id.
+  std::uint64_t trace_id = 0;
 };
 
 enum class QueryState : std::uint8_t { kQueued, kRunning, kDone, kCancelled };
@@ -153,9 +164,10 @@ class DiagnosisService {
   /// Live-state probe: is `tuple_text` live at the end of the scenario's
   /// recorded execution? Served from the session's warm engine or its
   /// checkpoint tier -- never a full replay once the session has one.
+  /// `trace_id` (0 = none) scopes the probe's spans to the client's trace.
   [[nodiscard]] SubmitOutcome probe(const std::string& scenario,
-                                    const std::string& tuple_text,
-                                    bool& live);
+                                    const std::string& tuple_text, bool& live,
+                                    std::uint64_t trace_id = 0);
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *registry_; }
@@ -180,10 +192,20 @@ class DiagnosisService {
     std::shared_ptr<WarmSession> session;
     DiagnoseSpec spec;
     bool cacheable = true;
+    /// Trace context of the *first* submitter; coalesced duplicates share
+    /// the leader's trace (their tickets still report coalesced=true).
+    std::uint64_t trace_id = 0;
     std::vector<std::uint64_t> ticket_ids;  // grows as duplicates coalesce
   };
 
-  void worker_loop();
+  /// Per-worker state the watchdog scans without locks.
+  struct WorkerState {
+    /// monotonic_micros() when the current job started; 0 = idle.
+    std::atomic<std::uint64_t> busy_since_us{0};
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void watchdog_loop();
   void run_job(const std::shared_ptr<JobState>& job);
   void complete_locked(std::uint64_t id, const CachedResult& result,
                        double exec_us,
@@ -208,6 +230,12 @@ class DiagnosisService {
   bool shutdown_ = false;
 
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 
   obs::Counter& submitted_;
   obs::Counter& completed_;
@@ -218,6 +246,8 @@ class DiagnosisService {
   obs::Counter& cache_misses_;
   obs::Counter& coalesced_;
   obs::Gauge& queue_depth_;
+  obs::Gauge& worker_stuck_;
+  obs::Counter& worker_panics_;
   obs::Histogram& queue_wait_us_;
   obs::Histogram& exec_us_;
 };

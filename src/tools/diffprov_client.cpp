@@ -11,15 +11,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/json_check.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -36,9 +39,70 @@ constexpr const char* kUsage =
     "  --probe 'TUPLE' --scenario NAME       live-state probe\n"
     "  --poll ID | --cancel ID               inspect/cancel a past query\n"
     "  --stats                               server counters\n"
+    "  --flightrec                           dump the daemon's flight recorder\n"
     "  --shutdown                            drain and stop the daemon\n"
     "\n"
-    "  --meta    print cache/timing metadata for the query to stderr\n";
+    "  --meta          print cache/timing metadata for the query to stderr\n"
+    "  --explain       print the query's phase-time profile to stderr\n"
+    "  --trace-id HEX  pin the trace id sent with the query (default: minted\n"
+    "                  per invocation; spans server-side work in the daemon's\n"
+    "                  --trace-out dump under one id)\n";
+
+/// Mints the trace context this invocation stamps on its query: a random
+/// nonzero 64-bit id, so concurrent clients never collide and the daemon's
+/// trace dump attributes every span of the diagnosis to this run.
+std::uint64_t mint_trace_id() {
+  std::random_device rd;
+  std::uint64_t id =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ static_cast<std::uint64_t>(rd());
+  if (id == 0) id = 1;
+  return id;
+}
+
+/// Renders the response's "profile" object (see DESIGN.md section 12) as the
+/// human-readable --explain report.
+void print_explain(const Json& response, std::ostream& out) {
+  const Json* profile = response.find("profile");
+  if (profile == nullptr || profile->kind != Json::Kind::kObject) {
+    out << "explain: no profile in response (daemon predates profiles?)\n";
+    return;
+  }
+  const double total = profile->get_number("total_us");
+  out << "explain:";
+  const std::string trace = profile->get_string("trace_id");
+  if (!trace.empty()) out << " trace " << trace;
+  out << " total " << static_cast<long long>(total) << " us ("
+      << (profile->get_bool("warm_hit") ? "warm session" : "cold session")
+      << (response.get_bool("cache_hit") ? ", cache hit" : "") << ", "
+      << static_cast<long long>(profile->get_number("rounds")) << " round(s), "
+      << static_cast<long long>(profile->get_number("replays"))
+      << " replay(s))\n";
+  const Json* phases = profile->find("phases");
+  if (phases != nullptr && phases->kind == Json::Kind::kObject) {
+    for (const char* phase :
+         {"session_wait_us", "warm_replay_us", "replay_us", "locate_us",
+          "find_seed_us", "annotate_us", "divergence_us", "make_appear_us",
+          "diff_replay_us", "minimize_us", "other_us"}) {
+      const double us = phases->get_number(phase);
+      char line[96];
+      std::snprintf(line, sizeof(line), "  %-16s %10lld us  %5.1f%%\n", phase,
+                    static_cast<long long>(us),
+                    total > 0 ? 100.0 * us / total : 0.0);
+      out << line;
+    }
+  }
+  out << "  trees: good "
+      << static_cast<long long>(profile->get_number("good_tree_size"))
+      << " / bad "
+      << static_cast<long long>(profile->get_number("bad_tree_size"))
+      << " vertexes; +"
+      << static_cast<long long>(profile->get_number("vertices_delta"))
+      << " provenance vertices this run; store "
+      << static_cast<long long>(profile->get_number("store_tuples"))
+      << " tuples / "
+      << static_cast<long long>(profile->get_number("store_bytes"))
+      << " bytes resident\n";
+}
 
 class Connection {
  public:
@@ -116,6 +180,8 @@ int main(int argc, char** argv) {
   std::string scenario, program_path, log_path, bad, good, probe_tuple;
   bool auto_reference = false, minimize = false, bypass_cache = false;
   bool stats = false, shutdown = false, meta = false;
+  bool explain = false, flightrec = false;
+  std::uint64_t trace_id = 0;  // 0 = mint one per invocation
   std::optional<std::uint64_t> poll_id, cancel_id;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -181,10 +247,21 @@ int main(int argc, char** argv) {
         cancel_id = std::stoull(*v);
       } else if (arg == "--stats") {
         stats = true;
+      } else if (arg == "--flightrec") {
+        flightrec = true;
       } else if (arg == "--shutdown") {
         shutdown = true;
       } else if (arg == "--meta") {
         meta = true;
+      } else if (arg == "--explain") {
+        explain = true;
+      } else if (arg == "--trace-id") {
+        auto v = next("1-16 hex digits");
+        if (!v) return 2;
+        if (!dp::obs::parse_trace_id(*v, trace_id)) {
+          std::cerr << "--trace-id must be 1-16 hex digits (nonzero)\n";
+          return 2;
+        }
       } else if (arg == "--help" || arg == "-h") {
         std::cout << kUsage;
         return 0;
@@ -202,9 +279,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (trace_id == 0) trace_id = mint_trace_id();
+  const std::string trace_field =
+      ",\"trace\":" + json_quote(dp::obs::format_trace_id(trace_id));
+
   try {
     Connection connection(port);
 
+    if (flightrec) {
+      const std::string raw =
+          connection.raw_round_trip("{\"op\":\"flightrec\"}");
+      std::string error;
+      const std::optional<Json> response = Json::parse(raw, error);
+      if (!response || !response->get_bool("ok")) {
+        std::cerr << (response
+                          ? response->get_string("error", "flightrec failed")
+                          : "bad response: " + error)
+                  << "\n";
+        return 3;
+      }
+      // Raw JSON: the dump is for jq/scripts as much as eyeballs.
+      std::cout << raw << "\n";
+      return 0;
+    }
     if (stats) {
       const std::string raw = connection.raw_round_trip("{\"op\":\"stats\"}");
       std::string error;
@@ -242,7 +339,7 @@ int main(int argc, char** argv) {
       }
       const Json response = connection.round_trip(
           "{\"op\":\"probe\",\"scenario\":" + json_quote(scenario) +
-          ",\"tuple\":" + json_quote(probe_tuple) + "}");
+          ",\"tuple\":" + json_quote(probe_tuple) + trace_field + "}");
       if (!response.get_bool("ok")) {
         std::cerr << response.get_string("error", "probe failed") << "\n";
         return 3;
@@ -291,7 +388,7 @@ int main(int argc, char** argv) {
     if (auto_reference) request << ",\"auto_reference\":true";
     if (minimize) request << ",\"minimize\":true";
     if (bypass_cache) request << ",\"bypass_cache\":true";
-    request << "}";
+    request << trace_field << "}";
 
     const Json submitted = connection.round_trip(request.str());
     if (!submitted.get_bool("ok")) {
@@ -314,13 +411,17 @@ int main(int argc, char** argv) {
       return 3;
     }
     if (meta) {
-      std::cerr << "id " << id << " cache_hit "
+      std::cerr << "id " << id << " trace "
+                << dp::obs::format_trace_id(trace_id) << " cache_hit "
                 << (response.get_bool("cache_hit") ? "yes" : "no")
                 << " coalesced "
                 << (response.get_bool("coalesced") ? "yes" : "no")
                 << " queue_us " << response.get_number("queue_us")
                 << " exec_us " << response.get_number("exec_us") << "\n";
     }
+    // Explain goes to stderr: stdout stays byte-identical to the one-shot
+    // CLI's diagnosis report (the CI smoke diffs them).
+    if (explain) print_explain(response, std::cerr);
     std::cerr << response.get_string("err");
     std::cout << response.get_string("out");
     return static_cast<int>(response.get_number("exit_code", 1));

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flightrec.h"
 #include "obs/obs.h"
 #include "service/daemon.h"
 #include "service/service.h"
@@ -24,11 +25,18 @@ constexpr const char* kUsage =
     "                 [--queue-cap N] [--max-warm N] [--warm-bytes N]\n"
     "                 [--cache-cap N]\n"
     "                 [--config-epoch N] [--metrics-out FILE]\n"
-    "                 [--trace-out FILE]\n"
+    "                 [--trace-out FILE] [--no-flightrec]\n"
+    "                 [--worker-deadline-ms N]\n"
     "\n"
     "serves diagnosis queries over newline-delimited JSON on\n"
     "127.0.0.1:PORT (default: an ephemeral port, written to --port-file\n"
-    "if given). stop it with diffprov_client --shutdown.\n";
+    "if given). stop it with diffprov_client --shutdown.\n"
+    "\n"
+    "the same port answers HTTP GETs: /metrics (Prometheus text),\n"
+    "/healthz, /tracez (flight-recorder dump). the flight recorder is on\n"
+    "by default (--no-flightrec disables); a worker busy longer than\n"
+    "--worker-deadline-ms (default 10000, 0 = off) is flagged in\n"
+    "dp.service.worker.stuck and triggers a flight-recorder dump.\n";
 
 dp::service::Daemon* g_daemon = nullptr;
 
@@ -44,6 +52,7 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string metrics_path;
   std::string trace_path;
+  bool flightrec = true;
   dp::service::ServiceConfig config;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -88,6 +97,12 @@ int main(int argc, char** argv) {
         auto v = next("a number");
         if (!v) return 2;
         config.config_epoch = std::stoull(*v);
+      } else if (arg == "--no-flightrec") {
+        flightrec = false;
+      } else if (arg == "--worker-deadline-ms") {
+        auto v = next("milliseconds (0 = off)");
+        if (!v) return 2;
+        config.worker_deadline = std::chrono::milliseconds(std::stoll(*v));
       } else if (arg == "--metrics-out") {
         auto v = next("a path");
         if (!v) return 2;
@@ -110,6 +125,12 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_path.empty()) dp::obs::default_tracer().set_enabled(true);
+  if (flightrec) {
+    // Always-on in the daemon: the ring keeps the last moments of every
+    // thread for /tracez, the flightrec op, and panic/watchdog dumps.
+    dp::obs::FlightRecorder::instance().set_enabled(true);
+    dp::obs::FlightRecorder::install_log_hook();
+  }
 
   try {
     dp::service::DiagnosisService service(config);

@@ -1,11 +1,16 @@
-// Validates observability artifacts produced by diffprov_cli: a Chrome
-// trace-event JSON (--trace-out) and/or a metrics-registry JSON
-// (--metrics-out). Used by CI to assert the files are well-formed and that
-// the expected spans / series are present.
+// Validates observability artifacts: a Chrome trace-event JSON
+// (--trace-out), a metrics-registry JSON (--metrics-out), or a Prometheus
+// text scrape from diffprovd's /metrics endpoint (--prom). Used by CI to
+// assert the artifacts are well-formed, histogram semantics hold (le bounds
+// strictly increasing, cumulative counts non-decreasing and capped by
+// _count, latency sums non-negative), and the expected spans / series are
+// present.
 //
 //   obs_check --trace trace.json --require dp.diffprov.diagnose \
 //             --require-prefix rule:
 //   obs_check --metrics metrics.json --require dp.runtime.derivations
+//   curl -s localhost:PORT/metrics | obs_check --prom /dev/stdin \
+//             --require dp_service_submitted
 //
 // Exit code 0 on success; 1 with a message on stderr otherwise.
 #include <fstream>
@@ -20,7 +25,7 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: obs_check (--trace FILE | --metrics FILE)\n"
+    "usage: obs_check (--trace FILE | --metrics FILE | --prom FILE)\n"
     "                 [--require NAME]... [--require-prefix PREFIX]...\n"
     "                 [--min-events N]\n";
 
@@ -66,6 +71,7 @@ bool check_required(const std::set<std::string>& have,
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string prom_path;
   std::vector<std::string> required;
   std::vector<std::string> prefixes;
   std::size_t min_events = 0;
@@ -82,6 +88,8 @@ int main(int argc, char** argv) {
       trace_path = next();
     } else if (arg == "--metrics") {
       metrics_path = next();
+    } else if (arg == "--prom") {
+      prom_path = next();
     } else if (arg == "--require") {
       required.emplace_back(next());
     } else if (arg == "--require-prefix") {
@@ -96,13 +104,18 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (trace_path.empty() == metrics_path.empty()) {
+  const int modes = (trace_path.empty() ? 0 : 1) +
+                    (metrics_path.empty() ? 0 : 1) + (prom_path.empty() ? 0 : 1);
+  if (modes != 1) {
     std::cerr << kUsage;
     return 2;
   }
 
   std::string text;
-  const std::string& path = trace_path.empty() ? metrics_path : trace_path;
+  const std::string& path = !trace_path.empty()
+                                ? trace_path
+                                : (!metrics_path.empty() ? metrics_path
+                                                         : prom_path);
   if (!read_file(path, text)) {
     std::cerr << "obs_check: cannot open " << path << "\n";
     return 1;
@@ -122,6 +135,23 @@ int main(int argc, char** argv) {
     if (!check_required(check.names, required, prefixes, "span")) return 1;
     std::cout << "obs_check: " << path << " ok (" << check.events
               << " events)\n";
+    return 0;
+  }
+
+  if (!prom_path.empty()) {
+    const dp::obs::PrometheusCheck check = dp::obs::check_prometheus_text(text);
+    if (!check.ok) {
+      std::cerr << "obs_check: " << path << ": " << check.error << "\n";
+      return 1;
+    }
+    if (check.series < min_events) {
+      std::cerr << "obs_check: " << path << ": only " << check.series
+                << " series (expected >= " << min_events << ")\n";
+      return 1;
+    }
+    if (!check_required(check.names, required, prefixes, "series")) return 1;
+    std::cout << "obs_check: " << path << " ok (" << check.series
+              << " series)\n";
     return 0;
   }
 

@@ -37,6 +37,9 @@ void log_emit(LogLevel level, const std::string& message) {
   line += message;
   line += '\n';
   std::fwrite(line.data(), 1, line.size(), stderr);
+  if (LogSink sink = g_log_sink.load(std::memory_order_acquire)) {
+    sink(level, message.data(), message.size());
+  }
 }
 }  // namespace internal
 

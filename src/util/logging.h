@@ -21,6 +21,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 namespace internal {
 inline std::atomic<LogLevel> g_log_level{LogLevel::kWarn};
 
+/// Optional secondary sink for emitted lines (the raw message, no
+/// "[dp:LEVEL]" prefix), called after the stderr write. Installed by the
+/// obs flight recorder; kept a bare function pointer so util/ stays free of
+/// an obs dependency. Null (the default) means "stderr only".
+using LogSink = void (*)(LogLevel level, const char* message,
+                         std::size_t length);
+inline std::atomic<LogSink> g_log_sink{nullptr};
+
 void log_emit(LogLevel level, const std::string& message);
 
 class LogLine {
@@ -54,6 +62,12 @@ inline void set_log_level(LogLevel level) {
 }
 inline LogLevel log_level() {
   return internal::g_log_level.load(std::memory_order_relaxed);
+}
+
+/// Installs (or, with nullptr, removes) the secondary log sink. The sink
+/// must be callable from any thread and must not log.
+inline void set_log_sink(internal::LogSink sink) {
+  internal::g_log_sink.store(sink, std::memory_order_release);
 }
 
 }  // namespace dp

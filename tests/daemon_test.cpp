@@ -16,7 +16,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flightrec.h"
 #include "obs/json_check.h"
+#include "obs/obs.h"
 #include "service/daemon.h"
 #include "service/protocol.h"
 #include "service/service.h"
@@ -156,6 +158,20 @@ class TestClient {
     return response;
   }
 
+  /// Sends raw bytes (no newline framing) and reads until the server closes
+  /// the connection -- the shape of an HTTP exchange.
+  std::string raw_round_trip(const std::string& request) {
+    EXPECT_EQ(::send(fd_, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    std::string response;
+    char chunk[4096];
+    ssize_t n = 0;
+    while ((n = ::recv(fd_, chunk, sizeof(chunk), 0)) > 0) {
+      response.append(chunk, static_cast<std::size_t>(n));
+    }
+    return response;
+  }
+
  private:
   int fd_ = -1;
   bool connected_ = false;
@@ -254,6 +270,194 @@ TEST(Daemon, ProbeWorksOverTheWire) {
   const Json response = parse_ok(client.round_trip(request));
   ASSERT_TRUE(response.get_bool("ok")) << response.get_string("error");
   EXPECT_TRUE(response.get_bool("live"));
+}
+
+// ----------------------------------------- trace field + introspection --
+
+TEST(Protocol, TraceFieldValidationRejectsMalformedIds) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  bool shutdown_requested = false;
+
+  struct Case {
+    const char* request;
+    const char* expect_in_error;
+  };
+  const Case cases[] = {
+      {R"({"op":"submit","scenario":"sdn1","trace":123})",
+       "must be a string of hex digits"},
+      {R"({"op":"submit","scenario":"sdn1","trace":"xyz"})",
+       "not a nonzero hex trace id"},
+      {R"({"op":"submit","scenario":"sdn1","trace":"0"})",
+       "not a nonzero hex trace id"},
+      {R"({"op":"submit","scenario":"sdn1","trace":"12345678901234567"})",
+       "exceeds 16 hex digits"},
+      {R"json({"op":"probe","scenario":"sdn1","tuple":"x()","trace":"zz"})json",
+       "not a nonzero hex trace id"},
+  };
+  for (const Case& c : cases) {
+    const Json response =
+        parse_ok(handle_request(service, c.request, shutdown_requested));
+    EXPECT_FALSE(response.get_bool("ok")) << c.request;
+    const std::string error = response.get_string("error");
+    EXPECT_NE(error.find("trace parse error"), std::string::npos) << error;
+    EXPECT_NE(error.find(c.expect_in_error), std::string::npos) << error;
+  }
+  // A malformed trace id is rejected at the wire: nothing was admitted.
+  EXPECT_EQ(registry.counter("dp.service.submitted").value(), 0u);
+}
+
+TEST(Protocol, TraceIdRoundTripsOntoEverySpanAndIntoTheProfile) {
+  obs::default_tracer().clear();
+  obs::default_tracer().set_enabled(true);
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  bool shutdown_requested = false;
+
+  const Json submitted = parse_ok(handle_request(
+      service, R"({"op":"submit","scenario":"sdn1","trace":"deadbeef"})",
+      shutdown_requested));
+  ASSERT_TRUE(submitted.get_bool("ok")) << submitted.get_string("error");
+  const Json done = parse_ok(handle_request(
+      service,
+      "{\"op\":\"wait\",\"id\":" +
+          std::to_string(
+              static_cast<std::uint64_t>(submitted.get_number("id"))) +
+          "}",
+      shutdown_requested));
+  obs::default_tracer().set_enabled(false);
+  ASSERT_EQ(done.get_string("state"), "done");
+
+  // The finished response carries the explain profile, stamped with the
+  // client-minted trace id.
+  const Json* profile = done.find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->get_string("trace_id"), "deadbeef");
+  ASSERT_NE(profile->find("phases"), nullptr);
+
+  // One coherent trace: the worker installed the propagated context, so
+  // every span the diagnosis recorded -- service, session, runtime, all on
+  // worker threads -- carries the minted id, and no other nonzero id ever
+  // appears in this process.
+  std::size_t tagged = 0;
+  bool saw_service_span = false;
+  for (const obs::TraceEvent& event : obs::default_tracer().events()) {
+    EXPECT_TRUE(event.trace_id == 0 || event.trace_id == 0xdeadbeefull)
+        << event.name;
+    if (event.trace_id == 0xdeadbeefull) ++tagged;
+    if (event.name == "dp.service.run") {
+      saw_service_span = true;
+      EXPECT_EQ(event.trace_id, 0xdeadbeefull);
+    }
+  }
+  obs::default_tracer().clear();
+  EXPECT_TRUE(saw_service_span);
+  EXPECT_GT(tagged, 1u) << "the trace id must propagate past the root span";
+}
+
+TEST(Protocol, FlightrecOpReturnsTheRingDump) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(true);
+  recorder.record_span("dp.test.marker", 0x77, 3);
+
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  bool shutdown_requested = false;
+  const Json response = parse_ok(
+      handle_request(service, R"({"op":"flightrec"})", shutdown_requested));
+  recorder.set_enabled(false);
+  recorder.clear();
+
+  ASSERT_TRUE(response.get_bool("ok"));
+  const Json* dump = response.find("flightrec");
+  ASSERT_NE(dump, nullptr);
+  EXPECT_TRUE(dump->get_bool("enabled"));
+  const Json* events = dump->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, Json::Kind::kArray);
+  bool saw_marker = false;
+  for (const Json& event : events->array) {
+    if (event.get_string("name") == "dp.test.marker") {
+      saw_marker = true;
+      EXPECT_EQ(event.get_string("trace_id"), "77");
+    }
+  }
+  EXPECT_TRUE(saw_marker);
+}
+
+// ------------------------------------------------- HTTP GET fast path --
+
+/// Sends one raw HTTP request and returns the full response (to EOF: the
+/// daemon answers with Connection: close).
+std::string http_get(std::uint16_t port, const std::string& path) {
+  TestClient client(port);
+  EXPECT_TRUE(client.connected());
+  return client.raw_round_trip("GET " + path + " HTTP/1.1\r\nHost: l\r\n\r\n");
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(Daemon, MetricsEndpointServesValidPrometheusText) {
+  DaemonFixture fixture;
+  // Run one query so the scrape has real latency histograms in it.
+  TestClient client(fixture.daemon.port());
+  ASSERT_TRUE(client.connected());
+  const Json submitted = parse_ok(
+      client.round_trip(R"({"op":"submit","scenario":"sdn1"})"));
+  ASSERT_TRUE(submitted.get_bool("ok"));
+  client.round_trip("{\"op\":\"wait\",\"id\":" +
+                    std::to_string(static_cast<std::uint64_t>(
+                        submitted.get_number("id"))) +
+                    "}");
+
+  const std::string response = http_get(fixture.daemon.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200 OK", 0), 0u) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+
+  const obs::PrometheusCheck check =
+      obs::check_prometheus_text(http_body(response));
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_TRUE(check.names.count("dp_service_submitted"));
+  EXPECT_TRUE(check.names.count("dp_service_exec_us"));
+}
+
+TEST(Daemon, HealthzAndTracezAnswerAndUnknownPathsGet404) {
+  DaemonFixture fixture;
+  obs::FlightRecorder::instance().set_enabled(true);
+
+  const std::string health = http_get(fixture.daemon.port(), "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_EQ(http_body(health), "ok\n");
+
+  const std::string tracez =
+      http_get(fixture.daemon.port(), "/tracez?since=0");
+  obs::FlightRecorder::instance().set_enabled(false);
+  obs::FlightRecorder::instance().clear();
+  EXPECT_EQ(tracez.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(tracez.find("Content-Type: application/json"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(Json::parse(http_body(tracez), error).has_value()) << error;
+
+  const std::string missing = http_get(fixture.daemon.port(), "/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.1 404 Not Found", 0), 0u);
+
+  // HTTP traffic never disturbs the NDJSON side: a protocol client on a
+  // fresh connection still works.
+  TestClient client(fixture.daemon.port());
+  ASSERT_TRUE(client.connected());
+  const Json stats = parse_ok(client.round_trip(R"({"op":"stats"})"));
+  EXPECT_TRUE(stats.get_bool("ok"));
 }
 
 }  // namespace

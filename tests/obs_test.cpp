@@ -5,6 +5,7 @@
 // semantic counters through the registry facade.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -13,8 +14,10 @@
 
 #include "diffprov/diffprov.h"
 #include "ndlog/parser.h"
+#include "obs/flightrec.h"
 #include "obs/json_check.h"
 #include "obs/obs.h"
+#include "util/logging.h"
 #include "provenance/vertex.h"
 #include "replay/replay_engine.h"
 #include "runtime/metrics_observer.h"
@@ -199,6 +202,296 @@ TEST(Trace, JsonCheckerRejectsMalformedInput) {
   EXPECT_TRUE(obs::json_error("{\"trailing\": 1,}").has_value());
   EXPECT_FALSE(obs::check_chrome_trace("{\"noTraceEvents\": []}").ok);
   EXPECT_FALSE(obs::check_metrics_json("[1, 2]").ok);
+}
+
+// ----------------------------------------------- trace propagation --
+
+TEST(Trace, TraceIdParsingAcceptsOnlyNonzeroHex) {
+  std::uint64_t id = 0;
+  ASSERT_TRUE(obs::parse_trace_id("deadbeef", id));
+  EXPECT_EQ(id, 0xdeadbeefull);
+  ASSERT_TRUE(obs::parse_trace_id("1", id));
+  EXPECT_EQ(id, 1u);
+  ASSERT_TRUE(obs::parse_trace_id("ffffffffffffffff", id));
+  EXPECT_EQ(id, ~0ull);
+  ASSERT_TRUE(obs::parse_trace_id("DeadBeef", id));  // case-insensitive
+  EXPECT_EQ(id, 0xdeadbeefull);
+
+  id = 42;
+  EXPECT_FALSE(obs::parse_trace_id("", id));
+  EXPECT_FALSE(obs::parse_trace_id("0", id));  // zero means "no context"
+  EXPECT_FALSE(obs::parse_trace_id("00000", id));
+  EXPECT_FALSE(obs::parse_trace_id("12g4", id));
+  EXPECT_FALSE(obs::parse_trace_id("1ffffffffffffffff", id));  // 17 digits
+  EXPECT_EQ(id, 42u) << "failed parses must leave the output untouched";
+
+  // format is the inverse of parse.
+  EXPECT_EQ(obs::format_trace_id(0xdeadbeefull), "deadbeef");
+  std::uint64_t back = 0;
+  ASSERT_TRUE(obs::parse_trace_id(obs::format_trace_id(0xabc123ull), back));
+  EXPECT_EQ(back, 0xabc123ull);
+}
+
+TEST(Trace, SpansInheritTheInstalledContextAndChainParentIds) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr std::uint64_t kTraceId = 0x5eed;
+  {
+    // The thread-hop idiom: the worker installs the client's context, then
+    // every span below inherits the trace id and chains parentage.
+    obs::ScopedTraceContext scope({kTraceId, 0});
+    obs::Span outer(tracer, "outer");
+    obs::Span inner(tracer, "inner");
+  }
+  const std::vector<obs::TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close innermost-first.
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  ASSERT_EQ(inner.name, "inner");
+  ASSERT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.trace_id, kTraceId);
+  EXPECT_EQ(outer.trace_id, kTraceId);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_EQ(outer.parent_span_id, 0u) << "the installed context had no span";
+
+  // The scope restored the previous (empty) context: a span after it has
+  // no trace id.
+  {
+    obs::Span after(tracer, "after");
+  }
+  EXPECT_EQ(tracer.events().back().trace_id, 0u);
+}
+
+TEST(Trace, ChromeJsonCarriesTraceContextArgs) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  {
+    obs::ScopedTraceContext scope({0xdeadbeef, 0});
+    obs::Span span(tracer, "work");
+  }
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_EQ(obs::json_error(json), std::nullopt) << json;
+  EXPECT_NE(json.find("\"trace_id\": \"deadbeef\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"span_id\""), std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\""), std::string::npos);
+}
+
+// -------------------------------------------------- flight recorder --
+
+TEST(FlightRec, RecordsSpansAndLogsWithTruncation) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(false);
+  recorder.record_span("dropped", 0, 0);
+  EXPECT_TRUE(recorder.snapshot().empty()) << "disabled recorder must drop";
+
+  recorder.set_enabled(true);
+  recorder.record_span("short", 0xabc, 7);
+  recorder.record_log(2, "a warning line");
+  const std::string long_name(100, 'x');
+  recorder.record_span(long_name, 0, 1);
+  recorder.set_enabled(false);
+
+  const std::vector<obs::FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  bool saw_span = false, saw_log = false, saw_truncated = false;
+  for (const obs::FlightEvent& event : events) {
+    if (std::string(event.name) == "short") {
+      saw_span = true;
+      EXPECT_EQ(event.kind, obs::FlightEvent::Kind::kSpan);
+      EXPECT_EQ(event.trace_id, 0xabcu);
+      EXPECT_EQ(event.duration_us, 7u);
+    } else if (std::string(event.name) == "a warning line") {
+      saw_log = true;
+      EXPECT_EQ(event.kind, obs::FlightEvent::Kind::kLog);
+      EXPECT_EQ(event.level, 2u);
+    } else {
+      saw_truncated = true;
+      EXPECT_EQ(std::string(event.name).size(), obs::kFlightNameCap);
+      EXPECT_EQ(std::string(event.name), long_name.substr(0, obs::kFlightNameCap));
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_log);
+  EXPECT_TRUE(saw_truncated);
+
+  recorder.clear();
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(FlightRec, RingKeepsOnlyTheLastNEventsPerThread) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(true);
+  const std::size_t total = obs::kFlightRingSize + 50;
+  for (std::size_t i = 0; i < total; ++i) {
+    recorder.record_span("evt" + std::to_string(i), 0, i);
+  }
+  recorder.set_enabled(false);
+  const std::vector<obs::FlightEvent> events = recorder.snapshot();
+  EXPECT_EQ(events.size(), obs::kFlightRingSize);
+  // The survivors are the *latest* kFlightRingSize events.
+  std::set<std::string> names;
+  for (const obs::FlightEvent& event : events) names.insert(event.name);
+  EXPECT_TRUE(names.count("evt" + std::to_string(total - 1)));
+  EXPECT_FALSE(names.count("evt0"));
+  recorder.clear();
+}
+
+TEST(FlightRec, JsonDumpParsesBackAndLogHookCaptures) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(true);
+  obs::FlightRecorder::install_log_hook();
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kWarn);
+  DP_WARN << "hooked " << 123;
+  set_log_level(saved);
+  set_log_sink(nullptr);
+  recorder.record_span("we\"ird\\span", 0x99, 5);
+  recorder.set_enabled(false);
+
+  const std::string json = recorder.to_json();
+  EXPECT_EQ(obs::json_error(json), std::nullopt) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must stay single-line";
+  EXPECT_NE(json.find("\"ring_size\""), std::string::npos);
+
+  bool saw_hooked = false;
+  for (const obs::FlightEvent& event : recorder.snapshot()) {
+    if (std::string(event.name) == "hooked 123") {
+      saw_hooked = true;
+      EXPECT_EQ(event.kind, obs::FlightEvent::Kind::kLog);
+    }
+  }
+  EXPECT_TRUE(saw_hooked) << "DP_WARN line must reach the recorder via the "
+                             "log sink";
+  recorder.clear();
+}
+
+TEST(FlightRec, ConcurrentWritersAndSnapshottersAreSafe) {
+  // The TSan target: writer threads hammer the ring while a reader thread
+  // snapshots and serializes continuously. Every event a snapshot returns
+  // must be internally consistent (never a half-written slot).
+  obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(true);
+
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 2000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> inconsistent{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (const obs::FlightEvent& event : recorder.snapshot()) {
+        const std::string name(event.name);
+        // Writer i records "w<i>" spans with trace_id 100+i and logs
+        // "log<i>"; anything else is a torn slot.
+        if (event.kind == obs::FlightEvent::Kind::kSpan) {
+          if (name.size() != 2 || name[0] != 'w' ||
+              event.trace_id != 100u + (name[1] - '0')) {
+            ++inconsistent;
+          }
+        } else if (name.size() != 4 || name.compare(0, 3, "log") != 0) {
+          ++inconsistent;
+        }
+      }
+      (void)recorder.to_json();
+    }
+  });
+  std::vector<std::thread> writers;
+  std::atomic<int> writers_done{0};
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&recorder, &writers_done, w] {
+      const std::string span_name = "w" + std::to_string(w);
+      const std::string log_name = "log" + std::to_string(w);
+      for (int i = 0; i < kEventsPerWriter; ++i) {
+        recorder.record_span(span_name, 100 + w, i);
+        if (i % 8 == 0) recorder.record_log(1, log_name);
+      }
+      // Stay alive (ring lease held) until every writer has recorded, so
+      // the four threads provably used four distinct rings -- otherwise a
+      // fast writer's returned ring gets reused and overwritten.
+      ++writers_done;
+      while (writers_done.load() < kWriters) std::this_thread::yield();
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true);
+  reader.join();
+  recorder.set_enabled(false);
+
+  EXPECT_EQ(inconsistent.load(), 0);
+  // Rings were leased per writer thread: the final snapshot holds the last
+  // kFlightRingSize events of each, still visible after the threads exited.
+  EXPECT_EQ(recorder.snapshot().size(), kWriters * obs::kFlightRingSize);
+  recorder.clear();
+}
+
+// ------------------------------------------- prometheus text checker --
+
+TEST(Metrics, PrometheusCheckerAcceptsRegistryOutput) {
+  obs::MetricsRegistry registry;
+  registry.counter("dp.test.total").inc(3);
+  registry.gauge("dp.test.depth").set(-2);
+  registry.histogram("dp.test.lat_us", obs::latency_us_bounds()).observe(5.0);
+  registry.histogram("dp.test.lat_us", obs::latency_us_bounds()).observe(2e7);
+
+  const obs::PrometheusCheck check =
+      obs::check_prometheus_text(registry.to_prometheus());
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.series, 3u) << "a histogram counts as one series";
+  EXPECT_TRUE(check.names.count("dp_test_total"));
+  EXPECT_TRUE(check.names.count("dp_test_depth"));
+  EXPECT_TRUE(check.names.count("dp_test_lat_us"));
+}
+
+TEST(Metrics, PrometheusCheckerRejectsBrokenHistograms) {
+  // le bounds out of order.
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE h histogram\n"
+                   "h_bucket{le=\"10\"} 1\nh_bucket{le=\"1\"} 1\n"
+                   "h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n")
+                   .ok);
+  // Cumulative counts must be non-decreasing.
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE h histogram\n"
+                   "h_bucket{le=\"1\"} 5\nh_bucket{le=\"10\"} 3\n"
+                   "h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n")
+                   .ok);
+  // +Inf bucket must equal _count.
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE h histogram\n"
+                   "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\n"
+                   "h_sum 2\nh_count 3\n")
+                   .ok);
+  // Missing +Inf bucket.
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE h histogram\n"
+                   "h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n")
+                   .ok);
+  // Latency sums may not go negative.
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE h_us histogram\n"
+                   "h_us_bucket{le=\"1\"} 1\nh_us_bucket{le=\"+Inf\"} 1\n"
+                   "h_us_sum -4\nh_us_count 1\n")
+                   .ok);
+  // Counters may not go negative, and TYPE lines may not repeat.
+  EXPECT_FALSE(obs::check_prometheus_text("# TYPE c counter\nc -1\n").ok);
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE c counter\n# TYPE c counter\nc 1\n")
+                   .ok);
+
+  // The well-formed version of the same text passes.
+  const obs::PrometheusCheck good = obs::check_prometheus_text(
+      "# TYPE h histogram\n"
+      "h_bucket{le=\"1\"} 1\nh_bucket{le=\"10\"} 3\n"
+      "h_bucket{le=\"+Inf\"} 5\nh_sum 40\nh_count 5\n"
+      "# TYPE c counter\nc 7\n");
+  EXPECT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.series, 2u);
 }
 
 // ----------------------------------------------- cross-variant tests --

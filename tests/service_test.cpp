@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/json_check.h"
 #include "obs/metrics.h"
 #include "service/bounded_queue.h"
 #include "service/cache.h"
@@ -460,6 +461,102 @@ TEST(Service, ShutdownDrainsQueuedWork) {
   EXPECT_EQ(service.poll(sa.id)->state, QueryState::kDone);
   EXPECT_EQ(service.poll(sb.id)->state, QueryState::kDone);
   EXPECT_FALSE(service.submit(a).ok()) << "no admissions after shutdown";
+}
+
+// --------------------------------------- watchdog + explain profiles --
+
+TEST(Service, WatchdogFlagsAStuckWorkerAndRecovers) {
+  WorkerGate gate;
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.workers = 1;
+  config.metrics = &registry;
+  // A deliberately tiny deadline with a fast watchdog: the gated worker
+  // must be flagged within a few ticks.
+  config.worker_deadline = std::chrono::milliseconds(50);
+  config.watchdog_interval = std::chrono::milliseconds(10);
+  config.on_job_start = [&gate] { gate.wait_at_gate(); };
+  DiagnosisService service(config);
+
+  Query query;
+  query.scenario = "sdn1";
+  const SubmitOutcome s = service.submit(query);
+  ASSERT_TRUE(s.ok());
+  gate.await_arrivals(1);
+
+  obs::Gauge& stuck = registry.gauge("dp.service.worker.stuck");
+  bool flagged = false;
+  for (int i = 0; i < 500 && !flagged; ++i) {
+    flagged = stuck.value() >= 1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(flagged) << "watchdog never flagged the pinned worker";
+
+  gate.release();
+  EXPECT_EQ(wait_done(service, s).state, QueryState::kDone);
+  // Once the job completes the next tick clears the flag.
+  bool cleared = false;
+  for (int i = 0; i < 500 && !cleared; ++i) {
+    cleared = stuck.value() == 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(cleared) << "stuck gauge must drop once the worker returns";
+}
+
+TEST(Service, CompletedQueriesCarryAnExplainProfile) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query query;
+  query.scenario = "sdn1";
+  query.trace_id = 0xabc123;
+  const QueryStatus status = wait_done(service, service.submit(query));
+  ASSERT_EQ(status.state, QueryState::kDone);
+  ASSERT_FALSE(status.result.profile_json.empty());
+
+  std::string error;
+  const auto profile = obs::Json::parse(status.result.profile_json, error);
+  ASSERT_TRUE(profile.has_value()) << error << " in "
+                                   << status.result.profile_json;
+  EXPECT_EQ(profile->get_string("trace_id"), "abc123");
+  EXPECT_FALSE(profile->get_bool("warm_hit")) << "first query replays cold";
+  EXPECT_GE(profile->get_number("rounds"), 1);
+  EXPECT_GT(profile->get_number("bad_tree_size"), 0);
+
+  // The accounting invariant --explain relies on: the named phases plus the
+  // other_us remainder sum *exactly* to total_us.
+  const obs::Json* phases = profile->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->kind, obs::Json::Kind::kObject);
+  double phase_sum = 0;
+  for (const auto& [name, value] : phases->object) {
+    ASSERT_EQ(value.kind, obs::Json::Kind::kNumber) << name;
+    EXPECT_GE(value.number, 0) << name;
+    phase_sum += value.number;
+  }
+  EXPECT_NE(phases->find("replay_us"), nullptr);
+  EXPECT_NE(phases->find("find_seed_us"), nullptr);
+  EXPECT_NE(phases->find("divergence_us"), nullptr);
+  EXPECT_DOUBLE_EQ(phase_sum, profile->get_number("total_us"));
+  EXPECT_GT(profile->get_number("total_us"), 0);
+
+  // A cache hit serves the stored profile verbatim (it describes the run
+  // that produced the cached answer, not the hit).
+  const QueryStatus again = wait_done(service, service.submit(query));
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.result.profile_json, status.result.profile_json);
+
+  // A distinct query on the warm session reports warm_hit.
+  Query warm = query;
+  warm.minimize = true;
+  const QueryStatus warmed = wait_done(service, service.submit(warm));
+  std::string warm_error;
+  const auto warm_profile =
+      obs::Json::parse(warmed.result.profile_json, warm_error);
+  ASSERT_TRUE(warm_profile.has_value()) << warm_error;
+  EXPECT_TRUE(warm_profile->get_bool("warm_hit"));
 }
 
 // ------------------------------------------------------- concurrency --
