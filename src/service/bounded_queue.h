@@ -9,6 +9,7 @@
 // the queue is closed and drained.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -31,6 +32,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      depth_.store(items_.size(), std::memory_order_relaxed);
     }
     ready_.notify_one();
     return true;
@@ -46,6 +48,7 @@ class BoundedQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    depth_.store(items_.size(), std::memory_order_relaxed);
     return item;
   }
 
@@ -68,14 +71,18 @@ class BoundedQueue {
       orphans.assign(std::make_move_iterator(items_.begin()),
                      std::make_move_iterator(items_.end()));
       items_.clear();
+      depth_.store(0, std::memory_order_relaxed);
     }
     ready_.notify_all();
     return orphans;
   }
 
+  /// Lock-free depth read (updated under the lock by push/pop). The sharded
+  /// service samples every shard's depth for gauges and stats; taking each
+  /// queue's mutex for that would reintroduce cross-thread contention on the
+  /// hot path this queue exists to avoid.
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
+    return depth_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -85,6 +92,7 @@ class BoundedQueue {
   mutable std::mutex mutex_;
   std::condition_variable ready_;
   std::deque<T> items_;
+  std::atomic<std::size_t> depth_{0};
   bool closed_ = false;
 };
 

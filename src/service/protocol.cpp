@@ -155,6 +155,12 @@ std::string handle_stats(DiagnosisService& service) {
       << ",\"coalesced\":" << stats.coalesced
       << ",\"queue_depth\":" << stats.queue_depth
       << ",\"queue_capacity\":" << stats.queue_capacity
+      << ",\"shards\":" << stats.shards << ",\"shard_queue_depths\":[";
+  for (std::size_t i = 0; i < stats.shard_queue_depths.size(); ++i) {
+    if (i != 0) out << ",";
+    out << stats.shard_queue_depths[i];
+  }
+  out << "]"
       << ",\"cache_size\":" << stats.cache_size
       << ",\"cache_evictions\":" << stats.cache_evictions
       << ",\"sessions\":" << stats.sessions

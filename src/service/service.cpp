@@ -1,18 +1,21 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <sstream>
 
 #include "ndlog/parser.h"
 #include "obs/flightrec.h"
 #include "obs/obs.h"
+#include "util/hash.h"
 
 namespace dp::service {
 namespace {
 
-// Completed tickets retained for poll() after the fact; beyond this, the
-// oldest finished tickets are dropped (ids are monotonic, so "oldest" is
-// map order).
+// Completed tickets retained for poll() after the fact, per shard; beyond
+// this, the oldest finished tickets are dropped (sequence numbers are
+// monotonic within a shard, so "oldest" is map order).
 constexpr std::size_t kMaxRetainedTickets = 1 << 16;
 
 double micros_between(std::chrono::steady_clock::time_point a,
@@ -111,9 +114,9 @@ std::string ServiceStats::to_text() const {
       << "cache hits " << cache_hits << " misses " << cache_misses
       << " coalesced " << coalesced << " entries " << cache_size
       << " evictions " << cache_evictions << "\n"
-      << "queue " << queue_depth << "/" << queue_capacity << " sessions "
-      << sessions << " (" << warm_sessions << " warm, "
-      << warm_resident_bytes << " resident bytes)\n";
+      << "shards " << shards << " queue " << queue_depth << "/"
+      << queue_capacity << " sessions " << sessions << " (" << warm_sessions
+      << " warm, " << warm_resident_bytes << " resident bytes)\n";
   for (const auto& [key, s] : per_session) {
     out << "  session " << key << ": queries " << s.queries << " warm_hits "
         << s.warm_hits << " cold_replays " << s.cold_replays << " probes "
@@ -123,15 +126,29 @@ std::string ServiceStats::to_text() const {
   return out.str();
 }
 
+DiagnosisService::Shard::Shard(std::size_t shard_index, std::size_t max_warm,
+                               std::shared_ptr<WarmBudgetLedger> ledger,
+                               ReplayOptions options,
+                               obs::MetricsRegistry& registry,
+                               std::size_t queue_capacity)
+    : index(shard_index),
+      sessions(max_warm, std::move(ledger), shard_index, std::move(options),
+               registry),
+      queue(queue_capacity),
+      queue_depth(registry.gauge("dp.service.shard." +
+                                 std::to_string(shard_index) +
+                                 ".queue_depth")) {}
+
 DiagnosisService::DiagnosisService(ServiceConfig config)
     : config_(std::move(config)),
       registry_(config_.metrics != nullptr ? config_.metrics
                                            : &obs::default_registry()),
       replay_options_(with_metrics(config_.replay, registry_)),
-      sessions_(config_.max_warm_sessions, config_.warm_bytes_budget,
-                replay_options_, *registry_),
-      queue_(config_.queue_capacity),
-      cache_(config_.cache_capacity),
+      ledger_(std::make_shared<WarmBudgetLedger>(
+          config_.warm_bytes_budget,
+          std::min<std::size_t>(std::max<std::size_t>(config_.shards, 1),
+                                kMaxShards))),
+      cache_(config_.cache_capacity, config_.cache_stripes, registry_),
       submitted_(registry_->counter("dp.service.submitted")),
       completed_(registry_->counter("dp.service.completed")),
       shed_(registry_->counter("dp.service.shed")),
@@ -145,32 +162,80 @@ DiagnosisService::DiagnosisService(ServiceConfig config)
       worker_panics_(registry_->counter("dp.service.worker.panics")),
       queue_wait_us_(registry_->histogram("dp.service.queue_wait_us")),
       exec_us_(registry_->histogram("dp.service.exec_us")) {
-  workers_.reserve(config_.workers);
-  worker_states_.reserve(config_.workers);
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    worker_states_.push_back(std::make_unique<WorkerState>());
+  const std::size_t nshards = std::min<std::size_t>(
+      std::max<std::size_t>(config_.shards, 1), kMaxShards);
+  // The session-count cap is global; every shard enforces its slice (at
+  // least one warm session per shard, or the shard could never serve warm).
+  const std::size_t max_warm_per_shard =
+      std::max<std::size_t>(1, config_.max_warm_sessions / nshards);
+  shards_.reserve(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(s, max_warm_per_shard, ledger_,
+                                              replay_options_, *registry_,
+                                              config_.queue_capacity));
   }
-  for (std::size_t i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    shard.worker_states.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+      shard.worker_states.push_back(std::make_unique<WorkerState>());
+    }
+    shard.workers.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+      shard.workers.emplace_back([this, &shard, i] { worker_loop(shard, i); });
+    }
   }
   watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 DiagnosisService::~DiagnosisService() { shutdown(/*drain=*/true); }
 
+std::size_t DiagnosisService::shard_of_key(
+    const std::string& session_key) const {
+  return fnv1a(session_key) % shards_.size();
+}
+
+DiagnosisService::Shard* DiagnosisService::shard_for_id(
+    std::uint64_t id) const {
+  const std::size_t index = static_cast<std::size_t>(id >> kShardShift);
+  if (index >= shards_.size()) return nullptr;
+  return shards_[index].get();
+}
+
+std::uint64_t DiagnosisService::allocate_ticket(
+    Shard& shard, std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::uint64_t id = make_ticket_id(shard.index, shard.next_seq++);
+  shard.tickets[id].submitted_at = now;
+  return id;
+}
+
+std::vector<std::uint64_t> DiagnosisService::ticket_ids_of(JobState& job) {
+  std::lock_guard<std::mutex> lock(job.ids_mutex);
+  return job.ticket_ids;
+}
+
 SubmitOutcome DiagnosisService::submit(const Query& query) {
   SubmitOutcome outcome;
 
-  std::shared_ptr<WarmSession> session;
+  // Route before resolving: the session key alone picks the shard, so every
+  // structure touched from here on is shard-local (or a cache stripe).
+  std::string session_key;
   if (!query.scenario.empty()) {
-    session = sessions_.get_scenario(query.scenario, outcome.error);
+    session_key = query.scenario;
   } else if (!query.program_text.empty()) {
-    session =
-        sessions_.get_inline(query.program_text, query.log_text, outcome.error);
+    session_key = inline_session_key(query.program_text, query.log_text);
   } else {
     outcome.error = "query names neither a scenario nor an inline problem";
     return outcome;
   }
+  Shard& shard = *shards_[shard_of_key(session_key)];
+
+  std::shared_ptr<WarmSession> session =
+      query.scenario.empty()
+          ? shard.sessions.get_inline(query.program_text, query.log_text,
+                                      outcome.error)
+          : shard.sessions.get_scenario(query.scenario, outcome.error);
   if (session == nullptr) return outcome;
   const Problem& problem = session->problem();
 
@@ -208,70 +273,128 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
   const bool cacheable = !query.bypass_cache;
   const auto now = std::chrono::steady_clock::now();
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!accepting_) {
+  if (!accepting_.load(std::memory_order_acquire)) {
     outcome.error = "service is shutting down";
     return outcome;
   }
   submitted_.inc();
+  const std::uint64_t id = allocate_ticket(shard, now);
 
   if (cacheable) {
-    if (auto cached = cache_.get(key)) {
-      cache_hits_.inc();
-      const std::uint64_t id = next_id_++;
-      Ticket& ticket = tickets_[id];
-      ticket.state = QueryState::kDone;
-      ticket.cache_hit = true;
-      ticket.result = std::move(*cached);
-      ticket.submitted_at = now;
-      outcome.accepted = true;
-      outcome.id = id;
-      completed_.inc();
-      trim_tickets_locked();
-      return outcome;
-    }
-    cache_misses_.inc();
-
-    if (auto it = inflight_.find(key); it != inflight_.end()) {
-      coalesced_.inc();
-      const std::uint64_t id = next_id_++;
-      Ticket& ticket = tickets_[id];
-      ticket.coalesced = true;
-      ticket.submitted_at = now;
-      it->second->ticket_ids.push_back(id);
-      outcome.accepted = true;
-      outcome.id = id;
-      return outcome;
+    CachedResult hit;
+    const StripedResultCache::Admission admission = cache_.admit(
+        key, &hit,
+        // Coalesce: attach this ticket to the running leader's list, under
+        // the stripe lock (so the attach is ordered against the leader's
+        // completion) and the leader's ids_mutex (so it is ordered against
+        // the worker's snapshots).
+        [&](const std::shared_ptr<void>& leader) {
+          auto leader_job = std::static_pointer_cast<JobState>(leader);
+          std::lock_guard<std::mutex> ids_lock(leader_job->ids_mutex);
+          leader_job->ticket_ids.push_back(id);
+        },
+        // No cached result, no leader: become the leader if the shard's
+        // queue takes the job. Pushing under the stripe lock keeps "leader
+        // registered" and "job queued" atomic -- nobody can coalesce onto a
+        // job the queue just rejected.
+        [&]() -> std::shared_ptr<void> {
+          auto job = std::make_shared<JobState>();
+          job->key = key;
+          job->shard = shard.index;
+          job->session = session;
+          job->spec = spec;
+          job->cacheable = true;
+          job->trace_id = query.trace_id;
+          job->ticket_ids.push_back(id);
+          if (!shard.queue.try_push(job)) return nullptr;
+          return job;
+        });
+    switch (admission) {
+      case StripedResultCache::Admission::kHit: {
+        cache_hits_.inc();
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          auto it = shard.tickets.find(id);
+          if (it != shard.tickets.end()) {
+            it->second.state = QueryState::kDone;
+            it->second.cache_hit = true;
+            it->second.result = std::move(hit);
+          }
+          completed_.inc();
+          trim_tickets_locked(shard);
+        }
+        outcome.accepted = true;
+        outcome.id = id;
+        return outcome;
+      }
+      case StripedResultCache::Admission::kCoalesced: {
+        cache_misses_.inc();
+        coalesced_.inc();
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          auto it = shard.tickets.find(id);
+          if (it != shard.tickets.end()) it->second.coalesced = true;
+        }
+        outcome.accepted = true;
+        outcome.id = id;
+        return outcome;
+      }
+      case StripedResultCache::Admission::kAccepted: {
+        cache_misses_.inc();
+        queue_depth_.add(1);
+        shard.queue_depth.set(
+            static_cast<std::int64_t>(shard.queue.size()));
+        outcome.accepted = true;
+        outcome.id = id;
+        return outcome;
+      }
+      case StripedResultCache::Admission::kShed: {
+        cache_misses_.inc();
+        shed_.inc();
+        {
+          std::lock_guard<std::mutex> lock(shard.mutex);
+          shard.tickets.erase(id);
+        }
+        outcome.shed = true;
+        outcome.error = "queue full (capacity " +
+                        std::to_string(shard.queue.capacity()) +
+                        "): query shed";
+        return outcome;
+      }
     }
   }
 
+  // Bypass: never reads or writes the cache, never coalesces -- one job, one
+  // run, straight onto the shard's queue.
   auto job = std::make_shared<JobState>();
   job->key = key;
+  job->shard = shard.index;
   job->session = std::move(session);
   job->spec = std::move(spec);
-  job->cacheable = cacheable;
+  job->cacheable = false;
   job->trace_id = query.trace_id;
-  const std::uint64_t id = next_id_++;
   job->ticket_ids.push_back(id);
-  if (!queue_.try_push(job)) {
+  if (!shard.queue.try_push(job)) {
     shed_.inc();
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.tickets.erase(id);
+    }
     outcome.shed = true;
     outcome.error = "queue full (capacity " +
-                    std::to_string(queue_.capacity()) + "): query shed";
+                    std::to_string(shard.queue.capacity()) + "): query shed";
     return outcome;
   }
-  Ticket& ticket = tickets_[id];
-  ticket.submitted_at = now;
-  if (cacheable) inflight_.emplace(key, std::move(job));
-  queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+  queue_depth_.add(1);
+  shard.queue_depth.set(static_cast<std::int64_t>(shard.queue.size()));
   outcome.accepted = true;
   outcome.id = id;
   return outcome;
 }
 
-void DiagnosisService::worker_loop(std::size_t worker_index) {
-  WorkerState& state = *worker_states_[worker_index];
-  while (auto job = queue_.pop()) {
+void DiagnosisService::worker_loop(Shard& shard, std::size_t worker_index) {
+  WorkerState& state = *shard.worker_states[worker_index];
+  while (auto job = shard.queue.pop()) {
     // 0 is the "idle" sentinel, but monotonic_micros() is zeroed at first
     // use -- the first job a worker ever picks can land on the epoch
     // exactly. Clamp to 1: one microsecond of deadline slack vs. a worker
@@ -279,7 +402,7 @@ void DiagnosisService::worker_loop(std::size_t worker_index) {
     const std::uint64_t busy_at = obs::monotonic_micros();
     state.busy_since_us.store(busy_at == 0 ? 1 : busy_at,
                               std::memory_order_relaxed);
-    run_job(*job);
+    run_job(shard, *job);
     state.busy_since_us.store(0, std::memory_order_relaxed);
   }
 }
@@ -300,10 +423,12 @@ void DiagnosisService::watchdog_loop() {
     if (deadline_us == 0) continue;
     const std::uint64_t now = obs::monotonic_micros();
     std::int64_t stuck = 0;
-    for (const auto& ws : worker_states_) {
-      const std::uint64_t busy_since =
-          ws->busy_since_us.load(std::memory_order_relaxed);
-      if (busy_since != 0 && now - busy_since > deadline_us) ++stuck;
+    for (const auto& shard : shards_) {
+      for (const auto& ws : shard->worker_states) {
+        const std::uint64_t busy_since =
+            ws->busy_since_us.load(std::memory_order_relaxed);
+        if (busy_since != 0 && now - busy_since > deadline_us) ++stuck;
+      }
     }
     worker_stuck_.set(stuck);
     if (stuck > last_stuck) {
@@ -317,16 +442,20 @@ void DiagnosisService::watchdog_loop() {
   }
 }
 
-void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
+void DiagnosisService::run_job(Shard& shard,
+                               const std::shared_ptr<JobState>& job) {
   const auto started_at = std::chrono::steady_clock::now();
-  std::function<void()> hook;
+  queue_depth_.add(-1);
+  shard.queue_depth.set(static_cast<std::int64_t>(shard.queue.size()));
+
+  std::vector<std::uint64_t> ids = ticket_ids_of(*job);
+  bool any_live = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
-    bool any_live = false;
-    for (const std::uint64_t id : job->ticket_ids) {
-      auto it = tickets_.find(id);
-      if (it == tickets_.end() || it->second.state != QueryState::kQueued) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::uint64_t id : ids) {
+      auto it = shard.tickets.find(id);
+      if (it == shard.tickets.end() ||
+          it->second.state != QueryState::kQueued) {
         continue;
       }
       it->second.state = QueryState::kRunning;
@@ -334,14 +463,31 @@ void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
       queue_wait_us_.observe(it->second.queue_us);
       any_live = true;
     }
-    if (!any_live) {
-      // Everyone cancelled while we were queued: skip the run entirely.
-      if (job->cacheable) inflight_.erase(job->key);
-      return;
-    }
-    hook = config_.on_job_start;
   }
-  if (hook) hook();
+  if (!any_live && job->cacheable) {
+    // Everyone we know about cancelled while we were queued. Retire the
+    // leadership first, then re-check: a duplicate may have coalesced onto
+    // this job between the snapshot above and take_inflight. If one did, it
+    // is waiting on us -- run anyway (worst case one redundant run in a
+    // vanishingly rare race; never a ticket stuck forever).
+    cache_.take_inflight(job->key);
+    ids = ticket_ids_of(*job);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::uint64_t id : ids) {
+      auto it = shard.tickets.find(id);
+      if (it == shard.tickets.end() ||
+          it->second.state != QueryState::kQueued) {
+        continue;
+      }
+      it->second.state = QueryState::kRunning;
+      it->second.queue_us = micros_between(it->second.submitted_at, started_at);
+      queue_wait_us_.observe(it->second.queue_us);
+      any_live = true;
+    }
+  }
+  if (!any_live) return;
+
+  if (config_.on_job_start) config_.on_job_start();
 
   // The job runs under the submitting client's trace context: every span
   // below (service, session, diffprov, engine) inherits the minted trace id
@@ -386,10 +532,10 @@ void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
     result.out.clear();
     result.err = std::string("internal error: ") + e.what() + "\n";
   }
-  // The warm-up above may have changed this session's measured footprint;
+  // The warm-up above may have changed this shard's measured footprint;
   // re-apply the byte budget now that the session lock is released (the
   // budget pass try-locks sessions, so it must not run while we hold one).
-  sessions_.enforce_budget();
+  shard.sessions.enforce_budget();
   runs_.inc();
   const auto finished_at = std::chrono::steady_clock::now();
   const double exec_us = micros_between(started_at, finished_at);
@@ -401,29 +547,28 @@ void DiagnosisService::run_job(const std::shared_ptr<JobState>& job) {
       static_cast<std::uint64_t>(registry_->gauge("dp.store.tuples").value()),
       static_cast<std::uint64_t>(registry_->gauge("dp.store.bytes").value()));
 
+  // Publish, then complete. complete() publishes the result and drops the
+  // in-flight entry inside one stripe critical section, so a duplicate
+  // submitted at any moment either coalesced onto this job (its id is in
+  // ticket_ids by the time we snapshot below -- coalescing happens under the
+  // same stripe lock) or will hit the cache.
+  if (job->cacheable) cache_.complete(job->key, result);
+  ids = ticket_ids_of(*job);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (job->cacheable) {
-      // Publish before dropping the inflight entry (inside one critical
-      // section): a duplicate submitted from here on hits the cache, one
-      // submitted before this hit the inflight entry -- no window where it
-      // would start a second run.
-      cache_.put(job->key, result);
-      inflight_.erase(job->key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const std::uint64_t id : ids) {
+      complete_locked(shard, id, result, exec_us, finished_at);
     }
-    for (const std::uint64_t id : job->ticket_ids) {
-      complete_locked(id, result, exec_us, finished_at);
-    }
-    trim_tickets_locked();
+    trim_tickets_locked(shard);
   }
-  done_cv_.notify_all();
+  shard.done_cv.notify_all();
 }
 
 void DiagnosisService::complete_locked(
-    std::uint64_t id, const CachedResult& result, double exec_us,
-    std::chrono::steady_clock::time_point now) {
-  auto it = tickets_.find(id);
-  if (it == tickets_.end()) return;
+    Shard& shard, std::uint64_t id, const CachedResult& result,
+    double exec_us, std::chrono::steady_clock::time_point now) {
+  auto it = shard.tickets.find(id);
+  if (it == shard.tickets.end()) return;
   Ticket& ticket = it->second;
   if (ticket.state == QueryState::kCancelled ||
       ticket.state == QueryState::kDone) {
@@ -439,12 +584,13 @@ void DiagnosisService::complete_locked(
   completed_.inc();
 }
 
-void DiagnosisService::trim_tickets_locked() {
-  for (auto it = tickets_.begin();
-       tickets_.size() > kMaxRetainedTickets && it != tickets_.end();) {
+void DiagnosisService::trim_tickets_locked(Shard& shard) {
+  for (auto it = shard.tickets.begin();
+       shard.tickets.size() > kMaxRetainedTickets &&
+       it != shard.tickets.end();) {
     if (it->second.state == QueryState::kDone ||
         it->second.state == QueryState::kCancelled) {
-      it = tickets_.erase(it);
+      it = shard.tickets.erase(it);
     } else {
       ++it;
     }
@@ -463,35 +609,42 @@ QueryStatus DiagnosisService::status_of(const Ticket& ticket) {
 }
 
 std::optional<QueryStatus> DiagnosisService::poll(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = tickets_.find(id);
-  if (it == tickets_.end()) return std::nullopt;
+  Shard* shard = shard_for_id(id);
+  if (shard == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(shard->mutex);
+  auto it = shard->tickets.find(id);
+  if (it == shard->tickets.end()) return std::nullopt;
   return status_of(it->second);
 }
 
 std::optional<QueryStatus> DiagnosisService::wait(std::uint64_t id) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  auto it = tickets_.find(id);
-  if (it == tickets_.end()) return std::nullopt;
-  done_cv_.wait(lock, [&] {
-    const Ticket& ticket = tickets_.at(id);
+  Shard* shard = shard_for_id(id);
+  if (shard == nullptr) return std::nullopt;
+  std::unique_lock<std::mutex> lock(shard->mutex);
+  auto it = shard->tickets.find(id);
+  if (it == shard->tickets.end()) return std::nullopt;
+  shard->done_cv.wait(lock, [&] {
+    const Ticket& ticket = shard->tickets.at(id);
     return ticket.state == QueryState::kDone ||
            ticket.state == QueryState::kCancelled;
   });
-  return status_of(tickets_.at(id));
+  return status_of(shard->tickets.at(id));
 }
 
 bool DiagnosisService::cancel(std::uint64_t id) {
+  Shard* shard = shard_for_id(id);
+  if (shard == nullptr) return false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = tickets_.find(id);
-    if (it == tickets_.end() || it->second.state != QueryState::kQueued) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    auto it = shard->tickets.find(id);
+    if (it == shard->tickets.end() ||
+        it->second.state != QueryState::kQueued) {
       return false;
     }
     it->second.state = QueryState::kCancelled;
     cancelled_.inc();
   }
-  done_cv_.notify_all();
+  shard->done_cv.notify_all();
   return true;
 }
 
@@ -499,8 +652,9 @@ SubmitOutcome DiagnosisService::probe(const std::string& scenario,
                                       const std::string& tuple_text,
                                       bool& live, std::uint64_t trace_id) {
   SubmitOutcome outcome;
+  Shard& shard = *shards_[shard_of_key(scenario)];
   std::shared_ptr<WarmSession> session =
-      sessions_.get_scenario(scenario, outcome.error);
+      shard.sessions.get_scenario(scenario, outcome.error);
   if (session == nullptr) return outcome;
   Tuple tuple;
   try {
@@ -528,51 +682,61 @@ ServiceStats DiagnosisService::stats() const {
   stats.cache_hits = cache_hits_.value();
   stats.cache_misses = cache_misses_.value();
   stats.coalesced = coalesced_.value();
-  stats.queue_depth = queue_.size();
-  stats.queue_capacity = queue_.capacity();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stats.cache_size = cache_.size();
-    stats.cache_evictions = cache_.evictions();
+  stats.queue_capacity = config_.queue_capacity;
+  stats.cache_size = cache_.size();
+  stats.cache_evictions = cache_.evictions();
+  stats.shards = shards_.size();
+  stats.shard_queue_depths.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::size_t depth = shard->queue.size();
+    stats.shard_queue_depths.push_back(depth);
+    stats.queue_depth += depth;
+    stats.sessions += shard->sessions.size();
+    stats.warm_sessions += shard->sessions.warm_count();
+    stats.warm_resident_bytes += shard->sessions.warm_bytes();
+    auto per_session = shard->sessions.stats();
+    stats.per_session.insert(stats.per_session.end(),
+                             std::make_move_iterator(per_session.begin()),
+                             std::make_move_iterator(per_session.end()));
   }
-  stats.sessions = sessions_.size();
-  stats.warm_sessions = sessions_.warm_count();
-  stats.warm_resident_bytes = sessions_.warm_bytes();
-  stats.per_session = sessions_.stats();
   return stats;
 }
 
 void DiagnosisService::shutdown(bool drain) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
     if (shutdown_) return;
     shutdown_ = true;
-    accepting_ = false;
   }
-  std::vector<std::shared_ptr<JobState>> orphans;
-  if (drain) {
-    queue_.close();
-  } else {
-    orphans = queue_.close_and_clear();
-  }
-  if (!orphans.empty()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  accepting_.store(false, std::memory_order_release);
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::vector<std::shared_ptr<JobState>> orphans;
+    if (drain) {
+      shard.queue.close();
+    } else {
+      orphans = shard.queue.close_and_clear();
+    }
     for (const auto& job : orphans) {
-      for (const std::uint64_t id : job->ticket_ids) {
-        auto it = tickets_.find(id);
-        if (it == tickets_.end() ||
+      if (job->cacheable) cache_.take_inflight(job->key);
+      const std::vector<std::uint64_t> ids = ticket_ids_of(*job);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const std::uint64_t id : ids) {
+        auto it = shard.tickets.find(id);
+        if (it == shard.tickets.end() ||
             it->second.state != QueryState::kQueued) {
           continue;
         }
         it->second.state = QueryState::kCancelled;
         cancelled_.inc();
       }
-      if (job->cacheable) inflight_.erase(job->key);
     }
+    shard.done_cv.notify_all();
   }
-  done_cv_.notify_all();
-  for (auto& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  for (auto& shard_ptr : shards_) {
+    for (auto& worker : shard_ptr->workers) {
+      if (worker.joinable()) worker.join();
+    }
   }
   {
     std::lock_guard<std::mutex> lock(watchdog_mutex_);
@@ -582,6 +746,7 @@ void DiagnosisService::shutdown(bool drain) {
   if (watchdog_.joinable()) watchdog_.join();
   queue_depth_.set(0);
   worker_stuck_.set(0);
+  for (auto& shard_ptr : shards_) shard_ptr->queue_depth.set(0);
 }
 
 }  // namespace dp::service

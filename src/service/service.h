@@ -1,32 +1,57 @@
 // DiagnosisService: the in-process core of the diffprovd daemon.
 //
-// A fixed-size worker pool drains a bounded MPMC queue of diagnosis jobs.
-// The three serving-layer mechanisms compose here:
+// The service is *sharded*: queries route to one of N independent shards by
+// the hash of their session key (scenario name or inline-problem content
+// hash), and each shard owns a complete serving stack -- its own warm-
+// session set, its own bounded MPMC queue, its own worker pool, and its own
+// ticket table -- so unrelated diagnoses never contend on a shared lock.
+// The PR 5 introspection stack located the scaling ceiling of the unsharded
+// design in exactly those shared structures: one service mutex on every
+// submit/complete, one session-manager mutex (with a full-session-walk
+// budget pass after every job), and one result-cache critical section,
+// which held multi-client throughput flat however many workers ran.
+//
+// The three serving-layer mechanisms compose per shard:
 //
 //   * Warm sessions (session.h): jobs against the same scenario/log reuse
 //     the resident replayed run; different scenarios diagnose in parallel,
-//     queries against one warm engine serialize on its session mutex.
-//   * Result cache + single-flight (cache.h + the inflight map below): a
-//     repeat of a finished query is answered from the cache without
-//     touching a worker; a duplicate of an *in-flight* query coalesces onto
-//     the running job's ticket list and shares its one result. Exactly one
-//     underlying DiffProv run per distinct key, however many clients ask.
-//   * Admission control (bounded_queue.h): when the queue is full, submit
-//     returns shed=true immediately -- clients get an explicit reject, the
-//     service never blocks producers or grows unbounded backlog.
+//     queries against one warm engine serialize on its session mutex. The
+//     warm-set byte budget is global but *rebalanced* across shards through
+//     a shared ledger: a hot shard borrows budget idle shards leave unused
+//     and cools only once the global total is exceeded (WarmBudgetLedger).
+//   * Result cache + single-flight (cache.h): striped -- per-stripe mutex,
+//     per-stripe LRU slice, per-stripe in-flight table. A repeat of a
+//     finished query is answered from the cache without touching a worker;
+//     a duplicate of an *in-flight* query coalesces onto the running job's
+//     ticket list and shares its one result. Exactly one underlying
+//     DiffProv run per distinct key, however many clients ask, whichever
+//     shard the key lives in.
+//   * Admission control (bounded_queue.h): when a shard's queue is full,
+//     submit returns shed=true immediately -- clients get an explicit
+//     reject, the service never blocks producers or grows unbounded
+//     backlog.
 //
-// Everything observable lands in the metrics registry (dp.service.*) and
-// the default tracer, in the formats PR 2's obs_check validates.
+// Ticket ids encode their shard in the high bits, so poll/wait/cancel route
+// straight to the owning shard with no shared lookup structure at all.
+//
+// Everything observable lands in the metrics registry (dp.service.*, plus
+// per-shard dp.service.shard.<i>.* and per-stripe
+// dp.service.cache.stripe.<i>.*) and the default tracer, in the formats
+// PR 2's obs_check validates.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -38,18 +63,30 @@
 namespace dp::service {
 
 struct ServiceConfig {
+  /// Independent shards (clamped to [1, 32]): each gets its own session
+  /// set, queue, and worker pool, keyed by scenario/log hash. One shard
+  /// reproduces the PR 3 single-lane behaviour exactly.
+  std::size_t shards = 1;
+  /// Worker threads *per shard*.
   std::size_t workers = 4;
-  /// Admission-control bound: jobs waiting for a worker (coalesced
-  /// duplicates don't occupy slots).
+  /// Admission-control bound *per shard*: jobs waiting for a worker
+  /// (coalesced duplicates don't occupy slots).
   std::size_t queue_capacity = 64;
-  /// Sessions allowed to keep their replayed run resident (LRU beyond).
+  /// Sessions allowed to keep their replayed run resident, service-wide;
+  /// each shard enforces its slice (at least one per shard).
   std::size_t max_warm_sessions = 8;
-  /// Byte budget for the warm set, measured against each session's resident
-  /// provenance-graph footprint (dp.service.session.resident_bytes); LRU
-  /// sessions are cooled to their checkpoint tier while over. 0 = no byte
-  /// budget (session-count cap only).
+  /// Byte budget for the warm set, service-wide, measured against each
+  /// session's resident provenance-graph footprint
+  /// (dp.service.session.resident_bytes). Shards spend it through a shared
+  /// ledger -- a hot shard may exceed its nominal share while other shards
+  /// leave the budget unused -- and LRU sessions are cooled to their
+  /// checkpoint tier while the global total is exceeded. 0 = no byte budget
+  /// (session-count cap only).
   std::uint64_t warm_bytes_budget = 512ull << 20;
+  /// Total result-cache entries, split across `cache_stripes`.
   std::size_t cache_capacity = 256;
+  /// Lock stripes for the result cache (clamped to at least 1).
+  std::size_t cache_stripes = 8;
   /// Bumped by the operator when anything outside the key changes (program
   /// semantics, engine version): old cache entries stop matching.
   std::uint64_t config_epoch = 0;
@@ -110,7 +147,9 @@ struct SubmitOutcome {
   bool accepted = false;
   /// Rejected by admission control (queue full): retry later.
   bool shed = false;
-  /// Ticket id for poll/wait/cancel, valid when accepted.
+  /// Ticket id for poll/wait/cancel, valid when accepted. The owning shard
+  /// lives in the high bits; ids stay below 2^53 so they survive JSON
+  /// number round-trips.
   std::uint64_t id = 0;
   /// Parse/validation failure (bad scenario, malformed tuple, ...).
   std::string error;
@@ -127,13 +166,15 @@ struct ServiceStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t coalesced = 0;
-  std::size_t queue_depth = 0;
-  std::size_t queue_capacity = 0;
+  std::size_t queue_depth = 0;     // summed across shards
+  std::size_t queue_capacity = 0;  // per shard
   std::size_t cache_size = 0;
   std::uint64_t cache_evictions = 0;
   std::size_t sessions = 0;
   std::size_t warm_sessions = 0;
   std::uint64_t warm_resident_bytes = 0;  // measured warm-set footprint
+  std::size_t shards = 1;
+  std::vector<std::size_t> shard_queue_depths;  // one entry per shard
   std::vector<std::pair<std::string, SessionStats>> per_session;
 
   [[nodiscard]] std::string to_text() const;
@@ -149,7 +190,8 @@ class DiagnosisService {
 
   /// Validates and admits a query. Cache hits return an already-kDone
   /// ticket; duplicates of an in-flight query coalesce onto it; otherwise a
-  /// job is enqueued -- or shed if the queue is full.
+  /// job is enqueued on the query's shard -- or shed if that shard's queue
+  /// is full.
   SubmitOutcome submit(const Query& query);
 
   /// Non-blocking status; nullopt for unknown ids.
@@ -171,6 +213,10 @@ class DiagnosisService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *registry_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Which shard a scenario (or inline session key) routes to; exposed for
+  /// tests and for operators reading per-shard metrics.
+  [[nodiscard]] std::size_t shard_of_key(const std::string& session_key) const;
 
   /// Stops accepting, then either drains queued jobs (drain=true) or
   /// cancels them, and joins the workers. Idempotent; the destructor drains.
@@ -189,12 +235,16 @@ class DiagnosisService {
 
   struct JobState {
     std::string key;
+    std::size_t shard = 0;
     std::shared_ptr<WarmSession> session;
     DiagnoseSpec spec;
     bool cacheable = true;
     /// Trace context of the *first* submitter; coalesced duplicates share
     /// the leader's trace (their tickets still report coalesced=true).
     std::uint64_t trace_id = 0;
+    /// Guards ticket_ids: the stripe's coalesce callback appends while the
+    /// worker snapshots. (Ticket *state* lives under the shard mutex.)
+    std::mutex ids_mutex;
     std::vector<std::uint64_t> ticket_ids;  // grows as duplicates coalesce
   };
 
@@ -204,33 +254,64 @@ class DiagnosisService {
     std::atomic<std::uint64_t> busy_since_us{0};
   };
 
-  void worker_loop(std::size_t worker_index);
+  /// One independent serving lane: session set, queue, workers, tickets.
+  struct Shard {
+    Shard(std::size_t index, std::size_t max_warm,
+          std::shared_ptr<WarmBudgetLedger> ledger, ReplayOptions options,
+          obs::MetricsRegistry& registry, std::size_t queue_capacity);
+
+    const std::size_t index;
+    SessionManager sessions;
+    BoundedQueue<std::shared_ptr<JobState>> queue;
+    obs::Gauge& queue_depth;  // dp.service.shard.<i>.queue_depth
+
+    mutable std::mutex mutex;  // tickets + next_seq
+    std::condition_variable done_cv;
+    std::map<std::uint64_t, Ticket> tickets;
+    std::uint64_t next_seq = 1;
+
+    std::vector<std::thread> workers;
+    std::vector<std::unique_ptr<WorkerState>> worker_states;
+  };
+
+  // Shard index lives in bits [48, 53) of a ticket id, the sequence number
+  // below it: ids stay unique across shards, route without shared state,
+  // and remain exact in a JSON double.
+  static constexpr std::uint64_t kShardShift = 48;
+  static constexpr std::size_t kMaxShards = 32;
+
+  static std::uint64_t make_ticket_id(std::size_t shard, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(shard) << kShardShift) | seq;
+  }
+  /// The owning shard, or nullptr for ids no shard issued.
+  Shard* shard_for_id(std::uint64_t id) const;
+
+  void worker_loop(Shard& shard, std::size_t worker_index);
   void watchdog_loop();
-  void run_job(const std::shared_ptr<JobState>& job);
-  void complete_locked(std::uint64_t id, const CachedResult& result,
-                       double exec_us,
+  void run_job(Shard& shard, const std::shared_ptr<JobState>& job);
+  /// Creates a kQueued ticket on `shard`; returns its id. Caller must not
+  /// hold the shard mutex.
+  std::uint64_t allocate_ticket(Shard& shard,
+                                std::chrono::steady_clock::time_point now);
+  void complete_locked(Shard& shard, std::uint64_t id,
+                       const CachedResult& result, double exec_us,
                        std::chrono::steady_clock::time_point now);
-  void trim_tickets_locked();
+  void trim_tickets_locked(Shard& shard);
+  /// Snapshot of the job's ticket list (ids_mutex held briefly).
+  static std::vector<std::uint64_t> ticket_ids_of(JobState& job);
   static QueryStatus status_of(const Ticket& ticket);
 
   ServiceConfig config_;
   obs::MetricsRegistry* registry_;
   ReplayOptions replay_options_;
 
-  SessionManager sessions_;
-  BoundedQueue<std::shared_ptr<JobState>> queue_;
+  std::shared_ptr<WarmBudgetLedger> ledger_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  StripedResultCache cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable done_cv_;
-  ResultCache cache_;
-  std::map<std::string, std::shared_ptr<JobState>> inflight_;
-  std::map<std::uint64_t, Ticket> tickets_;
-  std::uint64_t next_id_ = 1;
-  bool accepting_ = true;
+  std::atomic<bool> accepting_{true};
+  std::mutex shutdown_mutex_;
   bool shutdown_ = false;
-
-  std::vector<std::thread> workers_;
-  std::vector<std::unique_ptr<WorkerState>> worker_states_;
 
   std::thread watchdog_;
   std::mutex watchdog_mutex_;
@@ -245,7 +326,7 @@ class DiagnosisService {
   obs::Counter& cache_hits_;
   obs::Counter& cache_misses_;
   obs::Counter& coalesced_;
-  obs::Gauge& queue_depth_;
+  obs::Gauge& queue_depth_;  // total across shards (delta-maintained)
   obs::Gauge& worker_stuck_;
   obs::Counter& worker_panics_;
   obs::Histogram& queue_wait_us_;

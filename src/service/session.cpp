@@ -1,5 +1,6 @@
 #include "service/session.h"
 
+#include <algorithm>
 #include <iterator>
 #include <sstream>
 
@@ -111,12 +112,53 @@ std::unique_ptr<Engine> WarmSession::restore_from_checkpoint() {
   return engine;
 }
 
+std::string inline_session_key(const std::string& program_text,
+                               const std::string& log_text) {
+  const std::uint64_t key_hash =
+      hash_mix(fnv1a(program_text), fnv1a(log_text));
+  std::ostringstream key;
+  key << "inline:" << std::hex << key_hash;
+  return key.str();
+}
+
+WarmBudgetLedger::WarmBudgetLedger(std::uint64_t total_bytes,
+                                   std::size_t shards)
+    : total_(total_bytes),
+      share_(total_bytes == 0 ? 0
+                              : total_bytes / std::max<std::size_t>(1, shards)),
+      usage_(std::max<std::size_t>(1, shards)) {}
+
+void WarmBudgetLedger::publish(std::size_t shard, std::uint64_t bytes) {
+  usage_[shard % usage_.size()].store(bytes, std::memory_order_relaxed);
+}
+
+std::uint64_t WarmBudgetLedger::usage(std::size_t shard) const {
+  return usage_[shard % usage_.size()].load(std::memory_order_relaxed);
+}
+
+std::uint64_t WarmBudgetLedger::global_usage() const {
+  std::uint64_t total = 0;
+  for (const auto& slot : usage_) {
+    total += slot.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 SessionManager::SessionManager(std::size_t max_warm,
                                std::uint64_t warm_bytes_budget,
                                ReplayOptions options,
                                obs::MetricsRegistry& registry)
+    : SessionManager(max_warm,
+                     std::make_shared<WarmBudgetLedger>(warm_bytes_budget, 1),
+                     /*shard_index=*/0, std::move(options), registry) {}
+
+SessionManager::SessionManager(std::size_t max_warm,
+                               std::shared_ptr<WarmBudgetLedger> ledger,
+                               std::size_t shard_index, ReplayOptions options,
+                               obs::MetricsRegistry& registry)
     : max_warm_(max_warm),
-      warm_bytes_budget_(warm_bytes_budget),
+      ledger_(std::move(ledger)),
+      shard_index_(shard_index),
       options_(std::move(options)),
       registry_(&registry) {}
 
@@ -146,16 +188,13 @@ std::shared_ptr<WarmSession> SessionManager::get_scenario(
 std::shared_ptr<WarmSession> SessionManager::get_inline(
     const std::string& program_text, const std::string& log_text,
     std::string& error) {
-  const std::uint64_t key_hash =
-      hash_mix(fnv1a(program_text), fnv1a(log_text));
-  std::ostringstream key;
-  key << "inline:" << std::hex << key_hash;
+  const std::string key = inline_session_key(program_text, log_text);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = sessions_.find(key.str());
+    auto it = sessions_.find(key);
     if (it != sessions_.end()) {
-      recency_.remove(key.str());
-      recency_.push_front(key.str());
+      recency_.remove(key);
+      recency_.push_front(key);
       return it->second;
     }
   }
@@ -166,73 +205,103 @@ std::shared_ptr<WarmSession> SessionManager::get_inline(
     error = e.what();
     return nullptr;
   }
-  return intern(key.str(), std::move(problem), error);
+  return intern(key, std::move(problem), error);
 }
 
 std::shared_ptr<WarmSession> SessionManager::intern(
     const std::string& key, std::optional<Problem> problem,
     std::string& error) {
   (void)error;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sessions_.find(key);
-  if (it == sessions_.end()) {
-    auto session = std::make_shared<WarmSession>(key, std::move(*problem),
-                                                 options_, *registry_);
-    it = sessions_.emplace(key, std::move(session)).first;
-    registry_->gauge("dp.service.sessions").set(
-        static_cast<std::int64_t>(sessions_.size()));
+  std::shared_ptr<WarmSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(key);
+    if (it == sessions_.end()) {
+      it = sessions_
+               .emplace(key, std::make_shared<WarmSession>(
+                                 key, std::move(*problem), options_,
+                                 *registry_))
+               .first;
+      // Delta, not absolute: with one manager per shard publishing into the
+      // same registry, the gauge totals sessions across the whole service.
+      registry_->gauge("dp.service.sessions").add(1);
+    }
+    recency_.remove(key);
+    recency_.push_front(key);
+    session = it->second;
   }
-  recency_.remove(key);
-  recency_.push_front(key);
-  enforce_budget_locked();
-  return it->second;
+  // A fresh session is cold (zero footprint), but interning bumps recency,
+  // which can change which sessions an over-budget pass would cool.
+  enforce_budget();
+  return session;
+}
+
+void SessionManager::publish_usage(std::uint64_t bytes) {
+  ledger_->publish(shard_index_, bytes);
+  registry_->gauge("dp.service.session.resident_bytes")
+      .set(static_cast<std::int64_t>(ledger_->global_usage()));
 }
 
 void SessionManager::enforce_budget() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  enforce_budget_locked();
-}
+  // Snapshot the candidate list (shared_ptr-pinned, LRU order preserved)
+  // under the manager lock, then do *all* accounting and cooling outside it:
+  // a budget pass never holds the lock submitters need while it walks
+  // sessions computing resident_bytes() or waits on a session mutex.
+  std::vector<std::shared_ptr<WarmSession>> by_recency;  // front = MRU
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    by_recency.reserve(recency_.size());
+    for (const std::string& key : recency_) {
+      auto it = sessions_.find(key);
+      if (it != sessions_.end()) by_recency.push_back(it->second);
+    }
+  }
 
-void SessionManager::enforce_budget_locked() {
   // The warm set's measured footprint: sessions report the resident bytes of
   // their replayed provenance graph (0 when cooled), so the budget tracks
   // what the graphs actually cost rather than assuming every session weighs
   // the same.
   std::uint64_t bytes = 0;
   std::size_t warm = 0;
-  for (const auto& [key, session] : sessions_) {
+  for (const auto& session : by_recency) {
     const std::uint64_t b = session->resident_bytes();
     if (b > 0) {
       ++warm;
       bytes += b;
     }
   }
+  publish_usage(bytes);
+
+  // Cool while over either budget. The byte check is two-level: this shard
+  // cools only when the *global* ledger is over its total AND this shard is
+  // past its nominal share -- a shard under its share never pays for a
+  // neighbour's appetite, while a hot shard may run past its share for as
+  // long as the others leave the global budget unused (the cross-shard
+  // rebalance).
   const auto over_budget = [&] {
     return warm > max_warm_ ||
-           (warm_bytes_budget_ != 0 && bytes > warm_bytes_budget_);
+           (ledger_->over_budget() && bytes > ledger_->share());
   };
-  // Cool least-recently-used sessions while over either budget, sparing the
-  // most recently used one (cooling it would defeat the warm tier entirely).
-  // try_lock so a session mid-query is never torn down under a worker; it
-  // simply stays warm until the next enforcement pass finds it idle.
-  for (auto rit = recency_.rbegin();
-       rit != recency_.rend() && std::next(rit) != recency_.rend() &&
+  // Cool least-recently-used sessions first, sparing the most recently used
+  // one (cooling it would defeat the warm tier entirely). try_lock so a
+  // session mid-query is never torn down under a worker; it simply stays
+  // warm until the next enforcement pass finds it idle.
+  for (auto rit = by_recency.rbegin();
+       rit != by_recency.rend() && std::next(rit) != by_recency.rend() &&
        over_budget();
        ++rit) {
-    auto it = sessions_.find(*rit);
-    if (it == sessions_.end()) continue;
-    WarmSession& session = *it->second;
+    WarmSession& session = **rit;
     if (!session.mutex().try_lock()) continue;
     const std::uint64_t b = session.resident_bytes();
     if (session.is_warm()) {
       session.cool();
       --warm;
       bytes -= b;
+      publish_usage(bytes);
     }
     session.mutex().unlock();
   }
-  registry_->gauge("dp.service.session.resident_bytes")
-      .set(static_cast<std::int64_t>(bytes));
+  publish_usage(bytes);
 }
 
 std::uint64_t SessionManager::warm_bytes() const {

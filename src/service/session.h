@@ -114,17 +114,63 @@ class WarmSession {
   SessionStats stats_;
 };
 
+/// Canonical key for an inline problem (program + log text): "inline:<hex>"
+/// over the content hash. Exposed so the sharded service can route a query
+/// to its shard before (and without) creating the session.
+std::string inline_session_key(const std::string& program_text,
+                               const std::string& log_text);
+
+/// Shared byte-budget ledger for the sharded warm tier. Each shard's
+/// SessionManager publishes its measured warm bytes into its `usage` slot,
+/// so cooling spends one *global* budget across shards: a shard whose warm
+/// set outgrows its nominal share (total/shards) keeps it for as long as the
+/// other shards leave the global budget unused -- the lightweight
+/// cross-shard rebalance -- and starts cooling only once the global total is
+/// exceeded *and* it is above its own share. Shards never lock each other;
+/// the ledger is relaxed atomics and the worst case of the race is one
+/// enforcement pass of staleness.
+class WarmBudgetLedger {
+ public:
+  /// `total_bytes` = the service-wide warm budget (0 = unlimited);
+  /// `shards` = number of usage slots (clamped to at least 1).
+  WarmBudgetLedger(std::uint64_t total_bytes, std::size_t shards);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// A shard's nominal slice of the budget (total/shards; 0 = unlimited).
+  [[nodiscard]] std::uint64_t share() const { return share_; }
+  void publish(std::size_t shard, std::uint64_t bytes);
+  [[nodiscard]] std::uint64_t usage(std::size_t shard) const;
+  [[nodiscard]] std::uint64_t global_usage() const;
+  /// Over the global budget right now? (Always false when unlimited.)
+  [[nodiscard]] bool over_budget() const {
+    return total_ != 0 && global_usage() > total_;
+  }
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t share_;
+  std::vector<std::atomic<std::uint64_t>> usage_;
+};
+
 /// Keyed store of warm sessions with an LRU warm-set budget driven by
 /// *measured* footprint: sessions report the resident bytes of their replayed
 /// provenance graph (via the store metrics), and least-recently-used sessions
-/// are cooled to their checkpoint tier while the warm set exceeds
-/// `warm_bytes_budget` (0 = unlimited) or `max_warm` sessions. The most
-/// recently used session is never cooled, and neither is a session a worker
-/// is inside (eviction try-locks and skips busy sessions).
+/// are cooled to their checkpoint tier while the warm set exceeds the byte
+/// budget (see WarmBudgetLedger) or `max_warm` sessions. The most recently
+/// used session is never cooled, and neither is a session a worker is inside
+/// (eviction try-locks and skips busy sessions).
 class SessionManager {
  public:
+  /// Standalone manager (the single-shard service and the tests): owns a
+  /// private one-slot ledger with `warm_bytes_budget` as its total.
   SessionManager(std::size_t max_warm, std::uint64_t warm_bytes_budget,
                  ReplayOptions options, obs::MetricsRegistry& registry);
+
+  /// Sharded manager: budget decisions run against the shared `ledger`,
+  /// publishing this shard's usage into slot `shard_index`.
+  SessionManager(std::size_t max_warm, std::shared_ptr<WarmBudgetLedger> ledger,
+                 std::size_t shard_index, ReplayOptions options,
+                 obs::MetricsRegistry& registry);
 
   /// Session for a built-in scenario; creates it on first use. Unknown
   /// scenario: returns nullptr and sets `error`.
@@ -148,16 +194,25 @@ class SessionManager {
   /// footprint (warm-up happens outside the manager lock, so intern-time
   /// enforcement alone would act on stale sizes). Must not be called while
   /// holding any session's mutex.
+  ///
+  /// Locking contract (the fix for the PR 3 design): the manager mutex is
+  /// held only long enough to *snapshot* the candidate list in LRU order --
+  /// all footprint accounting (resident_bytes walks) and all cooling happen
+  /// outside it, against shared_ptr-pinned sessions, so submitters resolving
+  /// sessions never stall behind a budget pass.
   void enforce_budget();
 
  private:
   std::shared_ptr<WarmSession> intern(const std::string& key,
                                       std::optional<Problem> problem,
                                       std::string& error);
-  void enforce_budget_locked();
+  /// Publishes `bytes` to the ledger and mirrors the *global* usage into the
+  /// dp.service.session.resident_bytes gauge.
+  void publish_usage(std::uint64_t bytes);
 
   std::size_t max_warm_;
-  std::uint64_t warm_bytes_budget_;
+  std::shared_ptr<WarmBudgetLedger> ledger_;
+  std::size_t shard_index_;
   ReplayOptions options_;
   obs::MetricsRegistry* registry_;
 

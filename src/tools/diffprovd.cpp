@@ -21,9 +21,9 @@
 namespace {
 
 constexpr const char* kUsage =
-    "usage: diffprovd [--port N] [--port-file FILE] [--workers N]\n"
-    "                 [--queue-cap N] [--max-warm N] [--warm-bytes N]\n"
-    "                 [--cache-cap N]\n"
+    "usage: diffprovd [--port N] [--port-file FILE] [--shards N]\n"
+    "                 [--workers N] [--queue-cap N] [--max-warm N]\n"
+    "                 [--warm-bytes N] [--cache-cap N] [--cache-stripes N]\n"
     "                 [--config-epoch N] [--metrics-out FILE]\n"
     "                 [--trace-out FILE] [--no-flightrec]\n"
     "                 [--worker-deadline-ms N]\n"
@@ -31,6 +31,13 @@ constexpr const char* kUsage =
     "serves diagnosis queries over newline-delimited JSON on\n"
     "127.0.0.1:PORT (default: an ephemeral port, written to --port-file\n"
     "if given). stop it with diffprov_client --shutdown.\n"
+    "\n"
+    "--shards N (default 1, max 32) splits the service into N independent\n"
+    "lanes -- each with its own warm-session set, queue, and --workers\n"
+    "worker threads -- keyed by scenario/log hash; --queue-cap is\n"
+    "per shard, --max-warm and --warm-bytes are global (rebalanced across\n"
+    "shards). the result cache is shared, striped --cache-stripes ways\n"
+    "(default 8).\n"
     "\n"
     "the same port answers HTTP GETs: /metrics (Prometheus text),\n"
     "/healthz, /tracez (flight-recorder dump). the flight recorder is on\n"
@@ -73,6 +80,10 @@ int main(int argc, char** argv) {
         auto v = next("a path");
         if (!v) return 2;
         port_file = *v;
+      } else if (arg == "--shards") {
+        auto v = next("a count");
+        if (!v) return 2;
+        config.shards = std::stoul(*v);
       } else if (arg == "--workers") {
         auto v = next("a count");
         if (!v) return 2;
@@ -93,6 +104,10 @@ int main(int argc, char** argv) {
         auto v = next("a count");
         if (!v) return 2;
         config.cache_capacity = std::stoul(*v);
+      } else if (arg == "--cache-stripes") {
+        auto v = next("a count");
+        if (!v) return 2;
+        config.cache_stripes = std::stoul(*v);
       } else if (arg == "--config-epoch") {
         auto v = next("a number");
         if (!v) return 2;
@@ -144,8 +159,9 @@ int main(int argc, char** argv) {
       out << daemon.port() << "\n";
     }
     std::cout << "diffprovd listening on 127.0.0.1:" << daemon.port() << " ("
-              << config.workers << " workers, queue " << config.queue_capacity
-              << ")" << std::endl;
+              << service.shard_count() << " shards x " << config.workers
+              << " workers, queue " << config.queue_capacity << "/shard)"
+              << std::endl;
 
     daemon.serve();
     service.shutdown(/*drain=*/true);

@@ -127,6 +127,12 @@ TEST(Protocol, StatsReportsCountersAsJson) {
   EXPECT_EQ(inner->get_number("submitted"), 1);
   EXPECT_EQ(inner->get_number("runs"), 1);
   ASSERT_NE(inner->find("per_session"), nullptr);
+  // Shard visibility: the count plus one queue-depth entry per shard.
+  EXPECT_EQ(inner->get_number("shards"), 1);
+  const Json* depths = inner->find("shard_queue_depths");
+  ASSERT_NE(depths, nullptr);
+  ASSERT_EQ(depths->kind, Json::Kind::kArray);
+  EXPECT_EQ(depths->array.size(), 1u);
 }
 
 // -------------------------------------------------------------- daemon --
@@ -178,7 +184,8 @@ class TestClient {
 };
 
 struct DaemonFixture {
-  DaemonFixture() : service(make_config()), daemon(service, /*port=*/0) {
+  explicit DaemonFixture(std::size_t shards = 1)
+      : service(make_config(shards)), daemon(service, /*port=*/0) {
     server = std::thread([this] { daemon.serve(); });
   }
   ~DaemonFixture() {
@@ -186,8 +193,9 @@ struct DaemonFixture {
     server.join();
     service.shutdown();
   }
-  ServiceConfig make_config() {
+  ServiceConfig make_config(std::size_t shards) {
     ServiceConfig config;
+    config.shards = shards;
     config.workers = 2;
     config.metrics = &registry;
     return config;
@@ -245,6 +253,54 @@ TEST(Daemon, ConcurrentConnectionsShareTheCache) {
   EXPECT_EQ(failures.load(), 0);
   // All four connections asked the same question: one underlying run.
   EXPECT_EQ(fixture.registry.counter("dp.service.runs").value(), 1u);
+}
+
+TEST(Daemon, ShardedServiceServesByteIdenticalReportsAndShardStats) {
+  DaemonFixture fixture(/*shards=*/4);
+
+  // Concurrent clients across all four scenarios: queries route to
+  // different shards, bytes still match the CLI exactly.
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&fixture, &failures, t] {
+      const std::string scenario = "sdn" + std::to_string(1 + t);
+      TestClient client(fixture.daemon.port());
+      if (!client.connected()) {
+        ++failures;
+        return;
+      }
+      const Json submitted = parse_ok(client.round_trip(
+          R"({"op":"submit","scenario":")" + scenario + "\"}"));
+      if (!submitted.get_bool("ok")) {
+        ++failures;
+        return;
+      }
+      const Json done = parse_ok(client.round_trip(
+          "{\"op\":\"wait\",\"id\":" +
+          std::to_string(static_cast<std::uint64_t>(
+              submitted.get_number("id"))) +
+          "}"));
+      if (done.get_string("state") != "done" ||
+          done.get_string("out") != cli_stdout({"--scenario", scenario})) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  TestClient client(fixture.daemon.port());
+  ASSERT_TRUE(client.connected());
+  const Json stats = parse_ok(client.round_trip(R"({"op":"stats"})"));
+  ASSERT_TRUE(stats.get_bool("ok"));
+  const Json* inner = stats.find("stats");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->get_number("shards"), 4);
+  const Json* depths = inner->find("shard_queue_depths");
+  ASSERT_NE(depths, nullptr);
+  EXPECT_EQ(depths->array.size(), 4u);
+  EXPECT_EQ(inner->get_number("runs"), 4);
 }
 
 TEST(Daemon, MalformedLinesGetErrorResponsesNotDisconnects) {

@@ -97,6 +97,148 @@ TEST(ResultCache, KeyDistinguishesEveryQueryDimension) {
   EXPECT_EQ(base, make_cache_key(1, "bad()", "good()", false, 0));
 }
 
+TEST(StripedResultCache, SingleFlightAdmissionPerKey) {
+  StripedResultCache cache(/*capacity=*/16, /*stripes=*/4);
+  auto leader = std::make_shared<int>(7);
+
+  // First admission: no cached result, no leader in flight -> the
+  // enqueue_leader callback runs and its job is registered.
+  auto admission = cache.admit(
+      "key", nullptr, [](const std::shared_ptr<void>&) { FAIL(); },
+      [&]() -> std::shared_ptr<void> { return leader; });
+  EXPECT_EQ(admission, StripedResultCache::Admission::kAccepted);
+
+  // Duplicate while in flight: coalesces onto the registered leader.
+  std::shared_ptr<void> seen;
+  admission = cache.admit(
+      "key", nullptr, [&](const std::shared_ptr<void>& l) { seen = l; },
+      [&]() -> std::shared_ptr<void> {
+        ADD_FAILURE() << "duplicate must not become a second leader";
+        return nullptr;
+      });
+  EXPECT_EQ(admission, StripedResultCache::Admission::kCoalesced);
+  EXPECT_EQ(seen, leader);
+
+  // complete() publishes and retires the leader in one critical section:
+  // from here on duplicates hit the cache, and the in-flight entry is gone.
+  cache.complete("key", {0, "answer", "", ""});
+  CachedResult hit;
+  admission = cache.admit(
+      "key", &hit, [](const std::shared_ptr<void>&) { FAIL(); },
+      []() -> std::shared_ptr<void> {
+        ADD_FAILURE() << "cached key must not start a new run";
+        return nullptr;
+      });
+  EXPECT_EQ(admission, StripedResultCache::Admission::kHit);
+  EXPECT_EQ(hit.out, "answer");
+  EXPECT_EQ(cache.take_inflight("key"), nullptr);
+}
+
+TEST(StripedResultCache, ShedLeavesNoLeaderBehind) {
+  StripedResultCache cache(/*capacity=*/16, /*stripes=*/2);
+  // enqueue_leader returning null models "queue full": nothing may be
+  // registered, so the next attempt must retry the enqueue rather than
+  // coalesce onto a job that never entered the queue.
+  auto admission = cache.admit(
+      "key", nullptr, [](const std::shared_ptr<void>&) { FAIL(); },
+      []() -> std::shared_ptr<void> { return nullptr; });
+  EXPECT_EQ(admission, StripedResultCache::Admission::kShed);
+
+  auto leader = std::make_shared<int>(1);
+  admission = cache.admit(
+      "key", nullptr,
+      [](const std::shared_ptr<void>&) {
+        FAIL() << "shed admission must not have registered a leader";
+      },
+      [&]() -> std::shared_ptr<void> { return leader; });
+  EXPECT_EQ(admission, StripedResultCache::Admission::kAccepted);
+  EXPECT_EQ(cache.take_inflight("key"), leader);
+}
+
+TEST(StripedResultCache, LruIsPerStripeAndHitsCountPerStripe) {
+  obs::MetricsRegistry registry;
+  // Total capacity 8 over 4 stripes = 2 entries per stripe.
+  StripedResultCache cache(/*capacity=*/8, /*stripes=*/4, &registry);
+  ASSERT_EQ(cache.stripe_count(), 4u);
+
+  // Collect three keys that land in the same stripe: the third insert must
+  // evict that stripe's LRU entry even though the cache as a whole is far
+  // under its total capacity.
+  std::vector<std::string> same_stripe;
+  const std::size_t target = cache.stripe_of("probe");
+  for (int i = 0; same_stripe.size() < 3 && i < 1000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (cache.stripe_of(key) == target) same_stripe.push_back(key);
+  }
+  ASSERT_EQ(same_stripe.size(), 3u);
+
+  cache.complete(same_stripe[0], {0, "0", "", ""});
+  cache.complete(same_stripe[1], {0, "1", "", ""});
+  EXPECT_TRUE(cache.get(same_stripe[0]));  // refresh: [1] becomes the LRU
+  cache.complete(same_stripe[2], {0, "2", "", ""});
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.get(same_stripe[1]));
+  EXPECT_TRUE(cache.get(same_stripe[0]));
+  EXPECT_TRUE(cache.get(same_stripe[2]));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Hits are attributed to the key's stripe.
+  const std::string series =
+      "dp.service.cache.stripe." + std::to_string(target) + ".hits";
+  EXPECT_GE(registry.counter(series).value(), 3u);
+}
+
+TEST(BoundedQueue, ConcurrentProducersAndConsumersDeliverEverythingOnce) {
+  // The TSan stress for the per-shard queue: 8 producers, 8 consumers, no
+  // item lost, duplicated, or delivered after close-and-drain.
+  constexpr int kProducers = 8;
+  constexpr int kConsumers = 8;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> queue(32);
+
+  std::atomic<long long> popped_sum{0};
+  std::atomic<int> popped_count{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        popped_sum.fetch_add(*item, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  long long pushed_sum = 0;
+  std::atomic<long long> pushed_sums{0};
+  std::atomic<int> pushed_count{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      long long local = 0;
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int value = p * kPerProducer + i;
+        // Spin on shed: the stress wants every item through the queue, so a
+        // full queue means "try again", exercising the push/pop race.
+        while (!queue.try_push(value)) std::this_thread::yield();
+        local += value;
+      }
+      pushed_sums.fetch_add(local, std::memory_order_relaxed);
+      pushed_count.fetch_add(kPerProducer, std::memory_order_relaxed);
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  pushed_sum = pushed_sums.load();
+  queue.close();  // consumers drain the remainder, then exit on nullopt
+  for (auto& consumer : consumers) consumer.join();
+
+  EXPECT_EQ(popped_count.load(), pushed_count.load());
+  EXPECT_EQ(popped_sum.load(), pushed_sum);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
 // -------------------------------------------------------- byte identity --
 
 TEST(Service, AnswersAreByteIdenticalToTheCli) {
@@ -690,6 +832,293 @@ TEST(ServiceConcurrency, ShutdownRacesWithSubmittersSafely) {
   stop.store(true);
   for (auto& thread : submitters) thread.join();
   // Drained shutdown: everything admitted also completed (or was cancelled).
+  const ServiceStats stats = service->stats();
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.cancelled + stats.shed);
+}
+
+// ----------------------------------------------------------- sharding --
+// The same serving invariants, with the service split into independent
+// shards: answers stay byte-identical, single-flight stays per-key (the
+// cache stripes are shared across shards), tickets route by the shard index
+// in their id, and the warm-byte budget rebalances across shards.
+
+TEST(ShardedService, AnswersAreByteIdenticalAcrossShards) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.shards = 4;
+  config.workers = 2;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+  ASSERT_EQ(service.shard_count(), 4u);
+
+  for (const std::string& scenario : {"sdn1", "sdn2", "sdn3", "sdn4"}) {
+    const CliAnswer expected = run_cli({"--scenario", scenario});
+    Query query;
+    query.scenario = scenario;
+    const QueryStatus status = wait_done(service, service.submit(query));
+    EXPECT_EQ(status.state, QueryState::kDone);
+    EXPECT_EQ(status.result.out, expected.out) << scenario;
+    EXPECT_EQ(status.result.exit_code, expected.exit_code) << scenario;
+  }
+}
+
+TEST(ShardedService, ExactlyOneRunPerDistinctQueryAcrossShards) {
+  struct Case {
+    Query query;
+    CliAnswer expected;
+  };
+  std::vector<Case> cases(4);
+  cases[0].query.scenario = "sdn1";
+  cases[0].expected = run_cli({"--scenario", "sdn1"});
+  cases[1].query.scenario = "sdn2";
+  cases[1].expected = run_cli({"--scenario", "sdn2"});
+  cases[2].query.scenario = "sdn3";
+  cases[2].expected = run_cli({"--scenario", "sdn3"});
+  cases[3].query.scenario = "sdn4";
+  cases[3].query.minimize = true;
+  cases[3].expected = run_cli({"--scenario", "sdn4", "--minimize"});
+
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.shards = 4;
+  config.workers = 2;
+  config.queue_capacity = 256;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  constexpr int kThreads = 8;
+  constexpr int kRoundsPerThread = 3;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        for (std::size_t i = 0; i < cases.size(); ++i) {
+          const Case& c = cases[(i + t + round) % cases.size()];
+          const SubmitOutcome s = service.submit(c.query);
+          if (!s.ok()) {
+            ++mismatches;
+            continue;
+          }
+          const auto status = service.wait(s.id);
+          if (!status || status->state != QueryState::kDone ||
+              status->result.out != c.expected.out ||
+              status->result.exit_code != c.expected.exit_code) {
+            ++mismatches;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // Sharding must not loosen the single-flight guarantee: one underlying
+  // run per distinct query, wherever its shard and cache stripe landed.
+  EXPECT_EQ(registry.counter("dp.service.runs").value(), cases.size());
+  const std::uint64_t hits = registry.counter("dp.service.cache.hits").value();
+  const std::uint64_t coalesced =
+      registry.counter("dp.service.cache.coalesced").value();
+  EXPECT_EQ(hits + coalesced + cases.size(),
+            static_cast<std::uint64_t>(kThreads * kRoundsPerThread) *
+                cases.size());
+}
+
+TEST(ShardedService, TicketsRouteByShardAndStatsAggregate) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.shards = 4;
+  config.metrics = &registry;
+  DiagnosisService service(config);
+
+  Query query;
+  query.scenario = "sdn1";
+  const SubmitOutcome s = service.submit(query);
+  ASSERT_TRUE(s.ok());
+  // The ticket id carries its shard in the high bits and routes back to it.
+  EXPECT_EQ(s.id >> 48, service.shard_of_key("sdn1"));
+  EXPECT_TRUE(service.poll(s.id).has_value());
+  // An id minted for a shard that does not exist is unknown, not a crash.
+  EXPECT_FALSE(service.poll((33ull << 48) | 1).has_value());
+  EXPECT_FALSE(service.wait((7ull << 48) | 999).has_value());
+  EXPECT_FALSE(service.cancel((7ull << 48) | 999));
+  EXPECT_EQ(wait_done(service, s).state, QueryState::kDone);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shards, 4u);
+  EXPECT_EQ(stats.shard_queue_depths.size(), 4u);
+  EXPECT_EQ(stats.sessions, 1u);
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+
+  // Every shard publishes its queue-depth gauge at construction.
+  const std::string metrics_json = registry.to_json();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(metrics_json.find("dp.service.shard." + std::to_string(i) +
+                                ".queue_depth"),
+              std::string::npos);
+  }
+}
+
+TEST(ShardedService, OneShardSheddingLeavesOthersServing) {
+  WorkerGate gate;
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.shards = 4;
+  config.workers = 1;
+  config.queue_capacity = 1;  // per shard
+  config.metrics = &registry;
+  config.on_job_start = [&gate] { gate.wait_at_gate(); };
+  DiagnosisService service(config);
+
+  // Two scenarios on different shards: overloading one lane must not
+  // reject work routed to another.
+  const std::vector<std::string> scenarios = {"sdn1", "sdn2", "sdn3", "sdn4"};
+  std::string busy = scenarios[0];
+  std::string other;
+  for (const std::string& candidate : scenarios) {
+    if (service.shard_of_key(candidate) != service.shard_of_key(busy)) {
+      other = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(other.empty()) << "all four scenarios hashed to one shard";
+
+  Query a, b, c, d;
+  a.scenario = b.scenario = c.scenario = busy;
+  b.minimize = true;
+  c.auto_reference = true;
+  d.scenario = other;
+
+  const SubmitOutcome sa = service.submit(a);
+  ASSERT_TRUE(sa.ok());
+  gate.await_arrivals(1);  // busy shard's one worker holds A
+  const SubmitOutcome sb = service.submit(b);
+  ASSERT_TRUE(sb.ok());  // occupies the busy shard's single queue slot
+  const SubmitOutcome sc = service.submit(c);
+  EXPECT_TRUE(sc.shed) << "third distinct query on the busy shard must shed";
+  const SubmitOutcome sd = service.submit(d);
+  EXPECT_TRUE(sd.ok()) << "the other shard's queue is empty: " << sd.error;
+
+  gate.release();
+  EXPECT_EQ(wait_done(service, sa).state, QueryState::kDone);
+  EXPECT_EQ(wait_done(service, sb).state, QueryState::kDone);
+  EXPECT_EQ(wait_done(service, sd).state, QueryState::kDone);
+  EXPECT_EQ(registry.counter("dp.service.shed").value(), 1u);
+}
+
+TEST(WarmBudgetLedger, TracksShareAndGlobalUsage) {
+  WarmBudgetLedger ledger(/*total_bytes=*/100, /*shards=*/2);
+  EXPECT_EQ(ledger.total(), 100u);
+  EXPECT_EQ(ledger.share(), 50u);
+  EXPECT_FALSE(ledger.over_budget());
+
+  // A hot shard past its share does not trip the budget while the global
+  // total holds -- that headroom is the cross-shard rebalance.
+  ledger.publish(0, 80);
+  EXPECT_EQ(ledger.usage(0), 80u);
+  EXPECT_FALSE(ledger.over_budget());
+
+  ledger.publish(1, 30);
+  EXPECT_EQ(ledger.global_usage(), 110u);
+  EXPECT_TRUE(ledger.over_budget());
+
+  ledger.publish(0, 40);
+  EXPECT_FALSE(ledger.over_budget());
+
+  WarmBudgetLedger unlimited(/*total_bytes=*/0, /*shards=*/4);
+  unlimited.publish(2, 1ull << 40);
+  EXPECT_FALSE(unlimited.over_budget());
+}
+
+TEST(WarmBudgetLedger, HotShardCoolsOnlyPastGlobalBudgetAndOwnShare) {
+  obs::MetricsRegistry registry;
+  // Two shard managers on one 1-byte global budget: any warm session
+  // overruns it, so each shard cools down to its spared MRU session.
+  auto ledger = std::make_shared<WarmBudgetLedger>(/*total_bytes=*/1,
+                                                   /*shards=*/2);
+  SessionManager hot(/*max_warm=*/8, ledger, /*shard_index=*/0,
+                     ReplayOptions{}, registry);
+  SessionManager idle(/*max_warm=*/8, ledger, /*shard_index=*/1,
+                      ReplayOptions{}, registry);
+
+  std::string error;
+  std::shared_ptr<WarmSession> a = hot.get_scenario("sdn1", error);
+  ASSERT_NE(a, nullptr) << error;
+  std::shared_ptr<WarmSession> b = hot.get_scenario("sdn2", error);
+  ASSERT_NE(b, nullptr) << error;
+  std::shared_ptr<WarmSession> c = idle.get_scenario("sdn3", error);
+  ASSERT_NE(c, nullptr) << error;
+  for (const auto& session : {a, b, c}) {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    session->ensure_warm();
+  }
+
+  hot.enforce_budget();
+  idle.enforce_budget();
+  {
+    std::lock_guard<std::mutex> lock(a->mutex());
+    EXPECT_FALSE(a->is_warm()) << "the hot shard's LRU session must cool";
+  }
+  for (const auto& session : {b, c}) {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    EXPECT_TRUE(session->is_warm()) << "each shard spares its MRU session";
+  }
+  // The resident-bytes gauge reflects the *global* ledger: both shards'
+  // surviving sessions.
+  EXPECT_EQ(registry.gauge("dp.service.session.resident_bytes").value(),
+            static_cast<std::int64_t>(hot.warm_bytes() + idle.warm_bytes()));
+
+  // With a generous global budget the hot shard may keep everything, even
+  // though two warm graphs exceed total/shards: the idle shard's unused
+  // share is borrowed, not fenced off.
+  obs::MetricsRegistry registry2;
+  auto roomy = std::make_shared<WarmBudgetLedger>(/*total_bytes=*/1ull << 30,
+                                                  /*shards=*/2);
+  SessionManager borrow(/*max_warm=*/8, roomy, /*shard_index=*/0,
+                        ReplayOptions{}, registry2);
+  std::shared_ptr<WarmSession> d = borrow.get_scenario("sdn1", error);
+  ASSERT_NE(d, nullptr) << error;
+  std::shared_ptr<WarmSession> e = borrow.get_scenario("sdn2", error);
+  ASSERT_NE(e, nullptr) << error;
+  for (const auto& session : {d, e}) {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    session->ensure_warm();
+  }
+  borrow.enforce_budget();
+  for (const auto& session : {d, e}) {
+    std::lock_guard<std::mutex> lock(session->mutex());
+    EXPECT_TRUE(session->is_warm());
+  }
+}
+
+TEST(ShardedServiceConcurrency, ShutdownRacesWithSubmittersSafely) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.shards = 4;
+  config.workers = 1;
+  config.metrics = &registry;
+  auto service = std::make_unique<DiagnosisService>(config);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      Query query;
+      query.scenario = "sdn" + std::to_string(1 + (t % 4));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const SubmitOutcome s = service->submit(query);
+        if (!s.ok()) break;  // shutdown closed admissions: expected
+        if (!service->wait(s.id)) break;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service->shutdown(/*drain=*/true);
+  stop.store(true);
+  for (auto& thread : submitters) thread.join();
   const ServiceStats stats = service->stats();
   EXPECT_EQ(stats.submitted,
             stats.completed + stats.cancelled + stats.shed);
