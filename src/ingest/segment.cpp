@@ -1,0 +1,255 @@
+#include "ingest/segment.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace dp::ingest {
+namespace {
+
+// Block container shared by segments and checkpoints. Same rules as the
+// DPL2 event-log decoder: bytes arrive from disk or the wire, so failures
+// are exceptions naming the byte offset, never asserts or unbounded
+// allocations.
+constexpr char kMagic[4] = {'D', 'P', 'S', '1'};
+constexpr std::uint8_t kKindSegment = 0;
+constexpr std::uint8_t kKindCheckpoint = 1;
+constexpr std::uint64_t kMaxPayload = 1ull << 30;  // one block's payload
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v >> 24));
+  put_u8(out, static_cast<std::uint8_t>(v >> 16));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+  put_u8(out, static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+struct ByteReader {
+  std::istream& in;
+  std::uint64_t offset = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("ingest segment: " + what + " at byte offset " +
+                             std::to_string(offset));
+  }
+
+  std::uint8_t u8() {
+    const int c = in.get();
+    if (c == EOF) fail("truncated input");
+    ++offset;
+    return static_cast<std::uint8_t>(c);
+  }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+
+  std::string bytes(std::uint64_t size) {
+    std::string s(static_cast<std::size_t>(size), '\0');
+    in.read(s.data(), static_cast<std::streamsize>(size));
+    if (in.gcount() != static_cast<std::streamsize>(size)) {
+      offset += static_cast<std::uint64_t>(in.gcount());
+      fail("truncated payload");
+    }
+    offset += size;
+    return s;
+  }
+};
+
+struct Block {
+  std::uint8_t kind = kKindSegment;
+  std::uint32_t first_epoch = 0;
+  std::uint32_t last_epoch = 0;
+  std::uint64_t first_time = 0;
+  std::uint64_t last_time = 0;
+  std::string payload;
+};
+
+Block read_block(ByteReader& reader) {
+  for (const char expected : kMagic) {
+    if (static_cast<char>(reader.u8()) != expected) {
+      reader.fail("bad DPS1 magic");
+    }
+  }
+  Block block;
+  block.kind = reader.u8();
+  if (block.kind > kKindCheckpoint) {
+    reader.fail("unknown block kind " + std::to_string(block.kind));
+  }
+  block.first_epoch = reader.u32();
+  block.last_epoch = reader.u32();
+  if (block.first_epoch > block.last_epoch) {
+    reader.fail("inverted epoch range [" + std::to_string(block.first_epoch) +
+                ", " + std::to_string(block.last_epoch) + "]");
+  }
+  block.first_time = reader.u64();
+  block.last_time = reader.u64();
+  if (block.first_time > block.last_time) {
+    reader.fail("inverted time range");
+  }
+  const std::uint64_t payload_len = reader.u64();
+  if (payload_len > kMaxPayload) {
+    reader.fail("implausible payload length " + std::to_string(payload_len) +
+                " (limit " + std::to_string(kMaxPayload) + ")");
+  }
+  block.payload = reader.bytes(payload_len);
+  const std::uint64_t checksum = reader.u64();
+  if (checksum != fnv1a(block.payload)) {
+    reader.fail("payload checksum mismatch");
+  }
+  return block;
+}
+
+void write_block(std::ostream& out, std::uint8_t kind,
+                 std::uint32_t first_epoch, std::uint32_t last_epoch,
+                 std::uint64_t first_time, std::uint64_t last_time,
+                 const std::string& payload) {
+  out.write(kMagic, sizeof(kMagic));
+  put_u8(out, kind);
+  put_u32(out, first_epoch);
+  put_u32(out, last_epoch);
+  put_u64(out, first_time);
+  put_u64(out, last_time);
+  put_u64(out, payload.size());
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  put_u64(out, fnv1a(payload));
+}
+
+LogSegment segment_from_block(const Block& block) {
+  std::istringstream payload(block.payload);
+  EventLog log;
+  try {
+    log = EventLog::deserialize(payload);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("ingest segment payload: ") +
+                             e.what());
+  }
+  if (log.empty()) {
+    throw std::runtime_error("ingest segment: empty payload log");
+  }
+  LogSegment segment(block.first_epoch, block.last_epoch, std::move(log));
+  if (segment.first_time() != static_cast<LogicalTime>(block.first_time) ||
+      segment.last_time() != static_cast<LogicalTime>(block.last_time)) {
+    throw std::runtime_error(
+        "ingest segment: header time range disagrees with payload");
+  }
+  return segment;
+}
+
+}  // namespace
+
+LogSegment::LogSegment(std::uint32_t first_epoch, std::uint32_t last_epoch,
+                       EventLog log)
+    : first_epoch_(first_epoch),
+      last_epoch_(last_epoch),
+      log_(std::move(log)) {
+  if (first_epoch_ > last_epoch_) {
+    throw std::invalid_argument("LogSegment: inverted epoch range");
+  }
+  if (log_.empty()) {
+    throw std::invalid_argument("LogSegment: empty log");
+  }
+  first_time_ = log_.records().front().time;
+  last_time_ = log_.records().back().time;
+  LogicalTime previous = first_time_;
+  for (const LogRecord& record : log_.records()) {
+    if (record.time < previous) {
+      throw std::invalid_argument("LogSegment: record times not monotone");
+    }
+    previous = record.time;
+  }
+}
+
+LogSegment LogSegment::merge(const LogSegment& a, const LogSegment& b) {
+  if (a.last_epoch() + 1 != b.first_epoch()) {
+    throw std::invalid_argument("LogSegment::merge: segments not adjacent");
+  }
+  if (a.last_time() > b.first_time()) {
+    throw std::invalid_argument("LogSegment::merge: time ranges overlap");
+  }
+  EventLog merged;
+  for (const LogRecord& record : a.log().records()) merged.append(record);
+  for (const LogRecord& record : b.log().records()) merged.append(record);
+  return LogSegment(a.first_epoch(), b.last_epoch(), std::move(merged));
+}
+
+void LogSegment::serialize(std::ostream& out) const {
+  std::ostringstream payload;
+  log_.serialize(payload);
+  write_block(out, kKindSegment, first_epoch_, last_epoch_, first_time_,
+              last_time_, payload.str());
+}
+
+LogSegment LogSegment::deserialize(std::istream& in) {
+  ByteReader reader{in};
+  const Block block = read_block(reader);
+  if (block.kind != kKindSegment) {
+    reader.fail("expected a segment block, found a checkpoint");
+  }
+  return segment_from_block(block);
+}
+
+void write_checkpoint_block(std::ostream& out, const Checkpoint& checkpoint,
+                            std::uint32_t epoch) {
+  std::ostringstream payload;
+  checkpoint.serialize(payload);
+  write_block(out, kKindCheckpoint, epoch, epoch, checkpoint.captured_at(),
+              checkpoint.captured_at(), payload.str());
+}
+
+StreamFile read_stream_file(std::istream& in) {
+  StreamFile out;
+  ByteReader reader{in};
+  while (in.peek() != EOF) {
+    const std::uint64_t block_start = reader.offset;
+    try {
+      const Block block = read_block(reader);
+      if (block.kind == kKindSegment) {
+        out.segments.push_back(segment_from_block(block));
+      } else {
+        std::istringstream payload(block.payload);
+        try {
+          out.checkpoint = Checkpoint::deserialize(payload);
+        } catch (const std::exception& e) {
+          throw std::runtime_error(
+              std::string("ingest checkpoint payload: ") + e.what());
+        }
+        out.checkpoint_epoch = block.first_epoch;
+      }
+    } catch (const std::exception& e) {
+      // Torn or corrupt tail: keep everything sealed before this block and
+      // report what was dropped. The stream resumes from the previous
+      // sealed epoch instead of failing outright.
+      out.tail_error = e.what();
+      in.clear();
+      std::uint64_t rest = reader.offset - block_start;
+      char buffer[4096];
+      while (in.read(buffer, sizeof(buffer)), in.gcount() > 0) {
+        rest += static_cast<std::uint64_t>(in.gcount());
+      }
+      out.dropped_bytes = rest;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dp::ingest

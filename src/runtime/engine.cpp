@@ -137,7 +137,16 @@ std::vector<NodeName> Engine::nodes() const {
 }
 
 void Engine::push_event(Event event) {
-  event.seq = next_seq_++;
+  event.seq = kInternalSeqBand | next_seq_++;
+  enqueue(std::move(event));
+}
+
+void Engine::push_external_event(Event event) {
+  event.seq = next_external_seq_++;
+  enqueue(std::move(event));
+}
+
+void Engine::enqueue(Event event) {
   queue_.push_back(std::move(event));
   std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
   if (queue_.size() > queue_depth_max_) queue_depth_max_ = queue_.size();
@@ -167,7 +176,7 @@ void Engine::schedule_insert(Tuple tuple, LogicalTime at) {
   event.time = at;
   event.kind = Event::Kind::kBaseInsert;
   event.tuple = std::move(tuple);
-  push_event(std::move(event));
+  push_external_event(std::move(event));
 }
 
 void Engine::schedule_delete(Tuple tuple, LogicalTime at) {
@@ -183,7 +192,7 @@ void Engine::schedule_delete(Tuple tuple, LogicalTime at) {
   event.time = at;
   event.kind = Event::Kind::kBaseDelete;
   event.tuple = std::move(tuple);
-  push_event(std::move(event));
+  push_external_event(std::move(event));
 }
 
 void Engine::run() {

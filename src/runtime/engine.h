@@ -194,7 +194,25 @@ class Engine {
     bool active = true;
   };
 
+  // Tie-breaking at equal times is (time, seq), with seqs drawn from two
+  // bands: externally scheduled base events take [0, 2^48) in scheduling
+  // order, engine-generated events (derivations, aggregates) take
+  // [2^48, ...) in creation order. Batch callers schedule every base event
+  // before run(), so the bands reproduce the historical single-counter
+  // order exactly (base events were scheduled first and held the lowest
+  // seqs). What the bands add is *incremental* feeding: a base event
+  // scheduled mid-run -- after some derivations were already queued -- still
+  // sorts before every equal-time derived event, exactly where batch
+  // scheduling would have put it. The live-ingest tier (src/ingest) depends
+  // on this to keep its always-current engine byte-identical to a full
+  // replay of the same event prefix.
+  static constexpr std::uint64_t kInternalSeqBand = 1ull << 48;
+
+  /// Enqueues an engine-generated event (internal seq band).
   void push_event(Event event);
+  /// Enqueues an externally scheduled base event (low seq band).
+  void push_external_event(Event event);
+  void enqueue(Event event);
   /// Moves the front (earliest) event out of the queue. Precondition: the
   /// queue is non-empty.
   Event pop_event();
@@ -253,7 +271,8 @@ class Engine {
   // (rather than std::priority_queue) lets pop_event() move the element out
   // instead of copying the tuple and provenance body on every event.
   std::vector<Event> queue_;
-  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_seq_ = 0;           // internal band (derivations)
+  std::uint64_t next_external_seq_ = 0;  // external band (scheduled bases)
   LogicalTime now_ = 0;
   std::vector<RuntimeObserver*> observers_;
 

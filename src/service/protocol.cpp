@@ -79,6 +79,7 @@ std::string handle_submit(DiagnosisService& service, const Json& request) {
   query.scenario = request.get_string("scenario");
   query.program_text = request.get_string("program");
   query.log_text = request.get_string("log");
+  query.stream = request.get_string("stream");
   query.bad = request.get_string("bad");
   query.good = request.get_string("good");
   query.auto_reference = request.get_bool("auto_reference");
@@ -143,6 +144,42 @@ std::string handle_probe(DiagnosisService& service, const Json& request) {
          "}";
 }
 
+std::string render_stream_stats(const ingest::IngestStreamStats& s) {
+  std::ostringstream out;
+  out << "{\"events\":" << s.events << ",\"sealed_epochs\":" << s.sealed_epochs
+      << ",\"open_records\":" << s.open_records
+      << ",\"segments\":" << s.segments << ",\"checkpoints\":" << s.checkpoints
+      << ",\"segments_compacted\":" << s.segments_compacted
+      << ",\"truncated_segments\":" << s.truncated_segments
+      << ",\"truncated_bytes\":" << s.truncated_bytes
+      << ",\"live_rebuilds\":" << s.live_rebuilds
+      << ",\"snapshots\":" << s.snapshots
+      << ",\"resident_bytes\":" << s.resident_bytes
+      << ",\"watermark\":" << s.watermark << "}";
+  return out.str();
+}
+
+std::string ingest_response(const IngestOutcome& outcome) {
+  if (!outcome.ok) return error_response(outcome.error);
+  return "{\"ok\":true,\"accepted\":" + std::to_string(outcome.accepted) +
+         ",\"stream\":" + render_stream_stats(outcome.stream) + "}";
+}
+
+std::string handle_ingest_open(DiagnosisService& service,
+                               const Json& request) {
+  const std::string stream = request.get_string("stream");
+  if (stream.empty()) return error_response("ingest_open needs \"stream\"");
+  return ingest_response(service.open_stream(
+      stream, request.get_string("scenario"), request.get_string("program")));
+}
+
+std::string handle_ingest(DiagnosisService& service, const Json& request) {
+  const std::string stream = request.get_string("stream");
+  if (stream.empty()) return error_response("ingest needs \"stream\"");
+  return ingest_response(service.ingest(stream, request.get_string("events"),
+                                        request.get_bool("seal")));
+}
+
 std::string handle_stats(DiagnosisService& service) {
   const ServiceStats stats = service.stats();
   std::ostringstream out;
@@ -176,7 +213,22 @@ std::string handle_stats(DiagnosisService& service) {
         << ",\"cold_replays\":" << s.cold_replays << ",\"probes\":" << s.probes
         << ",\"checkpoint_restores\":" << s.checkpoint_restores << "}";
   }
-  out << "}}}";
+  out << "}"
+      << ",\"ingest\":{\"streams\":" << stats.ingest_streams
+      << ",\"events\":" << stats.ingest_events
+      << ",\"epochs\":" << stats.ingest_epochs
+      << ",\"segments\":" << stats.ingest_segments
+      << ",\"segments_compacted\":" << stats.ingest_segments_compacted
+      << ",\"truncated_bytes\":" << stats.ingest_truncated_bytes
+      << ",\"resident_bytes\":" << stats.ingest_resident_bytes
+      << ",\"per_stream\":{";
+  first = true;
+  for (const auto& [name, s] : stats.per_stream) {
+    if (!first) out << ",";
+    first = false;
+    out << json_quote(name) << ":" << render_stream_stats(s);
+  }
+  out << "}}}}";
   return out.str();
 }
 
@@ -197,6 +249,8 @@ std::string handle_request(DiagnosisService& service, const std::string& line,
     if (op == "wait") return handle_status(service, *request, /*block=*/true);
     if (op == "cancel") return handle_cancel(service, *request);
     if (op == "probe") return handle_probe(service, *request);
+    if (op == "ingest_open") return handle_ingest_open(service, *request);
+    if (op == "ingest") return handle_ingest(service, *request);
     if (op == "stats") return handle_stats(service);
     if (op == "flightrec") {
       // Already single-line JSON, embeddable verbatim in the NDJSON reply.

@@ -38,8 +38,8 @@ ReplayOptions with_metrics(ReplayOptions options, obs::MetricsRegistry* r) {
 /// the provenance/store footprint this run touched, and its disposition.
 std::string render_profile_json(const DiagnoseProfile& profile,
                                 double session_wait_us, double warm_replay_us,
-                                bool warm_hit, double exec_us,
-                                std::uint64_t trace_id,
+                                double ingest_snapshot_us, bool warm_hit,
+                                double exec_us, std::uint64_t trace_id,
                                 std::uint64_t vertices_delta,
                                 std::uint64_t store_tuples,
                                 std::uint64_t store_bytes) {
@@ -51,6 +51,7 @@ std::string render_profile_json(const DiagnoseProfile& profile,
   const auto us = [](double v) { return std::llround(v); };
   const long long phases[] = {us(session_wait_us),
                               us(warm_replay_us),
+                              us(ingest_snapshot_us),
                               us(profile.initial_replay_us),
                               us(profile.locate_us),
                               us(profile.timing.find_seed_us),
@@ -72,14 +73,15 @@ std::string render_profile_json(const DiagnoseProfile& profile,
   out << ",\"warm_hit\":" << (warm_hit ? "true" : "false")
       << ",\"phases\":{\"session_wait_us\":" << phases[0]
       << ",\"warm_replay_us\":" << phases[1]
-      << ",\"replay_us\":" << phases[2]
-      << ",\"locate_us\":" << phases[3]
-      << ",\"find_seed_us\":" << phases[4]
-      << ",\"annotate_us\":" << phases[5]
-      << ",\"divergence_us\":" << phases[6]
-      << ",\"make_appear_us\":" << phases[7]
-      << ",\"diff_replay_us\":" << phases[8]
-      << ",\"minimize_us\":" << phases[9]
+      << ",\"ingest_snapshot_us\":" << phases[2]
+      << ",\"replay_us\":" << phases[3]
+      << ",\"locate_us\":" << phases[4]
+      << ",\"find_seed_us\":" << phases[5]
+      << ",\"annotate_us\":" << phases[6]
+      << ",\"divergence_us\":" << phases[7]
+      << ",\"make_appear_us\":" << phases[8]
+      << ",\"diff_replay_us\":" << phases[9]
+      << ",\"minimize_us\":" << phases[10]
       << ",\"other_us\":" << other << "}"
       << ",\"rounds\":" << profile.rounds
       << ",\"replays\":" << profile.timing.replays
@@ -116,12 +118,23 @@ std::string ServiceStats::to_text() const {
       << " evictions " << cache_evictions << "\n"
       << "shards " << shards << " queue " << queue_depth << "/"
       << queue_capacity << " sessions " << sessions << " (" << warm_sessions
-      << " warm, " << warm_resident_bytes << " resident bytes)\n";
+      << " warm, " << warm_resident_bytes << " resident bytes)\n"
+      << "ingest streams " << ingest_streams << " events " << ingest_events
+      << " epochs " << ingest_epochs << " segments " << ingest_segments
+      << " (compacted " << ingest_segments_compacted << ", truncated "
+      << ingest_truncated_bytes << " bytes, " << ingest_resident_bytes
+      << " resident bytes)\n";
   for (const auto& [key, s] : per_session) {
     out << "  session " << key << ": queries " << s.queries << " warm_hits "
         << s.warm_hits << " cold_replays " << s.cold_replays << " probes "
         << s.probes << " checkpoint_restores " << s.checkpoint_restores
         << "\n";
+  }
+  for (const auto& [name, s] : per_stream) {
+    out << "  stream " << name << ": events " << s.events << " epochs "
+        << s.sealed_epochs << " (+" << s.open_records << " open) segments "
+        << s.segments << " checkpoints " << s.checkpoints << " snapshots "
+        << s.snapshots << " rebuilds " << s.live_rebuilds << "\n";
   }
   return out.str();
 }
@@ -147,7 +160,8 @@ DiagnosisService::DiagnosisService(ServiceConfig config)
       ledger_(std::make_shared<WarmBudgetLedger>(
           config_.warm_bytes_budget,
           std::min<std::size_t>(std::max<std::size_t>(config_.shards, 1),
-                                kMaxShards))),
+                                kMaxShards),
+          /*extra_slots=*/1)),  // the live-ingest tier's slot
       cache_(config_.cache_capacity, config_.cache_stripes, registry_),
       submitted_(registry_->counter("dp.service.submitted")),
       completed_(registry_->counter("dp.service.completed")),
@@ -185,6 +199,14 @@ DiagnosisService::DiagnosisService(ServiceConfig config)
       shard.workers.emplace_back([this, &shard, i] { worker_loop(shard, i); });
     }
   }
+  // Ingest streams bill their resident bytes into the ledger's extra slot,
+  // so warm sessions and live graphs spend one shared budget. Created before
+  // the watchdog, whose tick drives stream maintenance.
+  ingest_ = std::make_unique<ingest::IngestManager>(
+      replay_options_, config_.ingest, *registry_,
+      [ledger = ledger_, slot = nshards](std::uint64_t bytes) {
+        ledger->publish(slot, bytes);
+      });
   watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
@@ -221,7 +243,21 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
   // Route before resolving: the session key alone picks the shard, so every
   // structure touched from here on is shard-local (or a cache stripe).
   std::string session_key;
-  if (!query.scenario.empty()) {
+  std::shared_ptr<ingest::IngestStream> stream;
+  if (!query.stream.empty()) {
+    if (!query.scenario.empty() || !query.program_text.empty()) {
+      outcome.error =
+          "query names both a live stream and a scenario/inline problem";
+      return outcome;
+    }
+    stream = ingest_->find(query.stream);
+    if (stream == nullptr) {
+      outcome.error = "unknown ingest stream \"" + query.stream +
+                      "\" (ingest_open first)";
+      return outcome;
+    }
+    session_key = "ingest:" + query.stream;
+  } else if (!query.scenario.empty()) {
     session_key = query.scenario;
   } else if (!query.program_text.empty()) {
     session_key = inline_session_key(query.program_text, query.log_text);
@@ -231,21 +267,29 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
   }
   Shard& shard = *shards_[shard_of_key(session_key)];
 
-  std::shared_ptr<WarmSession> session =
-      query.scenario.empty()
-          ? shard.sessions.get_inline(query.program_text, query.log_text,
-                                      outcome.error)
-          : shard.sessions.get_scenario(query.scenario, outcome.error);
-  if (session == nullptr) return outcome;
-  const Problem& problem = session->problem();
+  std::shared_ptr<WarmSession> session;
+  const std::optional<Tuple>* default_good = nullptr;
+  const std::optional<Tuple>* default_bad = nullptr;
+  if (stream != nullptr) {
+    default_good = &stream->good_event();
+    default_bad = &stream->bad_event();
+  } else {
+    session = query.scenario.empty()
+                  ? shard.sessions.get_inline(query.program_text,
+                                              query.log_text, outcome.error)
+                  : shard.sessions.get_scenario(query.scenario, outcome.error);
+    if (session == nullptr) return outcome;
+    default_good = &session->problem().good_event;
+    default_bad = &session->problem().bad_event;
+  }
 
   DiagnoseSpec spec;
   spec.minimize = query.minimize;
   try {
     if (!query.bad.empty()) {
       spec.bad_event = parse_tuple(query.bad);
-    } else if (problem.bad_event) {
-      spec.bad_event = *problem.bad_event;
+    } else if (*default_bad) {
+      spec.bad_event = **default_bad;
     } else {
       outcome.error = "no event of interest: pass bad=<tuple>";
       return outcome;
@@ -254,8 +298,8 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
       spec.good_event.reset();
     } else if (!query.good.empty()) {
       spec.good_event = parse_tuple(query.good);
-    } else if (problem.good_event) {
-      spec.good_event = *problem.good_event;
+    } else if (*default_good) {
+      spec.good_event = **default_good;
     } else {
       outcome.error =
           "no reference event: pass good=<tuple> or auto_reference";
@@ -266,8 +310,16 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
     return outcome;
   }
 
+  // Stream queries key the cache on the stream's *running* content hash:
+  // every append advances it, so an entry for an older prefix is simply
+  // unreachable, never served stale. (A result may cover a slightly longer
+  // prefix than the hash it was keyed under -- appends that landed between
+  // submit and snapshot -- which is the freshest answer, not a stale one.)
+  const std::uint64_t content_hash =
+      stream != nullptr ? hash_mix(fnv1a(session_key), stream->content_hash())
+                        : session->log_hash();
   const std::string key = make_cache_key(
-      session->log_hash(), spec.bad_event.to_string(),
+      content_hash, spec.bad_event.to_string(),
       spec.good_event ? spec.good_event->to_string() : "<auto>",
       spec.minimize, config_.config_epoch);
   const bool cacheable = !query.bypass_cache;
@@ -302,6 +354,7 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
           job->key = key;
           job->shard = shard.index;
           job->session = session;
+          job->stream = stream;
           job->spec = spec;
           job->cacheable = true;
           job->trace_id = query.trace_id;
@@ -370,6 +423,7 @@ SubmitOutcome DiagnosisService::submit(const Query& query) {
   job->key = key;
   job->shard = shard.index;
   job->session = std::move(session);
+  job->stream = std::move(stream);
   job->spec = std::move(spec);
   job->cacheable = false;
   job->trace_id = query.trace_id;
@@ -420,6 +474,10 @@ void DiagnosisService::watchdog_loop() {
     // timestamps are accurate to ~one interval even on threads that record
     // rarely.
     obs::refresh_flight_clock();
+    // Ingest maintenance rides the tick: one compaction/truncation pass over
+    // every idle stream (busy ones are try_lock-skipped), with pressure
+    // truncation when the shared warm/ingest byte budget is exceeded.
+    ingest_->maintain(/*under_pressure=*/ledger_->over_budget());
     if (deadline_us == 0) continue;
     const std::uint64_t now = obs::monotonic_micros();
     std::int64_t stuck = 0;
@@ -501,21 +559,46 @@ void DiagnosisService::run_job(Shard& shard,
   DiagnoseProfile profile;
   double session_wait_us = 0;
   double warm_replay_us = 0;
+  double ingest_snapshot_us = 0;
   bool warm_hit = false;
   try {
     DP_SPAN_CAT("dp.service.run", "service");
-    // Per-session serialization: one query at a time against a warm engine;
-    // jobs for other sessions proceed on other workers in parallel.
+    // Per-session (or per-stream) serialization: one query at a time against
+    // a resident engine; jobs for other sessions/streams proceed on other
+    // workers in parallel.
     const auto wait_start = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> session_lock(job->session->mutex());
+    std::lock_guard<std::mutex> session_lock(job->stream != nullptr
+                                                 ? job->stream->mutex()
+                                                 : job->session->mutex());
     session_wait_us = micros_between(wait_start, std::chrono::steady_clock::now());
-    warm_hit = job->session->is_warm();
-    const auto warm_start = std::chrono::steady_clock::now();
-    std::shared_ptr<const BadRun> warm = job->session->ensure_warm();
-    warm_replay_us =
-        micros_between(warm_start, std::chrono::steady_clock::now());
-    const DiagnoseOutcome outcome = diagnose_problem(
-        job->session->problem(), job->spec, replay_options_, std::move(warm));
+    DiagnoseOutcome outcome;
+    if (job->stream != nullptr) {
+      // Live path: snapshot the stream's always-current graph -- quiescing
+      // the in-flight tail of the resident engine, not replaying history.
+      // warm_hit reports whether the snapshot avoided a stale-live rebuild.
+      const auto snap_start = std::chrono::steady_clock::now();
+      bool rebuilt = false;
+      std::shared_ptr<const BadRun> run = job->stream->ensure_current(&rebuilt);
+      ingest_snapshot_us =
+          micros_between(snap_start, std::chrono::steady_clock::now());
+      warm_hit = !rebuilt;
+      Problem problem;
+      problem.program = job->stream->program();
+      problem.topology = job->stream->topology();
+      problem.log = job->stream->log();
+      problem.good_event = job->stream->good_event();
+      problem.bad_event = job->stream->bad_event();
+      outcome =
+          diagnose_problem(problem, job->spec, replay_options_, std::move(run));
+    } else {
+      warm_hit = job->session->is_warm();
+      const auto warm_start = std::chrono::steady_clock::now();
+      std::shared_ptr<const BadRun> warm = job->session->ensure_warm();
+      warm_replay_us =
+          micros_between(warm_start, std::chrono::steady_clock::now());
+      outcome = diagnose_problem(job->session->problem(), job->spec,
+                                 replay_options_, std::move(warm));
+    }
     result.exit_code = outcome.exit_code;
     result.out = outcome.pre + outcome.out;
     result.err = outcome.err;
@@ -532,17 +615,20 @@ void DiagnosisService::run_job(Shard& shard,
     result.out.clear();
     result.err = std::string("internal error: ") + e.what() + "\n";
   }
-  // The warm-up above may have changed this shard's measured footprint;
-  // re-apply the byte budget now that the session lock is released (the
-  // budget pass try-locks sessions, so it must not run while we hold one).
+  // The warm-up (or snapshot) above may have changed the measured
+  // footprints; publish ingest bytes first so the session budget pass sees
+  // the shared ledger's true total, then re-apply the byte budget now that
+  // the session/stream lock is released (the budget pass try-locks sessions,
+  // so it must not run while we hold one).
+  if (job->stream != nullptr) ingest_->publish();
   shard.sessions.enforce_budget();
   runs_.inc();
   const auto finished_at = std::chrono::steady_clock::now();
   const double exec_us = micros_between(started_at, finished_at);
   exec_us_.observe(exec_us);
   result.profile_json = render_profile_json(
-      profile, session_wait_us, warm_replay_us, warm_hit, exec_us,
-      job->trace_id,
+      profile, session_wait_us, warm_replay_us, ingest_snapshot_us, warm_hit,
+      exec_us, job->trace_id,
       registry_->counter("dp.prov.vertices").value() - vertices_before,
       static_cast<std::uint64_t>(registry_->gauge("dp.store.tuples").value()),
       static_cast<std::uint64_t>(registry_->gauge("dp.store.bytes").value()));
@@ -672,6 +758,79 @@ SubmitOutcome DiagnosisService::probe(const std::string& scenario,
   return outcome;
 }
 
+IngestOutcome DiagnosisService::open_stream(const std::string& name,
+                                            const std::string& scenario,
+                                            const std::string& program_text) {
+  IngestOutcome out;
+  if (name.empty()) {
+    out.error = "open_stream needs a stream name";
+    return out;
+  }
+  if (!accepting_.load(std::memory_order_acquire)) {
+    out.error = "service is shutting down";
+    return out;
+  }
+  if (std::shared_ptr<ingest::IngestStream> existing = ingest_->find(name)) {
+    std::lock_guard<std::mutex> lock(existing->mutex());
+    out.ok = true;
+    out.stream = existing->stats();
+    return out;
+  }
+  Problem problem;
+  if (!scenario.empty()) {
+    std::ostringstream err;
+    std::optional<Problem> built = builtin_scenario(scenario, err);
+    if (!built) {
+      out.error = err.str();
+      return out;
+    }
+    problem = std::move(*built);
+  } else if (!program_text.empty()) {
+    try {
+      problem = parse_problem(program_text, "");
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      return out;
+    }
+  } else {
+    out.error = "open_stream needs a scenario or an inline program";
+    return out;
+  }
+  // The scenario's recorded log is deliberately dropped: a live stream's
+  // history arrives only through ingest(), event by event.
+  std::shared_ptr<ingest::IngestStream> stream = ingest_->open(
+      name, std::move(problem.program), std::move(problem.topology),
+      std::move(problem.good_event), std::move(problem.bad_event));
+  std::lock_guard<std::mutex> lock(stream->mutex());
+  out.ok = true;
+  out.stream = stream->stats();
+  return out;
+}
+
+IngestOutcome DiagnosisService::ingest(const std::string& name,
+                                       const std::string& events_text,
+                                       bool seal) {
+  IngestOutcome out;
+  std::shared_ptr<ingest::IngestStream> stream = ingest_->find(name);
+  if (stream == nullptr) {
+    out.error =
+        "unknown ingest stream \"" + name + "\" (ingest_open first)";
+    return out;
+  }
+  try {
+    std::lock_guard<std::mutex> lock(stream->mutex());
+    out.accepted = stream->append_text(events_text);
+    if (seal) stream->seal();
+    out.stream = stream->stats();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    return out;
+  }
+  out.ok = true;
+  ingest_->publish();
+  return out;
+}
+
 ServiceStats DiagnosisService::stats() const {
   ServiceStats stats;
   stats.submitted = submitted_.value();
@@ -698,6 +857,16 @@ ServiceStats DiagnosisService::stats() const {
     stats.per_session.insert(stats.per_session.end(),
                              std::make_move_iterator(per_session.begin()),
                              std::make_move_iterator(per_session.end()));
+  }
+  stats.per_stream = ingest_->stats();
+  stats.ingest_streams = stats.per_stream.size();
+  for (const auto& [name, s] : stats.per_stream) {
+    stats.ingest_events += s.events;
+    stats.ingest_epochs += s.sealed_epochs;
+    stats.ingest_segments += s.segments;
+    stats.ingest_segments_compacted += s.segments_compacted;
+    stats.ingest_truncated_bytes += s.truncated_bytes;
+    stats.ingest_resident_bytes += s.resident_bytes;
   }
   return stats;
 }

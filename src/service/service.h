@@ -54,6 +54,7 @@
 #include <utility>
 #include <vector>
 
+#include "ingest/manager.h"
 #include "obs/metrics.h"
 #include "service/bounded_queue.h"
 #include "service/cache.h"
@@ -95,6 +96,12 @@ struct ServiceConfig {
   /// Replay knobs shared by every session (engine_config.metrics is pointed
   /// at the service registry when unset).
   ReplayOptions replay;
+  /// Live-ingest stream knobs (epoch size, checkpoint cadence, compaction
+  /// watermark, truncation retention), shared by every stream this service
+  /// opens. Ingest resident bytes are billed against `warm_bytes_budget`
+  /// through the shared ledger; the over-budget signal drives pressure
+  /// truncation on the watchdog tick.
+  ingest::IngestOptions ingest;
   /// Watchdog deadline: a worker busy on one job longer than this is
   /// counted in the dp.service.worker.stuck gauge and triggers one flight-
   /// recorder dump per stuck episode. Zero disables the stuck check (the
@@ -115,6 +122,11 @@ struct Query {
   std::string scenario;
   std::string program_text;
   std::string log_text;
+  /// Diagnose against a live ingest stream (open_stream/ingest) instead of a
+  /// recorded scenario or inline log: the job snapshots the stream's
+  /// always-current graph -- no replay on the hot path. Mutually exclusive
+  /// with `scenario`/`program_text`.
+  std::string stream;
   /// Event of interest, tuple text; empty = the scenario's default.
   std::string bad;
   /// Reference event, tuple text; empty = scenario default unless
@@ -157,6 +169,16 @@ struct SubmitOutcome {
   [[nodiscard]] bool ok() const { return accepted; }
 };
 
+/// Result of an ingest control call (open_stream / ingest): the error, or a
+/// post-call snapshot of the stream's tiering state.
+struct IngestOutcome {
+  bool ok = false;
+  std::string error;
+  /// Records this call appended (0 for open_stream).
+  std::size_t accepted = 0;
+  ingest::IngestStreamStats stream;
+};
+
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -176,6 +198,15 @@ struct ServiceStats {
   std::size_t shards = 1;
   std::vector<std::size_t> shard_queue_depths;  // one entry per shard
   std::vector<std::pair<std::string, SessionStats>> per_session;
+  // Live-ingest tier, summed across streams (per_stream has the breakdown).
+  std::size_t ingest_streams = 0;
+  std::uint64_t ingest_events = 0;
+  std::uint64_t ingest_epochs = 0;
+  std::uint64_t ingest_segments = 0;
+  std::uint64_t ingest_segments_compacted = 0;
+  std::uint64_t ingest_truncated_bytes = 0;
+  std::uint64_t ingest_resident_bytes = 0;
+  std::vector<std::pair<std::string, ingest::IngestStreamStats>> per_stream;
 
   [[nodiscard]] std::string to_text() const;
 };
@@ -211,6 +242,27 @@ class DiagnosisService {
                                     const std::string& tuple_text, bool& live,
                                     std::uint64_t trace_id = 0);
 
+  /// Opens (or idempotently returns) a live ingest stream. `scenario` seeds
+  /// the stream with a built-in problem's program/topology and diagnosis
+  /// defaults -- with the recorded log deliberately stripped: a live
+  /// stream's history arrives only through ingest(). Alternatively,
+  /// `program_text` opens a stream over an inline NDlog program.
+  IngestOutcome open_stream(const std::string& name,
+                            const std::string& scenario,
+                            const std::string& program_text = "");
+
+  /// Appends one batch of events (EventLog text form) to a live stream and
+  /// feeds them straight into its resident engine; `seal` forces an epoch
+  /// boundary after the batch. The whole batch is validated before any
+  /// record applies, so a malformed or out-of-order batch never
+  /// half-applies.
+  IngestOutcome ingest(const std::string& name, const std::string& events_text,
+                       bool seal = false);
+
+  /// The live-ingest stream registry (tests and benches reach streams
+  /// directly; queries go through submit with Query::stream).
+  [[nodiscard]] ingest::IngestManager& ingest_streams() { return *ingest_; }
+
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *registry_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
@@ -237,6 +289,8 @@ class DiagnosisService {
     std::string key;
     std::size_t shard = 0;
     std::shared_ptr<WarmSession> session;
+    /// Set instead of `session` for live-stream queries (Query::stream).
+    std::shared_ptr<ingest::IngestStream> stream;
     DiagnoseSpec spec;
     bool cacheable = true;
     /// Trace context of the *first* submitter; coalesced duplicates share
@@ -308,6 +362,10 @@ class DiagnosisService {
   std::shared_ptr<WarmBudgetLedger> ledger_;
   std::vector<std::unique_ptr<Shard>> shards_;
   StripedResultCache cache_;
+  /// Live-ingest streams; publishes resident bytes into the ledger's extra
+  /// slot (index = shard count). Created before the watchdog thread, which
+  /// drives its maintenance pass.
+  std::unique_ptr<ingest::IngestManager> ingest_;
 
   std::atomic<bool> accepting_{true};
   std::mutex shutdown_mutex_;

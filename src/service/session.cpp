@@ -122,11 +122,12 @@ std::string inline_session_key(const std::string& program_text,
 }
 
 WarmBudgetLedger::WarmBudgetLedger(std::uint64_t total_bytes,
-                                   std::size_t shards)
+                                   std::size_t shards,
+                                   std::size_t extra_slots)
     : total_(total_bytes),
       share_(total_bytes == 0 ? 0
                               : total_bytes / std::max<std::size_t>(1, shards)),
-      usage_(std::max<std::size_t>(1, shards)) {}
+      usage_(std::max<std::size_t>(1, shards) + extra_slots) {}
 
 void WarmBudgetLedger::publish(std::size_t shard, std::uint64_t bytes) {
   usage_[shard % usage_.size()].store(bytes, std::memory_order_relaxed);

@@ -132,8 +132,14 @@ std::string inline_session_key(const std::string& program_text,
 class WarmBudgetLedger {
  public:
   /// `total_bytes` = the service-wide warm budget (0 = unlimited);
-  /// `shards` = number of usage slots (clamped to at least 1).
-  WarmBudgetLedger(std::uint64_t total_bytes, std::size_t shards);
+  /// `shards` = number of shard usage slots (clamped to at least 1);
+  /// `extra_slots` = additional slots beyond the shards for other resident
+  /// tiers (the live-ingest streams publish into slot `shards`): they hold
+  /// no nominal share, but their bytes count toward global_usage(), so a
+  /// growing ingest tier pushes the warm set toward cooling -- and flips
+  /// over_budget(), which the ingest maintenance pass reads as pressure.
+  WarmBudgetLedger(std::uint64_t total_bytes, std::size_t shards,
+                   std::size_t extra_slots = 0);
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
   /// A shard's nominal slice of the budget (total/shards; 0 = unlimited).

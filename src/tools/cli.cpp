@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <fstream>
 #include <optional>
 #include <ostream>
@@ -25,6 +26,7 @@ struct Options {
   std::string show_tree;  // "good" | "bad" | ""
   std::string dot_path;
   bool list_scenarios = false;
+  std::string dump_log;  // --dump-log NAME: print a scenario's event log
   Topology topology;
   std::string trace_path;    // --trace-out: Chrome trace-event JSON
   std::string metrics_path;  // --metrics-out: metrics registry JSON
@@ -36,6 +38,7 @@ constexpr const char* kUsage =
     "                    --bad 'EVENT' (--good 'EVENT' | --auto-reference)\n"
     "                    [--minimize] [--show-tree good|bad] [--dot FILE]\n"
     "                    [--link A B DELAY]... [--list-scenarios]\n"
+    "                    [--dump-log NAME]\n"
     "                    [--trace-out FILE] [--metrics-out FILE] [--stats]\n"
     "\n"
     "observability:\n"
@@ -43,6 +46,8 @@ constexpr const char* kUsage =
     "                      (open in ui.perfetto.dev or chrome://tracing)\n"
     "  --metrics-out FILE  write the dp.* metrics registry as JSON\n"
     "  --stats             print the metrics registry as a table\n"
+    "  --dump-log NAME     print a builtin scenario's event log as text\n"
+    "                      (streamable into diffprovd via --ingest)\n"
     "\n"
     "the same queries can be served warm by the diffprovd daemon; see\n"
     "diffprovd --help and diffprov_client --help\n";
@@ -116,6 +121,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         options.topology.connect(a, b, std::stoll(args[++i]));
       } else if (arg == "--list-scenarios") {
         options.list_scenarios = true;
+      } else if (arg == "--dump-log") {
+        auto v = next("a scenario name");
+        if (!v) return 2;
+        options.dump_log = *v;
       } else if (arg == "--trace-out") {
         auto v = next("a path");
         if (!v) return 2;
@@ -140,6 +149,25 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   }
   if (options.list_scenarios) {
     service::list_scenarios(out);
+    return 0;
+  }
+  if (!options.dump_log.empty()) {
+    const auto problem = service::builtin_scenario(options.dump_log, err);
+    if (!problem) return 2;
+    // Arrival (time) order, not authoring order: scenario logs group records
+    // by kind, but a live tap delivers them time-sorted and the ingest
+    // stream's append contract is watermark-monotone. The stable sort keeps
+    // same-time records in log order, which is exactly the (time, seq) order
+    // batch replay processes them in -- so streaming this output reproduces
+    // the scenario byte for byte.
+    std::vector<LogRecord> records = problem->log.records();
+    std::stable_sort(records.begin(), records.end(),
+                     [](const LogRecord& a, const LogRecord& b) {
+                       return a.time < b.time;
+                     });
+    EventLog sorted;
+    for (const LogRecord& record : records) sorted.append(record);
+    out << sorted.to_text();
     return 0;
   }
 

@@ -36,6 +36,15 @@ constexpr const char* kUsage =
     "  --scenario NAME [--bad 'EVENT'] [--good 'EVENT'] [--auto-reference]\n"
     "      [--minimize] [--bypass-cache]     submit a query and wait\n"
     "  --program FILE --log FILE ...         same, with an inline problem\n"
+    "  --stream NAME [--bad ...] [--good ...]  diagnose against a live ingest\n"
+    "      stream (no replay: snapshots its always-current graph)\n"
+    "  --ingest-open NAME --scenario NAME    open a live ingest stream (the\n"
+    "      scenario's program/topology; its log arrives via --ingest).\n"
+    "      --program FILE opens over an inline program instead\n"
+    "  --ingest NAME --events FILE           stream events (EventLog text,\n"
+    "      \"-\" = stdin) into a live stream; --batch N sends N events per\n"
+    "      request (default: one request), --seal forces an epoch boundary\n"
+    "      after the last batch\n"
     "  --probe 'TUPLE' --scenario NAME       live-state probe\n"
     "  --poll ID | --cancel ID               inspect/cancel a past query\n"
     "  --stats                               server counters\n"
@@ -80,9 +89,10 @@ void print_explain(const Json& response, std::ostream& out) {
   const Json* phases = profile->find("phases");
   if (phases != nullptr && phases->kind == Json::Kind::kObject) {
     for (const char* phase :
-         {"session_wait_us", "warm_replay_us", "replay_us", "locate_us",
-          "find_seed_us", "annotate_us", "divergence_us", "make_appear_us",
-          "diff_replay_us", "minimize_us", "other_us"}) {
+         {"session_wait_us", "warm_replay_us", "ingest_snapshot_us",
+          "replay_us", "locate_us", "find_seed_us", "annotate_us",
+          "divergence_us", "make_appear_us", "diff_replay_us", "minimize_us",
+          "other_us"}) {
       const double us = phases->get_number(phase);
       char line[96];
       std::snprintf(line, sizeof(line), "  %-16s %10lld us  %5.1f%%\n", phase,
@@ -178,8 +188,10 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   std::uint16_t port = 0;
   std::string scenario, program_path, log_path, bad, good, probe_tuple;
+  std::string stream, ingest_open_name, ingest_name, events_path;
+  std::size_t ingest_batch = 0;  // 0 = the whole file in one request
   bool auto_reference = false, minimize = false, bypass_cache = false;
-  bool stats = false, shutdown = false, meta = false;
+  bool stats = false, shutdown = false, meta = false, seal = false;
   bool explain = false, flightrec = false;
   std::uint64_t trace_id = 0;  // 0 = mint one per invocation
   std::optional<std::uint64_t> poll_id, cancel_id;
@@ -233,6 +245,28 @@ int main(int argc, char** argv) {
         minimize = true;
       } else if (arg == "--bypass-cache") {
         bypass_cache = true;
+      } else if (arg == "--stream") {
+        auto v = next("a stream name");
+        if (!v) return 2;
+        stream = *v;
+      } else if (arg == "--ingest-open") {
+        auto v = next("a stream name");
+        if (!v) return 2;
+        ingest_open_name = *v;
+      } else if (arg == "--ingest") {
+        auto v = next("a stream name");
+        if (!v) return 2;
+        ingest_name = *v;
+      } else if (arg == "--events") {
+        auto v = next("a path (\"-\" = stdin)");
+        if (!v) return 2;
+        events_path = *v;
+      } else if (arg == "--batch") {
+        auto v = next("events per request");
+        if (!v) return 2;
+        ingest_batch = std::stoul(*v);
+      } else if (arg == "--seal") {
+        seal = true;
       } else if (arg == "--probe") {
         auto v = next("a tuple");
         if (!v) return 2;
@@ -347,6 +381,101 @@ int main(int argc, char** argv) {
       std::cout << (response.get_bool("live") ? "live\n" : "not live\n");
       return response.get_bool("live") ? 0 : 1;
     }
+    if (!ingest_open_name.empty()) {
+      std::ostringstream request;
+      request << "{\"op\":\"ingest_open\",\"stream\":"
+              << json_quote(ingest_open_name);
+      if (!scenario.empty()) {
+        request << ",\"scenario\":" << json_quote(scenario);
+      } else if (!program_path.empty()) {
+        const auto program_text = read_file(program_path);
+        if (!program_text) {
+          std::cerr << "cannot open " << program_path << "\n";
+          return 2;
+        }
+        request << ",\"program\":" << json_quote(*program_text);
+      } else {
+        std::cerr << "--ingest-open needs --scenario or --program\n";
+        return 2;
+      }
+      request << "}";
+      const Json response = connection.round_trip(request.str());
+      if (!response.get_bool("ok")) {
+        std::cerr << response.get_string("error", "ingest_open failed")
+                  << "\n";
+        return 3;
+      }
+      std::cout << "stream " << ingest_open_name << " open\n";
+      return 0;
+    }
+    if (!ingest_name.empty()) {
+      if (events_path.empty()) {
+        std::cerr << "--ingest needs --events FILE (\"-\" = stdin)\n";
+        return 2;
+      }
+      std::string events_text;
+      if (events_path == "-") {
+        std::ostringstream buffer;
+        buffer << std::cin.rdbuf();
+        events_text = buffer.str();
+      } else {
+        const auto text = read_file(events_path);
+        if (!text) {
+          std::cerr << "cannot open " << events_path << "\n";
+          return 2;
+        }
+        events_text = *text;
+      }
+      // Streaming mode: --batch N sends N event lines per request over the
+      // one connection, the live-tap shape (events trickle in, the daemon's
+      // graph stays current); the default ships the file in one request.
+      std::vector<std::string> batches;
+      if (ingest_batch == 0) {
+        batches.push_back(std::move(events_text));
+      } else {
+        std::istringstream lines(events_text);
+        std::string line, batch;
+        std::size_t in_batch = 0;
+        while (std::getline(lines, line)) {
+          batch += line;
+          batch += '\n';
+          if (++in_batch >= ingest_batch) {
+            batches.push_back(std::move(batch));
+            batch.clear();
+            in_batch = 0;
+          }
+        }
+        if (!batch.empty()) batches.push_back(std::move(batch));
+      }
+      std::size_t accepted = 0;
+      Json last;
+      for (std::size_t b = 0; b < batches.size(); ++b) {
+        std::ostringstream request;
+        request << "{\"op\":\"ingest\",\"stream\":" << json_quote(ingest_name)
+                << ",\"events\":" << json_quote(batches[b]);
+        if (seal && b + 1 == batches.size()) request << ",\"seal\":true";
+        request << "}";
+        last = connection.round_trip(request.str());
+        if (!last.get_bool("ok")) {
+          std::cerr << last.get_string("error", "ingest failed") << "\n";
+          return 3;
+        }
+        accepted += static_cast<std::size_t>(last.get_number("accepted"));
+      }
+      const Json* s = last.find("stream");
+      std::cout << "ingested " << accepted << " events into " << ingest_name;
+      if (s != nullptr && s->kind == Json::Kind::kObject) {
+        std::cout << " (total "
+                  << static_cast<long long>(s->get_number("events"))
+                  << " events, "
+                  << static_cast<long long>(s->get_number("sealed_epochs"))
+                  << " epochs, "
+                  << static_cast<long long>(s->get_number("segments"))
+                  << " segments)";
+      }
+      std::cout << "\n";
+      return 0;
+    }
     if (poll_id) {
       const Json response = connection.round_trip(
           "{\"op\":\"poll\",\"id\":" + std::to_string(*poll_id) + "}");
@@ -367,7 +496,9 @@ int main(int argc, char** argv) {
     // Submit + wait.
     std::ostringstream request;
     request << "{\"op\":\"submit\"";
-    if (!scenario.empty()) {
+    if (!stream.empty()) {
+      request << ",\"stream\":" << json_quote(stream);
+    } else if (!scenario.empty()) {
       request << ",\"scenario\":" << json_quote(scenario);
     } else if (!program_path.empty() && !log_path.empty()) {
       const auto program_text = read_file(program_path);
