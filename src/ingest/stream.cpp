@@ -112,7 +112,13 @@ void IngestStream::feed_live(const LogRecord& record) {
   // Batch equivalence (see header): advance to t-1 so every earlier event's
   // consequences with time < t are settled, then schedule at t. The
   // external seq band orders this event before any equal-time derivation.
-  if (record.time > 0) engine_->run_until(record.time - 1);
+  // Only advance when the engine is actually behind: a run of same-time
+  // appends then stays queued and drains through the engine's batched
+  // execution path in one sweep (at the next advance or snapshot), instead
+  // of paying a run_until + metrics publish per append.
+  if (record.time > 0 && engine_->now() < record.time - 1) {
+    engine_->run_until(record.time - 1);
+  }
   if (record.op == LogRecord::Op::kInsert) {
     engine_->schedule_insert(record.tuple(), record.time);
   } else {

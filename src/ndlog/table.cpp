@@ -7,12 +7,99 @@
 
 namespace dp {
 
-std::size_t Table::ValueVecHash::operator()(
-    const std::vector<Value>& values) const {
+// ---------------------------------------------------------------------------
+// Table::JoinIndex
+
+Table::JoinIndex::HashFn Table::JoinIndex::hash_override_ = nullptr;
+
+void Table::JoinIndex::set_hash_for_testing(HashFn fn) { hash_override_ = fn; }
+
+std::uint64_t Table::JoinIndex::hash_key(const std::vector<Value>& key) {
+  if (hash_override_ != nullptr) return hash_override_(key);
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const Value& v : values) h = hash_mix(h, v.hash());
-  return static_cast<std::size_t>(h);
+  for (const Value& v : key) h = hash_mix(h, v.hash());
+  return h;
 }
+
+void Table::JoinIndex::prefetch(std::uint64_t hash) const {
+  if (slots.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(&slots[hash & (slots.size() - 1)]);
+#endif
+}
+
+void Table::JoinIndex::prefetch_bucket(std::uint64_t hash) const {
+  if (slots.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+  // Walk the (already prefetched) probe chain to the first hash match and
+  // start its bucket's line -- the key compare in lookup() then reads a
+  // warm bucket instead of stalling on slot -> bucket -> key in sequence.
+  const std::size_t mask = slots.size() - 1;
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    const Slot& slot = slots[i];
+    if (slot.bucket == kEmptySlot) return;
+    if (slot.hash == hash) {
+      __builtin_prefetch(&buckets[slot.bucket]);
+      return;
+    }
+  }
+#endif
+}
+
+const std::vector<Table::JoinIndex::Entry>* Table::JoinIndex::lookup(
+    std::uint64_t hash, const std::vector<Value>& key) const {
+  if (slots.empty()) return nullptr;
+  const std::size_t mask = slots.size() - 1;
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    const Slot& slot = slots[i];
+    // Slots are never vacated, so an empty slot terminates the probe chain
+    // soundly: the key, had it ever been inserted, would sit before it.
+    if (slot.bucket == kEmptySlot) return nullptr;
+    if (slot.hash == hash) {
+      const Bucket& bucket = buckets[slot.bucket];
+      if (bucket.key == key) {
+        return bucket.entries.empty() ? nullptr : &bucket.entries;
+      }
+    }
+  }
+}
+
+Table::JoinIndex::Bucket& Table::JoinIndex::bucket_for(
+    std::uint64_t hash, const std::vector<Value>& key) {
+  // Grow at ~0.7 load (each bucket occupies exactly one slot, forever).
+  if (slots.empty() || (buckets.size() + 1) * 10 >= slots.size() * 7) {
+    rehash_grow();
+  }
+  const std::size_t mask = slots.size() - 1;
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    Slot& slot = slots[i];
+    if (slot.bucket == kEmptySlot) {
+      slot.hash = hash;
+      slot.bucket = static_cast<std::uint32_t>(buckets.size());
+      buckets.push_back(Bucket{key, {}});
+      return buckets.back();
+    }
+    if (slot.hash == hash && buckets[slot.bucket].key == key) {
+      return buckets[slot.bucket];
+    }
+  }
+}
+
+void Table::JoinIndex::rehash_grow() {
+  const std::size_t fresh_size = slots.empty() ? 16 : slots.size() * 2;
+  std::vector<Slot> fresh(fresh_size);
+  const std::size_t mask = fresh_size - 1;
+  for (const Slot& old : slots) {
+    if (old.bucket == kEmptySlot) continue;
+    std::size_t i = old.hash & mask;
+    while (fresh[i].bucket != kEmptySlot) i = (i + 1) & mask;
+    fresh[i] = old;
+  }
+  slots.swap(fresh);
+}
+
+// ---------------------------------------------------------------------------
+// Table
 
 std::vector<Value> Table::key_of(const Tuple& t) const {
   if (decl_.key_columns.empty()) return t.values();
@@ -53,33 +140,39 @@ void Table::project(const Tuple& t, const ColumnSet& cols,
 void Table::index_live_row(LiveMap::const_iterator it) const {
   for (auto& [cols, index] : indexes_) {
     project(it->second, cols, projection_scratch_);
-    auto& bucket = index.buckets[projection_scratch_];
+    auto& entries =
+        index
+            .bucket_for(JoinIndex::hash_key(projection_scratch_),
+                        projection_scratch_)
+            .entries;
     const JoinIndex::Entry entry{&it->first, &it->second};
     // Keep the bucket sorted by live-map key: indexed enumeration must match
     // for_each_live()'s relative order (determinism guarantee).
     const auto pos = std::lower_bound(
-        bucket.begin(), bucket.end(), entry,
+        entries.begin(), entries.end(), entry,
         [](const JoinIndex::Entry& a, const JoinIndex::Entry& b) {
           return *a.live_key < *b.live_key;
         });
-    bucket.insert(pos, entry);
+    entries.insert(pos, entry);
   }
 }
 
 void Table::unindex_live_row(LiveMap::const_iterator it) const {
   for (auto& [cols, index] : indexes_) {
     project(it->second, cols, projection_scratch_);
-    auto bucket_it = index.buckets.find(projection_scratch_);
-    assert(bucket_it != index.buckets.end());
-    auto& bucket = bucket_it->second;
+    auto& entries =
+        index
+            .bucket_for(JoinIndex::hash_key(projection_scratch_),
+                        projection_scratch_)
+            .entries;
     const auto pos = std::lower_bound(
-        bucket.begin(), bucket.end(), it->first,
+        entries.begin(), entries.end(), it->first,
         [](const JoinIndex::Entry& a, const std::vector<Value>& key) {
           return *a.live_key < key;
         });
-    assert(pos != bucket.end() && *pos->live_key == it->first);
-    bucket.erase(pos);
-    if (bucket.empty()) index.buckets.erase(bucket_it);
+    assert(pos != entries.end() && *pos->live_key == it->first);
+    entries.erase(pos);
+    // The bucket itself stays, empty: slots are never vacated.
   }
 }
 
@@ -150,9 +243,7 @@ void Table::for_each_live(const std::function<void(const Tuple&)>& fn) const {
   }
 }
 
-void Table::for_each_live_matching(
-    const ColumnSet& cols, const std::vector<Value>& probe,
-    const std::function<void(const Tuple&)>& fn) const {
+const Table::JoinIndex& Table::index_for(const ColumnSet& cols) const {
   assert(!cols.empty());
   assert(std::is_sorted(cols.begin(), cols.end()));
   auto index_it = indexes_.find(cols);
@@ -164,13 +255,22 @@ void Table::for_each_live_matching(
     JoinIndex& index = index_it->second;
     for (auto it = live_.begin(); it != live_.end(); ++it) {
       project(it->second, cols, projection_scratch_);
-      index.buckets[projection_scratch_].push_back(
-          JoinIndex::Entry{&it->first, &it->second});
+      index
+          .bucket_for(JoinIndex::hash_key(projection_scratch_),
+                      projection_scratch_)
+          .entries.push_back(JoinIndex::Entry{&it->first, &it->second});
     }
   }
-  const auto bucket_it = index_it->second.buckets.find(probe);
-  if (bucket_it == index_it->second.buckets.end()) return;
-  for (const JoinIndex::Entry& entry : bucket_it->second) {
+  return index_it->second;
+}
+
+void Table::for_each_live_matching(
+    const ColumnSet& cols, const std::vector<Value>& probe,
+    const std::function<void(const Tuple&)>& fn) const {
+  const JoinIndex& index = index_for(cols);
+  const auto* entries = index.lookup(JoinIndex::hash_key(probe), probe);
+  if (entries == nullptr) return;
+  for (const JoinIndex::Entry& entry : *entries) {
     fn(*entry.tuple);
   }
 }

@@ -22,10 +22,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "ndlog/schema.h"
@@ -40,6 +40,69 @@ using ColumnSet = std::vector<std::size_t>;
 
 class Table {
  public:
+  /// One secondary index: probe projection -> bucket of live rows, stored as
+  /// an open-addressing hash table (power-of-two slot array, linear probing)
+  /// shaped for the batch probe pipeline: the engine hashes a whole frontier
+  /// of probe keys, prefetches their slot clusters, then looks each up
+  /// against slots that are already in cache. Slots and buckets are never
+  /// deleted -- a bucket whose rows all die stays behind empty -- so probing
+  /// needs no tombstones and bucket indices stay stable. Entries point into
+  /// live_ map nodes (stable until erase) and stay sorted by the live-map
+  /// key, i.e. in for_each_live() order, which is what keeps indexed joins
+  /// byte-identical to the reference scan.
+  struct JoinIndex {
+    struct Entry {
+      const std::vector<Value>* live_key;
+      const Tuple* tuple;
+    };
+    struct Bucket {
+      std::vector<Value> key;
+      std::vector<Entry> entries;
+    };
+    static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+    struct Slot {
+      std::uint64_t hash = 0;
+      std::uint32_t bucket = kEmptySlot;
+    };
+
+    using HashFn = std::uint64_t (*)(const std::vector<Value>&);
+    /// Testing hook: replaces the probe-key hash process-wide (e.g. a
+    /// constant, to force every key into one collision cluster). Must be set
+    /// before the indexes under test are built and reset to nullptr after;
+    /// an index probed with a different hash than it was built with is
+    /// garbage.
+    static void set_hash_for_testing(HashFn fn);
+    [[nodiscard]] static std::uint64_t hash_key(const std::vector<Value>& key);
+
+    /// Prefetches the slot cluster for `hash` (the gather->hash->prefetch->
+    /// lookup stages of the batch probe).
+    void prefetch(std::uint64_t hash) const;
+
+    /// Follow-up stage once the slot cluster is in cache: walks the probe
+    /// chain to the hash's bucket (if any) and prefetches it, so lookup()'s
+    /// key compare does not stall on the slot -> bucket dependency.
+    void prefetch_bucket(std::uint64_t hash) const;
+
+    /// The live entries whose projection equals `key`, or nullptr if none.
+    /// `hash` must be hash_key(key).
+    [[nodiscard]] const std::vector<Entry>* lookup(
+        std::uint64_t hash, const std::vector<Value>& key) const;
+
+    // -- maintenance (Table internals; exposed for white-box tests) --
+    /// The bucket for `key`, created empty if absent. May rehash.
+    Bucket& bucket_for(std::uint64_t hash, const std::vector<Value>& key);
+
+    [[nodiscard]] std::size_t slot_count() const { return slots.size(); }
+    [[nodiscard]] std::size_t bucket_count() const { return buckets.size(); }
+
+    std::vector<Slot> slots;
+    std::vector<Bucket> buckets;
+
+   private:
+    void rehash_grow();
+    static HashFn hash_override_;
+  };
+
   explicit Table(TableDecl decl) : decl_(std::move(decl)) {}
 
   // Copies drop the secondary indexes (they hold pointers into the source's
@@ -98,6 +161,12 @@ class Table {
                               const std::vector<Value>& probe,
                               const std::function<void(const Tuple&)>& fn) const;
 
+  /// The secondary index for `cols` (sorted, non-empty), materialized from
+  /// the live view on first use and maintained incrementally afterwards.
+  /// The batch executor probes it directly (hash_key/prefetch/lookup)
+  /// instead of going through the per-probe for_each_live_matching shim.
+  [[nodiscard]] const JoinIndex& index_for(const ColumnSet& cols) const;
+
   /// Deterministic iteration over tuples alive at time `at`.
   void for_each_at(LogicalTime at,
                    const std::function<void(const Tuple&)>& fn) const;
@@ -132,22 +201,6 @@ class Table {
 
  private:
   using LiveMap = std::map<std::vector<Value>, Tuple>;
-
-  struct ValueVecHash {
-    std::size_t operator()(const std::vector<Value>& values) const;
-  };
-
-  /// One secondary index: probe projection -> bucket of live rows. Entries
-  /// point into live_ map nodes (stable until erase) and stay sorted by the
-  /// live-map key, i.e. in for_each_live() order.
-  struct JoinIndex {
-    struct Entry {
-      const std::vector<Value>* live_key;
-      const Tuple* tuple;
-    };
-    std::unordered_map<std::vector<Value>, std::vector<Entry>, ValueVecHash>
-        buckets;
-  };
 
   /// Projection of `t` on `cols` into `out` (cleared first).
   static void project(const Tuple& t, const ColumnSet& cols,

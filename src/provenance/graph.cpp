@@ -156,7 +156,7 @@ VertexId ProvenanceGraph::record_derive(TupleRef head, NameRef rule,
   }
 
   const VertexId derive_id = add_vertex(VertexKind::kDerive, head, rule, t);
-  for (const VertexId body_id : body_ids) add_edge(body_id);
+  add_edges(body_ids);
   edge_count_[derive_id] = static_cast<std::uint32_t>(body_ids.size());
   trigger_[derive_id] = static_cast<std::int32_t>(trigger_index);
   trigger_index_[body_ids[trigger_index]].push_back(derive_id);

@@ -102,6 +102,22 @@ class ProvenanceGraph {
   }
   [[nodiscard]] std::vector<VertexId> children_of(VertexId id) const;
 
+  /// Pulls the cache lines holding `id`'s column entries (kind/tuple/time
+  /// and the CSR span descriptor). Tree projection calls this for every
+  /// child the moment it is discovered, so by the time the DFS pops the
+  /// child its columns are already in cache. No-op on compilers without
+  /// __builtin_prefetch.
+  void prefetch_vertex(VertexId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&kind_[id]);
+    __builtin_prefetch(&tuple_[id]);
+    __builtin_prefetch(&time_[id]);
+    __builtin_prefetch(&edge_begin_[id]);
+#else
+    (void)id;
+#endif
+  }
+
   /// EXIST vertex of `tuple` alive at `at` (interval contains `at`), if any.
   [[nodiscard]] std::optional<VertexId> exist_at(TupleRef tuple,
                                                  LogicalTime at) const;
@@ -166,6 +182,11 @@ class ProvenanceGraph {
   VertexId add_vertex(VertexKind kind, TupleRef tuple, NameRef rule,
                       LogicalTime t);
   void add_edge(VertexId child) { edges_.push_back(child); }
+  /// Ranged CSR append: one insert for a whole child list (a DERIVE's body),
+  /// a single capacity check + memcpy instead of a push_back per edge.
+  void add_edges(const std::vector<VertexId>& children) {
+    edges_.insert(edges_.end(), children.begin(), children.end());
+  }
   [[nodiscard]] std::optional<VertexId> live_exist(TupleRef tuple) const;
   void close_exist(TupleRef tuple, LogicalTime t);
   [[nodiscard]] const std::vector<TupleRef>& sorted_tuples() const;

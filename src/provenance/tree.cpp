@@ -18,7 +18,22 @@ ProvTree ProvTree::project(const ProvenanceGraph& graph, VertexId root) {
     stack.pop_back();
     const auto index = static_cast<NodeIndex>(tree.nodes_.size());
     tree.nodes_.push_back(Node{frame.vertex, frame.parent, {}});
-    tree.vertices_.push_back(graph.vertex(frame.vertex));
+    // Assemble the view straight from the graph's columns (one pass per
+    // column) and prefetch each child's column entries as it is discovered
+    // -- by the time the DFS pops the child, its lines are in cache.
+    Vertex v;
+    v.kind = graph.kind(frame.vertex);
+    v.tuple_ref = graph.tuple_ref(frame.vertex);
+    v.rule_ref = graph.rule_ref(frame.vertex);
+    v.time = graph.time_of(frame.vertex);
+    v.interval = graph.interval_of(frame.vertex);
+    v.trigger_index = graph.trigger_of(frame.vertex);
+    v.children.reserve(graph.child_count(frame.vertex));
+    graph.for_each_child(frame.vertex, [&graph, &v](VertexId child) {
+      graph.prefetch_vertex(child);
+      v.children.push_back(child);
+    });
+    tree.vertices_.push_back(std::move(v));
     if (frame.parent != kNoNode) {
       tree.nodes_[static_cast<std::size_t>(frame.parent)].children.push_back(
           index);

@@ -1,0 +1,125 @@
+// Dense batch primitives for the vectorized execution paths.
+//
+// The batch evaluator (runtime/engine.cpp) carries a *frontier* of partial
+// join matches through each plan step instead of recursing per delta tuple.
+// Two small containers make that cheap and allocation-free once warmed up:
+//
+//   * ValueMatrix      a row-major matrix of Values with a fixed stride --
+//                      the flat register files of every frontier row live
+//                      side by side, so advancing a batch touches one
+//                      contiguous allocation instead of one vector<Value>
+//                      per candidate.
+//   * SelectionVector  the indices of the rows still alive after a filter
+//                      stage (trigger unification, probe verification,
+//                      constraint evaluation). Filters compact it in place;
+//                      the surviving rows are never copied until a stage
+//                      genuinely materializes new state.
+//
+// Both are deliberately dumb: no ownership tricks, no iterators beyond what
+// the hot loops need, reusable via clear()/reset() so the engine keeps one
+// of each as scratch.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "ndlog/value.h"
+
+namespace dp::store {
+
+/// Indices of the batch rows surviving the filter stages so far. Start from
+/// identity over a batch, then `filter` between stages; the order of
+/// surviving indices is always ascending-stable (filters never reorder).
+class SelectionVector {
+ public:
+  /// Resets to the identity selection [0, n).
+  void reset_identity(std::size_t n) {
+    indices_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      indices_[i] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  void clear() { indices_.clear(); }
+  void push_back(std::uint32_t row) { indices_.push_back(row); }
+
+  /// Keeps only the rows for which `keep(row)` is true, compacting in place
+  /// (stable). Returns the surviving count.
+  template <typename Pred>
+  std::size_t filter(Pred&& keep) {
+    std::size_t out = 0;
+    for (const std::uint32_t row : indices_) {
+      if (keep(row)) indices_[out++] = row;
+    }
+    indices_.resize(out);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return indices_.size(); }
+  [[nodiscard]] bool empty() const { return indices_.empty(); }
+  [[nodiscard]] std::uint32_t operator[](std::size_t i) const {
+    return indices_[i];
+  }
+  [[nodiscard]] auto begin() const { return indices_.begin(); }
+  [[nodiscard]] auto end() const { return indices_.end(); }
+
+ private:
+  std::vector<std::uint32_t> indices_;
+};
+
+/// Row-major Value matrix with a fixed stride: row r occupies
+/// [r * stride, (r + 1) * stride) of one flat vector. Rows are appended,
+/// never erased; dead rows are simply dropped from the selection vector.
+class ValueMatrix {
+ public:
+  /// Drops all rows and fixes the row width. Storage is retained, so a
+  /// reused scratch matrix stops allocating once warmed up.
+  void reset(std::size_t stride) {
+    stride_ = stride;
+    values_.clear();
+  }
+
+  /// Appends a default-constructed row; returns its index.
+  std::size_t add_row() {
+    values_.resize(values_.size() + stride_);
+    return rows() - 1;
+  }
+
+  /// Appends a copy of row `src` (of this same matrix); returns the new
+  /// row's index. Safe across the reallocation copying may trigger.
+  std::size_t add_row_copy(std::size_t src) {
+    assert(src < rows());
+    // Self-insert from a range inside the vector is UB across reallocation;
+    // reserve first so the source stays valid.
+    values_.reserve(values_.size() + stride_);
+    const auto begin = values_.begin() + static_cast<std::ptrdiff_t>(src * stride_);
+    values_.insert(values_.end(), begin,
+                   begin + static_cast<std::ptrdiff_t>(stride_));
+    return rows() - 1;
+  }
+
+  [[nodiscard]] std::size_t rows() const {
+    return stride_ == 0 ? 0 : values_.size() / stride_;
+  }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+
+  [[nodiscard]] Value* row(std::size_t r) { return values_.data() + r * stride_; }
+  [[nodiscard]] const Value* row(std::size_t r) const {
+    return values_.data() + r * stride_;
+  }
+  [[nodiscard]] Value& at(std::size_t r, std::size_t c) {
+    assert(c < stride_);
+    return values_[r * stride_ + c];
+  }
+  [[nodiscard]] const Value& at(std::size_t r, std::size_t c) const {
+    assert(c < stride_);
+    return values_[r * stride_ + c];
+  }
+
+ private:
+  std::size_t stride_ = 0;
+  std::vector<Value> values_;
+};
+
+}  // namespace dp::store

@@ -114,14 +114,14 @@ TupleStore::~TupleStore() {
 }
 
 TupleRef TupleStore::find_in_chain(std::uint64_t hash, NameRef table,
-                                   const std::vector<ValueRef>& refs) const {
+                                   const ValueRef* refs, std::size_t n) const {
   auto it = buckets_.find(hash);
   if (it == buckets_.end()) return kNoTupleRef;
   for (TupleRef r = it->second; r != kNoTupleRef; r = next_[r]) {
-    if (table_[r] != table || arity_[r] != refs.size()) continue;
+    if (table_[r] != table || arity_[r] != n) continue;
     const std::uint32_t begin = begin_[r];
     bool equal = true;
-    for (std::size_t i = 0; i < refs.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
       // Value refs are themselves interned, so ref equality is value
       // equality -- no value comparisons on the tuple probe path.
       if (refs_[begin + i] != refs[i]) {
@@ -134,6 +134,34 @@ TupleRef TupleStore::find_in_chain(std::uint64_t hash, NameRef table,
   return kNoTupleRef;
 }
 
+TupleRef TupleStore::insert_locked(std::uint64_t hash, NameRef table,
+                                   const ValueRef* refs, std::size_t n,
+                                   [[maybe_unused]] const Tuple& t) {
+  const auto begin = static_cast<std::uint32_t>(refs_.size());
+  for (std::size_t i = 0; i < n; ++i) refs_.push_back(refs[i]);
+  const auto r = static_cast<TupleRef>(table_.push_back(table));
+  begin_.push_back(begin);
+  arity_.push_back(static_cast<std::uint16_t>(n));
+  canonical_.publish(canonical_.emplace_default() + 1);
+  auto [it, inserted] = buckets_.emplace(hash, r);
+  next_.push_back(inserted ? kNoTupleRef : it->second);
+  it->second = r;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+#ifndef NDEBUG
+  // The no-second-copy invariant: the record just written must round-trip to
+  // a tuple structurally equal to the input, and re-interning must find it
+  // (i.e. the store never ends up with two records for one tuple).
+  assert(find_in_chain(hash, table, refs, n) == r &&
+         "TupleStore: duplicate record for one tuple");
+  assert(table_name(r) == t.table() && arity(r) == t.arity());
+  for (std::size_t i = 0; i < t.arity(); ++i) {
+    assert(value(r, i) == t.at(i) &&
+           "TupleStore: interned record does not match input tuple");
+  }
+#endif
+  return r;
+}
+
 TupleRef TupleStore::intern(const Tuple& t) {
   std::vector<ValueRef>& refs = t_scratch_refs;
   refs.clear();
@@ -144,42 +172,85 @@ TupleRef TupleStore::intern(const Tuple& t) {
 
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
-    const TupleRef r = find_in_chain(hash, table, refs);
+    const TupleRef r = find_in_chain(hash, table, refs.data(), refs.size());
     if (r != kNoTupleRef) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return r;
     }
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  const TupleRef existing = find_in_chain(hash, table, refs);
+  const TupleRef existing =
+      find_in_chain(hash, table, refs.data(), refs.size());
   if (existing != kNoTupleRef) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return existing;
   }
+  return insert_locked(hash, table, refs.data(), refs.size(), t);
+}
 
-  const auto begin = static_cast<std::uint32_t>(refs_.size());
-  for (const ValueRef vr : refs) refs_.push_back(vr);
-  const auto r = static_cast<TupleRef>(table_.push_back(table));
-  begin_.push_back(begin);
-  arity_.push_back(static_cast<std::uint16_t>(t.arity()));
-  canonical_.publish(canonical_.emplace_default() + 1);
-  auto [it, inserted] = buckets_.emplace(hash, r);
-  next_.push_back(inserted ? kNoTupleRef : it->second);
-  it->second = r;
-  misses_.fetch_add(1, std::memory_order_relaxed);
-#ifndef NDEBUG
-  // The no-second-copy invariant: the record just written must round-trip to
-  // a tuple structurally equal to the input, and re-interning must find it
-  // (i.e. the store never ends up with two records for one tuple).
-  assert(find_in_chain(hash, table, refs) == r &&
-         "TupleStore: duplicate record for one tuple");
-  assert(table_name(r) == t.table() && arity(r) == t.arity());
-  for (std::size_t i = 0; i < t.arity(); ++i) {
-    assert(value(r, i) == t.at(i) &&
-           "TupleStore: interned record does not match input tuple");
+void TupleStore::intern_batch(const Tuple* const* tuples, std::size_t n,
+                              std::vector<TupleRef>& out) {
+  out.assign(n, kNoTupleRef);
+  if (n == 0) return;
+
+  // Per-batch scratch: one flat ValueRef arena plus per-tuple offsets, so the
+  // prepare pass allocates nothing once the thread is warmed up.
+  thread_local std::vector<ValueRef> t_arena;
+  thread_local std::vector<std::uint32_t> t_begins;
+  thread_local std::vector<std::uint64_t> t_hashes;
+  thread_local std::vector<NameRef> t_tables;
+  t_arena.clear();
+  t_begins.clear();
+  t_hashes.clear();
+  t_tables.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& t = *tuples[i];
+    t_begins.push_back(static_cast<std::uint32_t>(t_arena.size()));
+    for (const Value& v : t.values()) t_arena.push_back(pool_.intern(v));
+    t_tables.push_back(names_.intern(t.table()));
+    t_hashes.push_back(hash_of(t));
   }
-#endif
-  return r;
+  t_begins.push_back(static_cast<std::uint32_t>(t_arena.size()));
+
+  // Pass 1 (shared lock): resolve every tuple already in the store. In steady
+  // state most of a batch hits here and the writer lock is never taken.
+  std::uint64_t hits = 0;
+  bool any_miss = false;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      const TupleRef r =
+          find_in_chain(t_hashes[i], t_tables[i], t_arena.data() + t_begins[i],
+                        t_begins[i + 1] - t_begins[i]);
+      if (r != kNoTupleRef) {
+        out[i] = r;
+        ++hits;
+      } else {
+        any_miss = true;
+      }
+    }
+  }
+  if (any_miss) {
+    // Pass 2 (unique lock): insert the misses. The re-probe both closes the
+    // race with concurrent interners and collapses duplicates within the
+    // batch -- a tuple inserted at position i is found when it recurs at j>i.
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i] != kNoTupleRef) continue;
+      const ValueRef* refs = t_arena.data() + t_begins[i];
+      const std::size_t arity = t_begins[i + 1] - t_begins[i];
+      const TupleRef existing =
+          find_in_chain(t_hashes[i], t_tables[i], refs, arity);
+      if (existing != kNoTupleRef) {
+        out[i] = existing;
+        ++hits;
+        continue;
+      }
+      out[i] =
+          insert_locked(t_hashes[i], t_tables[i], refs, arity, *tuples[i]);
+    }
+  }
+  if (hits != 0) hits_.fetch_add(hits, std::memory_order_relaxed);
 }
 
 TupleRef TupleStore::find(const Tuple& t) const {
@@ -194,7 +265,7 @@ TupleRef TupleStore::find(const Tuple& t) const {
   const NameRef table = names_.find(t.table());
   if (table == kNoName) return kNoTupleRef;
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return find_in_chain(hash_of(t), table, refs);
+  return find_in_chain(hash_of(t), table, refs.data(), refs.size());
 }
 
 const Tuple& TupleStore::resolve(TupleRef ref) const {

@@ -157,6 +157,15 @@ class TupleStore {
   /// returns the same ref, so ref comparison is tuple equality.
   TupleRef intern(const Tuple& t);
 
+  /// Interns `n` tuples in one pass, writing their refs to `out` (resized to
+  /// `n`, out[i] is the ref of *tuples[i]). Amortizes the locking: one
+  /// shared-lock sweep resolves the tuples already interned, then a single
+  /// unique-lock pass inserts the misses (re-probing each, which also
+  /// deduplicates equal tuples *within* the batch). Equivalent to calling
+  /// intern() on each tuple in order -- same refs, same hit/miss accounting.
+  void intern_batch(const Tuple* const* tuples, std::size_t n,
+                    std::vector<TupleRef>& out);
+
   /// Ref of `t` if interned, else kNoTupleRef. Never inserts (lookups of
   /// never-recorded tuples must not grow the store).
   [[nodiscard]] TupleRef find(const Tuple& t) const;
@@ -225,7 +234,12 @@ class TupleStore {
     return tuple_hash_ != nullptr ? tuple_hash_(t) : t.hash();
   }
   [[nodiscard]] TupleRef find_in_chain(std::uint64_t hash, NameRef table,
-                                       const std::vector<ValueRef>& refs) const;
+                                       const ValueRef* refs,
+                                       std::size_t n) const;
+  /// Appends a new record (columns, bucket chain, canonical slot). Caller
+  /// holds the unique lock and has verified the tuple is absent.
+  TupleRef insert_locked(std::uint64_t hash, NameRef table,
+                         const ValueRef* refs, std::size_t n, const Tuple& t);
 
   TupleHashFn tuple_hash_;
   ValuePool pool_;

@@ -31,6 +31,7 @@ struct Options {
   std::string trace_path;    // --trace-out: Chrome trace-event JSON
   std::string metrics_path;  // --metrics-out: metrics registry JSON
   bool stats = false;        // --stats: human-readable metrics table
+  std::string exec;          // --exec: fullscan | row | batch (default batch)
 };
 
 constexpr const char* kUsage =
@@ -40,6 +41,12 @@ constexpr const char* kUsage =
     "                    [--link A B DELAY]... [--list-scenarios]\n"
     "                    [--dump-log NAME]\n"
     "                    [--trace-out FILE] [--metrics-out FILE] [--stats]\n"
+    "                    [--exec fullscan|row|batch]\n"
+    "\n"
+    "execution variants (outputs are byte-identical; CI diffs them):\n"
+    "  --exec fullscan     reference evaluator, no join plans\n"
+    "  --exec row          compiled join plans, tuple-at-a-time\n"
+    "  --exec batch        compiled join plans, batched deltas (default)\n"
     "\n"
     "observability:\n"
     "  --trace-out FILE    write a Chrome trace-event JSON of the diagnosis\n"
@@ -135,6 +142,14 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         options.metrics_path = *v;
       } else if (arg == "--stats") {
         options.stats = true;
+      } else if (arg == "--exec") {
+        auto v = next("fullscan|row|batch");
+        if (!v) return 2;
+        if (*v != "fullscan" && *v != "row" && *v != "batch") {
+          err << "--exec must be fullscan, row, or batch\n";
+          return 2;
+        }
+        options.exec = *v;
       } else if (arg == "--help" || arg == "-h") {
         out << kUsage;
         return 0;
@@ -214,6 +229,16 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   if (!options.trace_path.empty()) obs::default_tracer().set_enabled(true);
   ReplayOptions replay_options;
   replay_options.engine_config.metrics = &obs::default_registry();
+  if (options.exec == "fullscan") {
+    replay_options.engine_config.use_join_plans = false;
+    replay_options.engine_config.use_batch_exec = false;
+  } else if (options.exec == "row") {
+    replay_options.engine_config.use_join_plans = true;
+    replay_options.engine_config.use_batch_exec = false;
+  } else if (options.exec == "batch") {
+    replay_options.engine_config.use_join_plans = true;
+    replay_options.engine_config.use_batch_exec = true;
+  }
 
   service::DiagnoseSpec spec;
   spec.good_event = problem->good_event;

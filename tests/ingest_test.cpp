@@ -20,6 +20,7 @@
 #include "ingest/manager.h"
 #include "ingest/segment.h"
 #include "ingest/stream.h"
+#include "ndlog/parser.h"
 #include "obs/json_check.h"
 #include "obs/metrics.h"
 #include "service/diagnose.h"
@@ -136,6 +137,47 @@ TEST(IngestStream, ByteIdenticalToBatchReplayAtEveryCut) {
     EXPECT_EQ(stats.snapshots, cuts.size());
     EXPECT_EQ(stats.watermark, problem.log.records().back().time);
   }
+}
+
+TEST(IngestStream, SameTimeAppendRunsStraddlingEpochSealsStayIdentical) {
+  // Live-tap appends that share a timestamp are left queued (feed_live only
+  // advances the engine when it is behind) and drain through the engine's
+  // batched execution path at the next snapshot. Make those runs straddle
+  // epoch seals -- and a mid-run checkpoint capture -- and check every cut
+  // is still byte-identical to a cold batch replay of the same prefix.
+  service::Problem problem;
+  problem.program = parse_program(R"(
+    table src(2) keys(0, 1) base mutable.
+    table hop(3) keys(0, 1) base mutable.
+    table reach(3) derived event.
+    rule r reach(@N, K, V) :- src(@N, K), hop(@N, K, V).
+  )");
+  EventLog log;
+  for (int k = 0; k < 10; ++k) {  // one same-time run of 10 hops
+    log.append_insert(Tuple("hop", {Value("n1"), Value(k), Value(k + 100)}),
+                      1);
+  }
+  for (int k = 0; k < 10; ++k) {  // a second same-time run of 10 srcs
+    log.append_insert(Tuple("src", {Value("n1"), Value(k)}), 2);
+  }
+  problem.log = log;
+  problem.good_event = Tuple("reach", {Value("n1"), Value(0), Value(100)});
+  problem.bad_event = Tuple("reach", {Value("n1"), Value(3), Value(103)});
+
+  obs::MetricsRegistry registry;
+  IngestOptions ingest;
+  ingest.epoch_events = 4;           // seals land mid same-time run
+  ingest.checkpoint_every_epochs = 1;  // capture with a batch still queued
+  IngestStream stream("straddle", problem.program, problem.topology,
+                      problem.good_event, problem.bad_event, ReplayOptions{},
+                      ingest, registry);
+  std::size_t fed = 0;
+  for (const std::size_t cut : {std::size_t{7}, std::size_t{13}, log.size()}) {
+    for (; fed < cut; ++fed) stream.append(log.records()[fed]);
+    check_cut(stream, problem, cut, "straddle cut@" + std::to_string(cut));
+  }
+  EXPECT_GE(stream.stats().sealed_epochs, 4u);
+  EXPECT_GE(stream.stats().checkpoints, 1u);
 }
 
 TEST(IngestStream, CompactionNeverChangesAnswers) {
