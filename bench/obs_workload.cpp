@@ -18,11 +18,17 @@ std::uint64_t DP_OBS_WORKLOAD_NAME(std::uint64_t iterations) {
 #if DP_OBS_ENABLED
   obs::Counter& units =
       obs::default_registry().counter("dp.bench.workload_units");
+  obs::QuantileSketch& sketch =
+      obs::default_registry().sketch("dp.bench.unit_value");
 #endif
   for (std::uint64_t i = 0; i < iterations; ++i) {
     DP_SPAN_CAT("dp.bench.unit", "bench");
 #if DP_OBS_ENABLED
     units.inc();
+    // A sketch observe per unit, like the instrumented hot paths. The value
+    // is derived from the accumulator (no clock read): spread over ~3 octaves
+    // so bucket indexing and min/max tracking both run their real code.
+    sketch.observe(static_cast<double>((acc & 0x3ff) + 1));
 #endif
     // splitmix64-style finalizer, 64 rounds: ~work of one small rule firing.
     for (int j = 0; j < 64; ++j) {

@@ -229,6 +229,8 @@ class IngestStream {
   obs::Counter& rebuilds_counter_;
   obs::Counter& snapshots_counter_;
   obs::Histogram& snapshot_us_;
+  // Quantile-sketch twin of snapshot_us_ (same series, tail quantiles).
+  obs::QuantileSketch& snapshot_sketch_;
 };
 
 }  // namespace dp::ingest

@@ -12,6 +12,10 @@
 
 namespace dp::obs {
 
+namespace flightrec_detail {
+std::atomic<bool> g_enabled{false};
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -89,16 +93,25 @@ void return_ring(Ring* ring) {
 
 // Thread-local lease: acquires a ring on first record, returns it (events
 // intact) when the thread exits so long-lived daemons don't grow one ring
-// per past connection.
-struct RingLease {
-  Ring* ring = nullptr;
-  std::uint32_t countdown = 0;  // records until the next clock refresh
-  ~RingLease() {
-    if (ring != nullptr) return_ring(ring);
+// per past connection. The hot-path state (ring pointer, refresh countdown)
+// is plain constant-initialized TLS on purpose: a thread_local with a
+// destructor is reached through an init-guarded TLS wrapper on every
+// access, a measurable tax at record granularity. The destructor lives on
+// a separate guard object that the first lease arms.
+thread_local Ring* t_ring = nullptr;
+thread_local std::uint32_t t_countdown = 0;  // records until clock refresh
+
+struct RingLeaseGuard {
+  bool armed = false;
+  ~RingLeaseGuard() {
+    if (t_ring != nullptr) {
+      return_ring(t_ring);
+      t_ring = nullptr;
+    }
   }
 };
 
-thread_local RingLease t_lease;
+thread_local RingLeaseGuard t_guard;
 
 std::uint64_t pack_meta(FlightEvent::Kind kind, std::uint8_t level,
                         std::uint32_t duration_us, std::size_t name_len) {
@@ -138,24 +151,24 @@ void FlightRecorder::install_log_hook() {
   set_log_sink(&log_sink_trampoline);
 }
 
-void FlightRecorder::record(FlightEvent::Kind kind, std::uint8_t level,
-                            std::string_view name, std::uint64_t trace_id,
-                            std::uint64_t duration_us) {
-  RingLease& lease = t_lease;
-  if (lease.ring == nullptr) {
-    lease.ring = lease_ring();
-    lease.ring->tid.store(trace_thread_id(), std::memory_order_relaxed);
+void flightrec_detail::record(FlightEvent::Kind kind, std::uint8_t level,
+                              std::string_view name, std::uint64_t trace_id,
+                              std::uint64_t duration_us) {
+  if (t_ring == nullptr) {
+    t_guard.armed = true;  // odr-use: registers the thread-exit return
+    t_ring = lease_ring();
+    t_ring->tid.store(trace_thread_id(), std::memory_order_relaxed);
   }
-  if (lease.countdown == 0) {
+  if (t_countdown == 0) {
     // Amortized clock refresh: between refreshes (ours, other threads', the
     // service watchdog's) events share a timestamp, which is fine for a
     // "last moments before the hang" recorder.
     refresh_flight_clock();
-    lease.countdown = 64;
+    t_countdown = 64;
   }
-  --lease.countdown;
+  --t_countdown;
 
-  Ring& ring = *lease.ring;
+  Ring& ring = *t_ring;
   const std::uint64_t index =
       ring.head.load(std::memory_order_relaxed) & (kFlightRingSize - 1);
   Slot& slot = ring.slots[index];

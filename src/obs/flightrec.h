@@ -36,6 +36,16 @@
 
 namespace dp::obs {
 
+namespace flightrec_detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// The Span-side gate: one relaxed load on a namespace-scope atomic -- no
+/// magic-static guard check, safe before main() and from any thread.
+inline bool flight_recorder_enabled() {
+  return flightrec_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
 /// Events kept per thread; must be a power of two.
 inline constexpr std::size_t kFlightRingSize = 256;
 /// Stored name bytes (longer names are truncated).
@@ -54,31 +64,43 @@ struct FlightEvent {
   char name[kFlightNameCap + 1] = {};  // NUL-terminated, truncated
 };
 
+namespace flightrec_detail {
+/// The out-of-line write path: one seqlocked slot write into the calling
+/// thread's leased ring. Callers gate on flight_recorder_enabled() first.
+void record(FlightEvent::Kind kind, std::uint8_t level, std::string_view name,
+            std::uint64_t trace_id, std::uint64_t duration_us);
+}
+
+/// Records a completed span (called by obs::Span). A free function so the
+/// hot path touches no magic-static guard (FlightRecorder::instance() would).
+inline void flight_record_span(std::string_view name, std::uint64_t trace_id,
+                               std::uint64_t duration_us) {
+  if (!flight_recorder_enabled()) return;
+  flightrec_detail::record(FlightEvent::Kind::kSpan, /*level=*/0, name,
+                           trace_id, duration_us);
+}
+
 class FlightRecorder {
  public:
   static FlightRecorder& instance();
 
   void set_enabled(bool enabled) {
-    enabled_.store(enabled, std::memory_order_relaxed);
+    flightrec_detail::g_enabled.store(enabled, std::memory_order_relaxed);
   }
-  [[nodiscard]] bool enabled() const {
-    return enabled_.load(std::memory_order_relaxed);
-  }
+  [[nodiscard]] bool enabled() const { return flight_recorder_enabled(); }
 
-  /// Records a completed span (called by obs::Span; enabled() is the
-  /// caller's gate, re-checked cheaply here).
+  /// Records a completed span (member spelling of flight_record_span).
   void record_span(std::string_view name, std::uint64_t trace_id,
                    std::uint64_t duration_us) {
-    if (!enabled()) return;
-    record(FlightEvent::Kind::kSpan, /*level=*/0, name, trace_id, duration_us);
+    flight_record_span(name, trace_id, duration_us);
   }
 
   /// Records an emitted DP_LOG line (installed as the logging sink by
   /// install_log_hook).
   void record_log(std::uint8_t level, std::string_view message) {
     if (!enabled()) return;
-    record(FlightEvent::Kind::kLog, level, message, /*trace_id=*/0,
-           /*duration_us=*/0);
+    flightrec_detail::record(FlightEvent::Kind::kLog, level, message,
+                             /*trace_id=*/0, /*duration_us=*/0);
   }
 
   /// Routes emitted DP_LOG lines into the recorder (idempotent). Called by
@@ -106,12 +128,6 @@ class FlightRecorder {
 
  private:
   FlightRecorder() = default;
-
-  void record(FlightEvent::Kind kind, std::uint8_t level,
-              std::string_view name, std::uint64_t trace_id,
-              std::uint64_t duration_us);
-
-  std::atomic<bool> enabled_{false};
 };
 
 /// The coarse flight clock: monotonic_micros() as of the last refresh.

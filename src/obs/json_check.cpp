@@ -464,6 +464,46 @@ MetricsCheck check_metrics_json(std::string_view text) {
       }
     }
   }
+  // "sketches" is optional (older dumps lack it) but validated when present:
+  // quantiles must be monotone and bracketed by the exact min/max.
+  if (const Json* sketches = root->find("sketches"); sketches != nullptr) {
+    if (sketches->kind != Json::Kind::kObject) {
+      check.error = "\"sketches\" is not an object";
+      return check;
+    }
+    for (const auto& [name, value] : sketches->object) {
+      check.names.insert(name);
+      ++check.series;
+      double fields[7];
+      const char* keys[7] = {"count", "min", "max", "p50",
+                             "p95",   "p99", "p999"};
+      for (int k = 0; k < 7; ++k) {
+        const Json* field = value.find(keys[k]);
+        if (field == nullptr || field->kind != Json::Kind::kNumber) {
+          check.error =
+              "sketch " + name + " lacks numeric " + std::string(keys[k]);
+          return check;
+        }
+        fields[k] = field->number;
+      }
+      const double count = fields[0], min = fields[1], max = fields[2];
+      const double p50 = fields[3], p95 = fields[4], p99 = fields[5];
+      const double p999 = fields[6];
+      if (count < 0) {
+        check.error = "sketch " + name + " has a negative count";
+        return check;
+      }
+      if (!(p50 <= p95 && p95 <= p99 && p99 <= p999)) {
+        check.error = "sketch " + name + " quantiles are not monotone";
+        return check;
+      }
+      if (count > 0 && !(min <= p50 && p999 <= max)) {
+        check.error =
+            "sketch " + name + " quantiles escape the [min, max] range";
+        return check;
+      }
+    }
+  }
   check.ok = true;
   return check;
 }
@@ -536,6 +576,7 @@ PrometheusCheck check_prometheus_text(std::string_view text) {
   PrometheusCheck check;
   std::map<std::string, std::string> types;        // name -> TYPE
   std::map<std::string, PromHistogram> histograms; // base name -> state
+  std::map<std::string, double> scalars;           // gauge/counter values
 
   std::size_t line_no = 0;
   std::size_t pos = 0;
@@ -635,6 +676,7 @@ PrometheusCheck check_prometheus_text(std::string_view text) {
     if (type_it->second == "counter" && sample.value < 0) {
       return fail("counter " + sample.name + " is negative");
     }
+    scalars[sample.name] = sample.value;
     check.names.insert(sample.name);
     ++check.series;
   }
@@ -660,6 +702,56 @@ PrometheusCheck check_prometheus_text(std::string_view text) {
     if (latency && h.sum < 0) return fail("latency histogram has negative sum");
     check.names.insert(name);
     ++check.series;
+  }
+
+  // Quantile-sketch families: every *_p999 gauge anchors a family that must
+  // carry monotone p50 <= p95 <= p99 <= p999, all bounded by the exact _max,
+  // and (when the paired histogram exists) a _sketch_count consistent with
+  // the histogram's _count. The exporter renders both from live lock-free
+  // instruments, so a scrape racing observes can legitimately see the two
+  // counts differ by the observes that landed in between; allow 1% + 8.
+  constexpr std::string_view kP999 = "_p999";
+  for (const auto& [name, value] : scalars) {
+    if (name.size() <= kP999.size() ||
+        std::string_view(name).substr(name.size() - kP999.size()) != kP999) {
+      continue;
+    }
+    const std::string base = name.substr(0, name.size() - kP999.size());
+    const auto fail = [&](const std::string& message) {
+      check.error = "sketch " + base + ": " + message;
+      return check;
+    };
+    double q[3];
+    const char* suffixes[3] = {"_p50", "_p95", "_p99"};
+    for (int i = 0; i < 3; ++i) {
+      const auto it = scalars.find(base + suffixes[i]);
+      if (it == scalars.end()) {
+        return fail(std::string("missing ") + suffixes[i] +
+                    " alongside _p999");
+      }
+      q[i] = it->second;
+    }
+    if (!(q[0] <= q[1] && q[1] <= q[2] && q[2] <= value)) {
+      return fail("quantiles are not monotone");
+    }
+    const auto max_it = scalars.find(base + "_max");
+    if (max_it == scalars.end()) return fail("missing _max alongside _p999");
+    if (value > max_it->second) {
+      return fail("_p999 exceeds the observed _max");
+    }
+    const auto sketch_count_it = scalars.find(base + "_sketch_count");
+    if (sketch_count_it == scalars.end()) {
+      return fail("missing _sketch_count alongside _p999");
+    }
+    const auto hist_it = histograms.find(base);
+    if (hist_it != histograms.end()) {
+      const double a = sketch_count_it->second;
+      const double b = hist_it->second.count;
+      const double slack = 8 + 0.01 * (a > b ? a : b);
+      if (a > b + slack || b > a + slack) {
+        return fail("_sketch_count diverges from the histogram _count");
+      }
+    }
   }
   check.ok = true;
   return check;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace dp::obs {
 
@@ -135,16 +136,25 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+QuantileSketch& MetricsRegistry::sketch(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = sketches_[name];
+  if (!slot) slot = std::make_unique<QuantileSketch>();
+  return *slot;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : sketches_) s->reset();
 }
 
 std::size_t MetricsRegistry::size() const {
   std::lock_guard lock(mutex_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         sketches_.size();
 }
 
 std::string MetricsRegistry::to_prometheus() const {
@@ -171,6 +181,23 @@ std::string MetricsRegistry::to_prometheus() const {
     out << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
     out << p << "_sum " << json_number(h->sum()) << "\n";
     out << p << "_count " << h->count() << "\n";
+  }
+  // Sketch quantiles export as per-quantile gauge families (suffixes that
+  // never collide with the paired histogram's _bucket/_sum/_count) plus a
+  // _sketch_count counter for cross-checking against the histogram.
+  for (const auto& [name, s] : sketches_) {
+    const std::string p = prometheus_name(name);
+    const QuantileSketch::Snapshot snap = s->snapshot();
+    const std::pair<const char*, double> quantiles[] = {
+        {"_p50", snap.p50},   {"_p95", snap.p95}, {"_p99", snap.p99},
+        {"_p999", snap.p999}, {"_max", snap.max},
+    };
+    for (const auto& [suffix, value] : quantiles) {
+      out << "# TYPE " << p << suffix << " gauge\n"
+          << p << suffix << " " << json_number(value) << "\n";
+    }
+    out << "# TYPE " << p << "_sketch_count counter\n"
+        << p << "_sketch_count " << snap.count << "\n";
   }
   return out.str();
 }
@@ -212,6 +239,20 @@ std::string MetricsRegistry::to_json() const {
     out << "]}";
     first = false;
   }
+  out << (first ? "" : "\n  ") << "},\n  \"sketches\": {";
+  first = true;
+  for (const auto& [name, s] : sketches_) {
+    const QuantileSketch::Snapshot snap = s->snapshot();
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << snap.count
+        << ", \"min\": " << json_number(snap.min)
+        << ", \"max\": " << json_number(snap.max)
+        << ", \"p50\": " << json_number(snap.p50)
+        << ", \"p95\": " << json_number(snap.p95)
+        << ", \"p99\": " << json_number(snap.p99)
+        << ", \"p999\": " << json_number(snap.p999) << "}";
+    first = false;
+  }
   out << (first ? "" : "\n  ") << "}\n}\n";
   return out.str();
 }
@@ -237,6 +278,17 @@ std::string MetricsRegistry::to_text() const {
     std::snprintf(buf, sizeof(buf),
                   "  %-48s count=%llu sum=%.1f mean=%.2f\n", name.c_str(),
                   static_cast<unsigned long long>(h->count()), h->sum(), mean);
+    out << buf;
+  }
+  for (const auto& [name, s] : sketches_) {
+    const QuantileSketch::Snapshot snap = s->snapshot();
+    char buf[240];
+    std::snprintf(buf, sizeof(buf),
+                  "  %-48s n=%llu p50=%.1f p95=%.1f p99=%.1f p999=%.1f "
+                  "max=%.1f\n",
+                  (name + " (sketch)").c_str(),
+                  static_cast<unsigned long long>(snap.count), snap.p50,
+                  snap.p95, snap.p99, snap.p999, snap.max);
     out << buf;
   }
   return out.str();

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/sketch.h"
+
 namespace dp::obs {
 
 class Counter {
@@ -100,6 +102,10 @@ class MetricsRegistry {
   /// defaults); later calls return the existing histogram unchanged.
   Histogram& histogram(const std::string& name,
                        std::vector<double> upper_bounds = {});
+  /// Quantile sketch (sketch.h). Conventionally registered under the same
+  /// name as the histogram it augments (e.g. dp.service.exec_us), exported
+  /// as <name>_p50/_p95/_p99/_p999/_max gauges plus <name>_sketch_count.
+  QuantileSketch& sketch(const std::string& name);
 
   /// Zeroes every instrument (the instruments survive; references stay
   /// valid).
@@ -110,7 +116,8 @@ class MetricsRegistry {
   /// Prometheus text exposition format ('.' in names becomes '_').
   [[nodiscard]] std::string to_prometheus() const;
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
-  ///  buckets: [{le, count}...]}}} -- the +Inf bound is the string "+Inf".
+  ///  buckets: [{le, count}...]}}, "sketches": {name: {count, min, max, p50,
+  ///  p95, p99, p999}}} -- the +Inf bound is the string "+Inf".
   [[nodiscard]] std::string to_json() const;
   /// Human-readable table for --stats.
   [[nodiscard]] std::string to_text() const;
@@ -120,6 +127,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileSketch>> sketches_;
 };
 
 /// The process-wide registry: the provenance and diffprov layers publish

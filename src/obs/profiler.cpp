@@ -1,0 +1,305 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace dp::obs {
+
+namespace profiler_detail {
+std::atomic<bool> g_enabled{false};
+thread_local Stack* t_stack = nullptr;
+}
+
+namespace {
+
+using profiler_detail::Stack;
+
+/// Bound on the recent-sample ring the slow-query slices draw from. At a
+/// 10ms sampling interval this covers the last ~40s of one busy thread, or
+/// proportionally less across many -- plenty for per-query attribution.
+constexpr std::size_t kRecentCap = 4096;
+
+/// Pool of stacks, leaked on purpose (thread_local leases can outlive static
+/// destruction; flightrec's Registry has the same shape and rationale).
+struct StackRegistry {
+  std::mutex mutex;
+  std::vector<Stack*> stacks;
+  Stack* free_list = nullptr;
+};
+
+StackRegistry& stack_registry() {
+  static StackRegistry* r = new StackRegistry();
+  return *r;
+}
+
+void return_stack(Stack* s) {
+  // Zero the depth under the seqlock so the sampler never attributes a dead
+  // thread's frames to the next leaseholder.
+  const std::uint32_t seq = s->seq.load(std::memory_order_relaxed);
+  s->seq.store(seq + 1, std::memory_order_relaxed);
+  s->depth.store(0, std::memory_order_relaxed);
+  s->seq.store(seq + 2, std::memory_order_release);
+  StackRegistry& reg = stack_registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  s->next_free = reg.free_list;
+  reg.free_list = s;
+}
+
+/// Returns the thread's leased stack at thread exit. Lives apart from the
+/// t_stack pointer itself so the hot-path access stays wrapper-free (see
+/// profiler.h); lease_stack() arms it.
+struct StackLeaseGuard {
+  bool armed = false;
+  ~StackLeaseGuard() {
+    if (profiler_detail::t_stack != nullptr) {
+      return_stack(profiler_detail::t_stack);
+      profiler_detail::t_stack = nullptr;
+    }
+  }
+};
+
+thread_local StackLeaseGuard t_stack_guard;
+
+/// Seqlock-consistent read of one stack into root-first "a;b;c" form.
+/// False for empty stacks or after repeated writer contention (the sample is
+/// simply dropped; the next tick tries again).
+bool read_stack(const Stack& s, std::string& out, std::uint32_t& tid) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint32_t seq_before = s.seq.load(std::memory_order_acquire);
+    if ((seq_before & 1u) != 0) continue;
+    std::uint32_t depth = s.depth.load(std::memory_order_relaxed);
+    if (depth > kProfileMaxDepth) depth = kProfileMaxDepth;
+    char names[kProfileMaxDepth][kProfileNameCap];
+    std::uint32_t lens[kProfileMaxDepth];
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      const profiler_detail::Frame& f = s.frames[d];
+      const char* ptr = f.name.load(std::memory_order_relaxed);
+      const std::uint32_t len = f.len.load(std::memory_order_relaxed);
+      lens[d] = len > kProfileNameCap ? kProfileNameCap : len;
+      // Dereferencing before the seq recheck is safe: frame names point at
+      // immortal bytes (Span's borrow contract), never freed storage.
+      if (ptr != nullptr && lens[d] != 0) {
+        std::memcpy(names[d], ptr, lens[d]);
+      } else {
+        lens[d] = 0;
+      }
+    }
+    const std::uint32_t tid_read = s.tid.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq_before) continue;
+    if (depth == 0) return false;
+    out.clear();
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      if (d != 0) out.push_back(';');
+      out.append(names[d], lens[d]);
+    }
+    tid = tid_read;
+    return true;
+  }
+  return false;
+}
+
+struct RecentSample {
+  std::uint64_t time_us = 0;
+  std::uint32_t tid = 0;
+  std::string stack;
+};
+
+struct ProfileState {
+  mutable std::mutex mutex;
+  std::map<std::string, std::uint64_t> weights;
+  std::deque<RecentSample> recent;
+  std::uint64_t samples = 0;
+
+  std::mutex sampler_mutex;
+  std::condition_variable sampler_cv;
+  std::thread sampler;
+  bool sampler_running = false;
+  bool sampler_stop = false;
+  std::chrono::milliseconds interval{10};
+};
+
+ProfileState& state() {
+  static ProfileState* s = new ProfileState();
+  return *s;
+}
+
+std::string render_collapsed(
+    const std::map<std::string, std::uint64_t>& weights) {
+  std::vector<std::pair<std::string, std::uint64_t>> rows(weights.begin(),
+                                                          weights.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const std::pair<std::string, std::uint64_t>& a,
+                      const std::pair<std::string, std::uint64_t>& b) {
+                     return a.second > b.second;
+                   });
+  std::string out;
+  for (const auto& [stack, weight] : rows) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(weight);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace profiler_detail {
+
+Stack* lease_stack() {
+  t_stack_guard.armed = true;  // odr-use: registers the thread-exit return
+  StackRegistry& reg = stack_registry();
+  Stack* s;
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    s = reg.free_list;
+    if (s != nullptr) {
+      reg.free_list = s->next_free;
+      s->next_free = nullptr;
+    } else {
+      s = new Stack();
+      reg.stacks.push_back(s);
+    }
+  }
+  s->tid.store(trace_thread_id(), std::memory_order_relaxed);
+  t_stack = s;
+  return s;
+}
+
+}  // namespace profiler_detail
+
+ScopeProfiler& ScopeProfiler::instance() {
+  static ScopeProfiler* p = new ScopeProfiler();
+  return *p;
+}
+
+void ScopeProfiler::set_enabled(bool on) {
+  profiler_detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void ScopeProfiler::start_sampler(std::chrono::milliseconds interval) {
+  stop_sampler();
+  set_enabled(true);
+  ProfileState& st = state();
+  std::lock_guard<std::mutex> lock(st.sampler_mutex);
+  st.sampler_stop = false;
+  st.interval = interval.count() < 1 ? std::chrono::milliseconds(1) : interval;
+  st.sampler = std::thread([this] { sampler_main(); });
+  st.sampler_running = true;
+}
+
+void ScopeProfiler::stop_sampler() {
+  ProfileState& st = state();
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(st.sampler_mutex);
+    if (!st.sampler_running) return;
+    st.sampler_stop = true;
+    st.sampler_cv.notify_all();
+    joinable = std::move(st.sampler);
+    st.sampler_running = false;
+  }
+  joinable.join();
+}
+
+bool ScopeProfiler::sampler_running() const {
+  ProfileState& st = state();
+  std::lock_guard<std::mutex> lock(st.sampler_mutex);
+  return st.sampler_running;
+}
+
+void ScopeProfiler::sampler_main() {
+  ProfileState& st = state();
+  std::unique_lock<std::mutex> lock(st.sampler_mutex);
+  while (!st.sampler_stop) {
+    st.sampler_cv.wait_for(lock, st.interval);
+    if (st.sampler_stop) break;
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+std::size_t ScopeProfiler::sample_once() {
+  std::vector<Stack*> stacks;
+  {
+    StackRegistry& reg = stack_registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    // Freed stacks stay in the vector with depth 0; read_stack skips them.
+    stacks = reg.stacks;
+  }
+  const std::uint64_t now = monotonic_micros();
+  ProfileState& st = state();
+  std::size_t folded = 0;
+  std::string key;
+  std::uint32_t tid = 0;
+  for (const Stack* s : stacks) {
+    if (!read_stack(*s, key, tid)) continue;
+    std::lock_guard<std::mutex> lock(st.mutex);
+    ++st.weights[key];
+    ++st.samples;
+    st.recent.push_back({now, tid, key});
+    if (st.recent.size() > kRecentCap) st.recent.pop_front();
+    ++folded;
+  }
+  return folded;
+}
+
+std::uint64_t ScopeProfiler::samples() const {
+  ProfileState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.samples;
+}
+
+std::string ScopeProfiler::collapsed() const {
+  ProfileState& st = state();
+  std::map<std::string, std::uint64_t> weights;
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    weights = st.weights;
+  }
+  return render_collapsed(weights);
+}
+
+std::string ScopeProfiler::self_slice(std::uint64_t since_us) {
+  std::map<std::string, std::uint64_t> weights;
+  const std::uint32_t me = trace_thread_id();
+  ProfileState& st = state();
+  {
+    std::lock_guard<std::mutex> lock(st.mutex);
+    for (const RecentSample& sample : st.recent) {
+      if (sample.tid == me && sample.time_us >= since_us) {
+        ++weights[sample.stack];
+      }
+    }
+  }
+  // Synchronous self-sample: even when the query outran every sampler tick,
+  // the slice still names where the thread is right now.
+  Stack* own = profiler_detail::t_stack;
+  if (own != nullptr) {
+    std::string key;
+    std::uint32_t tid = 0;
+    if (read_stack(*own, key, tid)) ++weights[key];
+  }
+  return render_collapsed(weights);
+}
+
+void ScopeProfiler::clear() {
+  ProfileState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.weights.clear();
+  st.recent.clear();
+  st.samples = 0;
+}
+
+}  // namespace dp::obs

@@ -1,0 +1,172 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+/// Always-on sampling scope profiler.
+///
+/// Every obs::Span (DP_SPAN) additionally maintains a per-thread *scope
+/// stack* while the profiler is enabled: a bounded, seqlocked array of frame
+/// names that mirrors the code's live span nesting. A background sampler
+/// thread wakes on a timer and snapshots every thread's stack -- no signals
+/// are delivered into arbitrary frames; the sampler only ever reads atomics,
+/// reusing the flight recorder's seqlock-ring discipline -- and folds the
+/// snapshots into weighted collapsed stacks ("outer;inner;leaf count"),
+/// directly consumable by flamegraph tooling.
+///
+/// Two consumers:
+///   - /profilez (and diffprov_cli --profile-out) serve the accumulated
+///     collapsed-stack profile for the whole process.
+///   - the slow-query capture path calls self_slice() on the worker thread to
+///     attach "where did this query spend its time" evidence to a /slowz
+///     journal entry: the sampler hits on that thread since the query began,
+///     plus one synchronous self-sample so the slice is never empty.
+///
+/// Push/pop cost when enabled is a handful of relaxed atomic stores: a frame
+/// *borrows* the span's name pointer rather than copying the bytes, valid
+/// because every DP_SPAN site passes a string literal or an interned rule
+/// label that outlives the span (the exact contract flight-only spans
+/// already rely on; see obs::Span). The sampler copies the bytes out, capped
+/// at kProfileNameCap, before validating its seqlock read. When disabled the
+/// cost is one relaxed load in the Span constructor. Stacks are pooled and
+/// leased per thread exactly like the flight recorder's rings, so
+/// short-lived threads recycle slots and the sampler never walks freed
+/// memory.
+namespace dp::obs {
+
+/// Frames deeper than this are counted but not named (the sampler renders
+/// what fits; deeper pushes only bump the depth counter).
+inline constexpr std::size_t kProfileMaxDepth = 24;
+/// Bytes of a frame name that survive into a sample (flightrec's cap; the
+/// sampler truncates longer names when it copies them out).
+inline constexpr std::size_t kProfileNameCap = 40;
+
+namespace profiler_detail {
+extern std::atomic<bool> g_enabled;
+
+/// One thread's scope stack (definition lives here so the push/pop fast path
+/// inlines into the Span constructor). Writer (the owning thread) is the
+/// only mutator; the sampler reads under the per-stack seqlock, exactly the
+/// flight recorder's slot discipline: odd seq while frames are in flux,
+/// release on the even store, acquire + re-check on the read side. A frame
+/// borrows the span's name pointer (immortal bytes: string literals and
+/// interned rule labels -- the Span borrow contract), so the sampler may
+/// dereference it even when the seqlock recheck later discards the read.
+struct Frame {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint32_t> len{0};
+};
+
+struct Stack {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uint32_t> tid{0};
+  Frame frames[kProfileMaxDepth];
+  Stack* next_free = nullptr;
+};
+
+/// The calling thread's leased stack, or nullptr before the first push. A
+/// plain constant-initialized pointer on purpose: a thread_local with a
+/// destructor is reached through an init-guarded TLS wrapper on every
+/// access, which is most of the push cost at span granularity. The
+/// destructor lives on a separate guard object that lease_stack() arms.
+extern thread_local Stack* t_stack;
+
+/// Slow path: leases a pooled stack for this thread (and arms the guard
+/// that returns it at thread exit). Called once per thread.
+Stack* lease_stack();
+}  // namespace profiler_detail
+
+/// The Span-side gate: one relaxed load, safe before main() and from any
+/// thread.
+inline bool profiler_enabled() {
+  return profiler_detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Called by obs::Span when profiler_enabled() was true at construction.
+/// push returns an opaque handle to the thread's stack, which the span hands
+/// back to pop -- this keeps push/pop balanced even if the profiler toggles
+/// mid-span, and spares pop the thread-local lookup.
+inline void* profiler_push_scope(std::string_view name) {
+  using profiler_detail::Stack;
+  Stack* s = profiler_detail::t_stack;
+  if (s == nullptr) s = profiler_detail::lease_stack();
+  const std::uint32_t d = s->depth.load(std::memory_order_relaxed);
+  if (d >= kProfileMaxDepth) {
+    // Counted but not named: the frames array is untouched, so no seq bump.
+    s->depth.store(d + 1, std::memory_order_relaxed);
+    return s;
+  }
+  const std::uint32_t seq = s->seq.load(std::memory_order_relaxed);
+  s->seq.store(seq + 1, std::memory_order_relaxed);
+  profiler_detail::Frame& f = s->frames[d];
+  // Borrow, don't copy: span names are string literals or interned labels
+  // that outlive the span (see the class comment above).
+  f.name.store(name.data(), std::memory_order_relaxed);
+  f.len.store(static_cast<std::uint32_t>(name.size()),
+              std::memory_order_relaxed);
+  s->depth.store(d + 1, std::memory_order_relaxed);
+  s->seq.store(seq + 2, std::memory_order_release);
+  return s;
+}
+
+inline void profiler_pop_scope(void* handle) {
+  auto* s = static_cast<profiler_detail::Stack*>(handle);
+  const std::uint32_t d = s->depth.load(std::memory_order_relaxed);
+  if (d == 0) return;
+  // A pop mutates nothing a concurrent reader could be copying -- the frames
+  // below the new depth are untouched, and the popped slot only becomes
+  // unreliable when a later *push* overwrites it (which bumps the seqlock).
+  // So a single depth store suffices; the reader's snapshot stays a valid
+  // photograph of the stack as of its depth load.
+  s->depth.store(d - 1, std::memory_order_release);
+}
+
+class ScopeProfiler {
+ public:
+  /// Process-wide instance (leaked, like the flight recorder: thread-local
+  /// leases may outlive static destruction order).
+  static ScopeProfiler& instance();
+
+  /// Arms (or disarms) the Span push/pop hooks. Enabling without a sampler
+  /// thread is useful in tests: sample_once() can then drive it manually.
+  void set_enabled(bool on);
+  bool enabled() const { return profiler_enabled(); }
+
+  /// Starts the background sampler at `interval` (implies set_enabled(true)).
+  /// Restarts with the new interval if already running.
+  void start_sampler(std::chrono::milliseconds interval);
+  void stop_sampler();
+  bool sampler_running() const;
+
+  /// One sweep over every live thread stack; returns how many non-empty
+  /// stacks were folded in. The sampler thread calls this on its timer;
+  /// tests call it directly for determinism.
+  std::size_t sample_once();
+
+  /// Total stack samples folded in since the last clear().
+  std::uint64_t samples() const;
+
+  /// The accumulated profile as collapsed-stack text: one
+  /// "frame;frame;frame <count>" line per distinct stack, heaviest first.
+  /// Empty string when nothing was sampled yet.
+  std::string collapsed() const;
+
+  /// Collapsed-stack slice for the *calling* thread: sampler hits attributed
+  /// to this thread with sample time >= since_us, plus one synchronous
+  /// self-sample of the current stack. Non-empty whenever the profiler is
+  /// enabled and the caller holds at least one live span.
+  std::string self_slice(std::uint64_t since_us);
+
+  /// Drops accumulated weights and recent samples (not the live stacks).
+  void clear();
+
+ private:
+  ScopeProfiler() = default;
+  void sampler_main();
+};
+
+}  // namespace dp::obs

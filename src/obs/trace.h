@@ -18,9 +18,9 @@
 // does exactly this with the context minted by diffprov_client and carried
 // in the NDJSON `trace` field.
 //
-// Cost model: when the tracer is disabled a span costs two relaxed atomic
-// loads and branches (tracer + flight recorder gates); nothing is allocated
-// or timestamped. When compiled out (DP_OBS_ENABLED=0, see obs.h) the macros
+// Cost model: when the tracer is disabled a span costs three relaxed atomic
+// loads and branches (tracer + flight recorder + profiler gates); nothing is
+// allocated or timestamped. When compiled out (DP_OBS_ENABLED=0, see obs.h) the macros
 // vanish entirely. Spans whose tracer is off but whose flight recorder is on
 // take the cheap path described in flightrec.h.
 #pragma once
@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/flightrec.h"
+#include "obs/profiler.h"
 
 namespace dp::obs {
 
@@ -137,10 +138,11 @@ Tracer& default_tracer();
 /// RAII span. If the tracer is disabled at construction the span is inert --
 /// unless the flight recorder is on, in which case the span takes the cheap
 /// flight path: no clock reads or copies at construction, one ring-buffer
-/// write at end(). In flight-only mode the `name` buffer must outlive the
-/// span (string literals and the engine's interned rule labels do; every
-/// DP_SPAN site passes one of those). end() closes the span early; the
-/// destructor closes it otherwise.
+/// write at end(). In flight-only mode -- and whenever the scope profiler is
+/// enabled, whose per-thread stack borrows the same buffer -- the `name`
+/// buffer must outlive the span (string literals and the engine's interned
+/// rule labels do; every DP_SPAN site passes one of those). end() closes the
+/// span early; the destructor closes it otherwise.
 class Span {
  public:
   Span(Tracer& tracer, std::string_view name, const char* category = "dp") {
@@ -152,9 +154,16 @@ class Span {
       parent_ = current_trace_context();
       span_id_ = next_span_id();
       install({parent_.trace_id, span_id_});
-    } else if (FlightRecorder::instance().enabled()) {
+    } else if (flight_recorder_enabled()) {
       flight_ = true;
       name_view_ = name;
+    }
+    // Third gate, independent of the other two: while the scope profiler is
+    // on, every span additionally mirrors itself onto the thread's sampled
+    // scope stack (profiler.h). The returned handle keeps push/pop balanced
+    // even if the profiler toggles mid-span.
+    if (profiler_enabled()) {
+      prof_scope_ = profiler_push_scope(name);
     }
   }
   Span(const Span&) = delete;
@@ -167,29 +176,33 @@ class Span {
 
   /// Records the event now (idempotent).
   void end() {
+    if (prof_scope_ != nullptr) {
+      profiler_pop_scope(prof_scope_);
+      prof_scope_ = nullptr;
+    }
     if (tracer_ != nullptr) {
       Tracer* t = tracer_;
       tracer_ = nullptr;
       install(parent_);
       const std::uint64_t duration = monotonic_micros() - start_us_;
-      if (FlightRecorder::instance().enabled()) {
-        FlightRecorder::instance().record_span(name_, parent_.trace_id,
-                                               duration);
+      if (flight_recorder_enabled()) {
+        flight_record_span(name_, parent_.trace_id, duration);
       }
       t->record_complete(std::move(name_), category_, start_us_, duration,
                          parent_.trace_id, span_id_, parent_.span_id);
     } else if (flight_) {
       flight_ = false;
-      FlightRecorder::instance().record_span(
-          name_view_, current_trace_context().trace_id, /*duration_us=*/0);
+      flight_record_span(name_view_, current_trace_context().trace_id,
+                         /*duration_us=*/0);
     }
   }
 
  private:
   static void install(TraceContext context);
 
-  Tracer* tracer_ = nullptr;  // null = not tracing
-  bool flight_ = false;       // flight-only mode (tracer off, recorder on)
+  Tracer* tracer_ = nullptr;    // null = not tracing
+  bool flight_ = false;         // flight-only mode (tracer off, recorder on)
+  void* prof_scope_ = nullptr;  // profiler stack this span was pushed onto
   std::string name_;
   std::string_view name_view_;  // flight-only: borrowed, see class comment
   const char* category_ = "dp";

@@ -17,6 +17,13 @@ obs::Histogram& lookup_histogram() {
   return hist;
 }
 
+/// Quantile-sketch twin of lookup_histogram() (same series, tail quantiles).
+obs::QuantileSketch& lookup_sketch() {
+  static obs::QuantileSketch& sketch =
+      obs::default_registry().sketch("dp.prov.lookup_us");
+  return sketch;
+}
+
 /// Samples one lookup: counts it always, times it only when tracing.
 class LookupSample {
  public:
@@ -26,7 +33,9 @@ class LookupSample {
   }
   ~LookupSample() {
     if (start_us_ != kOff) {
-      lookup_histogram().observe(double(obs::monotonic_micros() - start_us_));
+      const auto us = double(obs::monotonic_micros() - start_us_);
+      lookup_histogram().observe(us);
+      lookup_sketch().observe(us);
     }
   }
   LookupSample(const LookupSample&) = delete;

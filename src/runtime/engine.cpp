@@ -23,17 +23,21 @@ obs::Tracer& disabled_tracer() {
 /// functions' many early returns (RAII).
 class FiringScope {
  public:
-  FiringScope(bool want, const std::string& label, obs::Histogram* hist)
+  FiringScope(bool want, const std::string& label, obs::Histogram* hist,
+              obs::QuantileSketch* sketch)
       : span_(want ? obs::default_tracer() : disabled_tracer(), label,
               "rule") {
     if (span_.active()) {
       hist_ = hist;
+      sketch_ = sketch;
       start_us_ = obs::monotonic_micros();
     }
   }
   ~FiringScope() {
     if (hist_ != nullptr) {
-      hist_->observe(double(obs::monotonic_micros() - start_us_));
+      const auto us = double(obs::monotonic_micros() - start_us_);
+      hist_->observe(us);
+      if (sketch_ != nullptr) sketch_->observe(us);
     }
   }
   FiringScope(const FiringScope&) = delete;
@@ -42,6 +46,7 @@ class FiringScope {
  private:
   obs::Span span_;
   obs::Histogram* hist_ = nullptr;
+  obs::QuantileSketch* sketch_ = nullptr;
   std::uint64_t start_us_ = 0;
 };
 
@@ -94,6 +99,7 @@ Engine::Engine(Program program, EngineConfig config)
                                  obs::sanitize_metric_segment(rule.name));
   }
   fire_hist_ = &metrics_->histogram("dp.runtime.rule_fire_us");
+  fire_sketch_ = &metrics_->sketch("dp.runtime.rule_fire_us");
   batch_size_hist_ = &metrics_->histogram(
       "dp.engine.batch.size",
       {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096});
@@ -653,7 +659,8 @@ void Engine::fire_rule(const Rule& rule, std::size_t atom_index,
   const std::size_t rule_index =
       static_cast<std::size_t>(&rule - program_.rules().data());
   FiringScope firing_scope(config_.trace_rule_firings,
-                           rule_span_labels_[rule_index], fire_hist_);
+                           rule_span_labels_[rule_index], fire_hist_,
+                           fire_sketch_);
   const NodeName& node = arrival.location();
 
   // Depth-first join over the remaining body atoms, in body order.
@@ -829,7 +836,8 @@ void Engine::fire_rule_planned(const RulePlan& plan, const Tuple& arrival,
                                LogicalTime t) {
   const Rule& rule = program_.rules()[plan.rule_index];
   FiringScope firing_scope(config_.trace_rule_firings,
-                           rule_span_labels_[plan.rule_index], fire_hist_);
+                           rule_span_labels_[plan.rule_index], fire_hist_,
+                           fire_sketch_);
   const NodeName& node = arrival.location();
 
   // Unify the arriving tuple against the trigger atom.
@@ -1239,7 +1247,8 @@ void Engine::fire_rule_batch(const RulePlan& plan, std::uint32_t plan_ordinal,
                              std::vector<BufferedEmission>& out) {
   const Rule& rule = program_.rules()[plan.rule_index];
   FiringScope firing_scope(config_.trace_rule_firings,
-                           rule_span_labels_[plan.rule_index], fire_hist_);
+                           rule_span_labels_[plan.rule_index], fire_hist_,
+                           fire_sketch_);
 
   regs_matrix_.reset(plan.slot_count);
   if (stage_rows_.size() < plan.steps.size() + 1) {

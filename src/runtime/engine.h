@@ -405,6 +405,10 @@ class Engine {
   obs::MetricsRegistry* metrics_ = nullptr;    // publish target (never null)
   std::unique_ptr<obs::MetricsRegistry> own_metrics_;  // when config.metrics==null
   obs::Histogram* fire_hist_ = nullptr;  // dp.runtime.rule_fire_us, cached
+  // Quantile-sketch twin of fire_hist_ (same series name; exported as the
+  // _p50/_p95/_p99/_p999 gauges). Observed under the same traced-firing gate,
+  // so the untraced hot path stays branch-free.
+  obs::QuantileSketch* fire_sketch_ = nullptr;
 
   // --- batch execution state (only populated when batching is on) ---
   // Per-table bitmask of the tables probed by any plan the table triggers

@@ -11,6 +11,8 @@
 #include <string>
 
 #include "obs/flightrec.h"
+#include "obs/profiler.h"
+#include "service/http.h"
 #include "service/protocol.h"
 
 namespace dp::service {
@@ -42,7 +44,24 @@ bool write_all(int fd, const std::string& data) {
 }  // namespace
 
 Daemon::Daemon(DiagnosisService& service, std::uint16_t port)
-    : service_(service) {
+    : service_(service), endpoints_(std::make_unique<HttpEndpoints>()) {
+  // The scrape surface, one table instead of per-endpoint branches
+  // (http.h). Every producer reads lock-free or mutex-guarded state, so
+  // serving them from connection threads is safe.
+  endpoints_->add("/metrics", "text/plain; version=0.0.4; charset=utf-8",
+                  [this] { return service_.metrics().to_prometheus(); });
+  endpoints_->add("/healthz", "text/plain; charset=utf-8",
+                  [] { return std::string("ok\n"); });
+  endpoints_->add("/tracez", "application/json", [] {
+    return obs::FlightRecorder::instance().to_json() + "\n";
+  });
+  endpoints_->add("/profilez", "text/plain; charset=utf-8", [] {
+    // Collapsed-stack text, flamegraph-ready (profiler.h).
+    return obs::ScopeProfiler::instance().collapsed();
+  });
+  endpoints_->add("/slowz", "application/json",
+                  [this] { return service_.slowz_json() + "\n"; });
+
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   const int one = 1;
@@ -162,7 +181,7 @@ void Daemon::handle_connection(int fd, std::uint64_t connection_id) {
 
     if (mode == Mode::kUndecided) {
       if (buffer.size() >= 4) {
-        mode = buffer.compare(0, 4, "GET ") == 0 ? Mode::kHttp : Mode::kNdjson;
+        mode = looks_like_http(buffer) ? Mode::kHttp : Mode::kNdjson;
       } else if (buffer.find('\n') != std::string::npos) {
         mode = Mode::kNdjson;  // a full (short) line: cannot be HTTP
       } else {
@@ -172,12 +191,11 @@ void Daemon::handle_connection(int fd, std::uint64_t connection_id) {
     if (mode == Mode::kHttp) {
       // One request per connection (Connection: close): wait for the end of
       // the header block, answer, done. Good enough for curl and scrapers.
-      if (buffer.find("\r\n\r\n") == std::string::npos &&
-          buffer.find("\n\n") == std::string::npos) {
+      if (!http_request_complete(buffer)) {
         if (buffer.size() > 64 * 1024) break;  // runaway header block
         continue;
       }
-      handle_http(fd, buffer);
+      write_all(fd, endpoints_->respond(buffer));
       break;
     }
 
@@ -207,49 +225,6 @@ void Daemon::handle_connection(int fd, std::uint64_t connection_id) {
   }
   ::close(fd);
   mark_finished(connection_id);
-}
-
-void Daemon::handle_http(int fd, const std::string& buffer) {
-  // Request line: "GET <path>[?query] HTTP/1.x". `buffer` starts with
-  // "GET " (the mode check guarantees it).
-  const std::size_t line_end = buffer.find_first_of("\r\n");
-  const std::string request_line =
-      buffer.substr(0, line_end == std::string::npos ? buffer.size()
-                                                     : line_end);
-  std::string path = request_line.substr(4);
-  if (const std::size_t space = path.find(' '); space != std::string::npos) {
-    path.resize(space);
-  }
-  if (const std::size_t query = path.find('?'); query != std::string::npos) {
-    path.resize(query);
-  }
-
-  std::string status = "200 OK";
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-  if (path == "/metrics") {
-    // The Prometheus text exposition format curl/prometheus expect.
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = service_.metrics().to_prometheus();
-  } else if (path == "/healthz") {
-    body = "ok\n";
-  } else if (path == "/tracez") {
-    content_type = "application/json";
-    body = obs::FlightRecorder::instance().to_json();
-    body.push_back('\n');
-  } else {
-    status = "404 Not Found";
-    body = "not found: " + path + "\n";
-  }
-
-  std::string response;
-  response.reserve(body.size() + 160);
-  response += "HTTP/1.1 " + status + "\r\n";
-  response += "Content-Type: " + content_type + "\r\n";
-  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-  response += "Connection: close\r\n\r\n";
-  response += body;
-  write_all(fd, response);
 }
 
 }  // namespace dp::service

@@ -9,10 +9,13 @@
 // the CI smoke read back via Daemon::port() / --port-file.
 //
 // Scrape endpoints: a connection whose first four bytes are "GET " is
-// served as one HTTP request and closed -- `/metrics` (Prometheus text
-// exposition of the service registry), `/healthz` ("ok"), and `/tracez`
-// (the flight-recorder dump as JSON). Anything else on the socket is the
-// NDJSON protocol, so `curl` and `diffprov_client` share the port.
+// served as one HTTP request and closed (sniff/route/respond live in
+// http.h, shared by every endpoint) -- `/metrics` (Prometheus text
+// exposition of the service registry), `/healthz` ("ok"), `/tracez` (the
+// flight-recorder dump as JSON), `/profilez` (the scope profiler's
+// collapsed stacks, flamegraph-ready), and `/slowz` (the slow-query
+// journal as JSON). Anything else on the socket is the NDJSON protocol, so
+// `curl` and `diffprov_client` share the port.
 #pragma once
 
 #include <atomic>
@@ -26,6 +29,8 @@
 #include "service/service.h"
 
 namespace dp::service {
+
+class HttpEndpoints;
 
 class Daemon {
  public:
@@ -51,7 +56,6 @@ class Daemon {
 
  private:
   void handle_connection(int fd, std::uint64_t connection_id);
-  void handle_http(int fd, const std::string& buffer);
   /// Marks a connection thread done; the accept loop joins it later (a
   /// thread cannot join itself).
   void mark_finished(std::uint64_t connection_id);
@@ -62,6 +66,9 @@ class Daemon {
   void reap_finished();
 
   DiagnosisService& service_;
+  /// The HTTP scrape surface (route table + renderer); built once in the
+  /// constructor, read-only afterwards, shared by connection threads.
+  std::unique_ptr<HttpEndpoints> endpoints_;
   /// Atomic: stop() swaps in -1 and closes it while serve() is blocked in
   /// accept() on another thread.
   std::atomic<int> listen_fd_{-1};

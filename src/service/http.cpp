@@ -1,0 +1,67 @@
+#include "service/http.h"
+
+namespace dp::service {
+
+void HttpEndpoints::add(std::string path, std::string content_type,
+                        std::function<std::string()> body) {
+  endpoints_.push_back({std::move(path), std::move(content_type),
+                        std::move(body)});
+}
+
+std::string HttpEndpoints::respond(const std::string& buffer) const {
+  const std::string path = http_request_path(buffer);
+  for (const Endpoint& endpoint : endpoints_) {
+    if (endpoint.path == path) {
+      return render_http_response("200 OK", endpoint.content_type,
+                                  endpoint.body());
+    }
+  }
+  return render_http_response("404 Not Found", "text/plain; charset=utf-8",
+                              "not found: " + path + "\n");
+}
+
+std::vector<std::string> HttpEndpoints::paths() const {
+  std::vector<std::string> out;
+  out.reserve(endpoints_.size());
+  for (const Endpoint& endpoint : endpoints_) out.push_back(endpoint.path);
+  return out;
+}
+
+bool looks_like_http(const std::string& buffer) {
+  return buffer.compare(0, 4, "GET ") == 0;
+}
+
+bool http_request_complete(const std::string& buffer) {
+  return buffer.find("\r\n\r\n") != std::string::npos ||
+         buffer.find("\n\n") != std::string::npos;
+}
+
+std::string http_request_path(const std::string& buffer) {
+  // Request line: "GET <path>[?query] HTTP/1.x".
+  const std::size_t line_end = buffer.find_first_of("\r\n");
+  const std::string request_line = buffer.substr(
+      0, line_end == std::string::npos ? buffer.size() : line_end);
+  std::string path = request_line.size() > 4 ? request_line.substr(4) : "";
+  if (const std::size_t space = path.find(' '); space != std::string::npos) {
+    path.resize(space);
+  }
+  if (const std::size_t query = path.find('?'); query != std::string::npos) {
+    path.resize(query);
+  }
+  return path;
+}
+
+std::string render_http_response(const std::string& status,
+                                 const std::string& content_type,
+                                 const std::string& body) {
+  std::string response;
+  response.reserve(body.size() + 160);
+  response += "HTTP/1.1 " + status + "\r\n";
+  response += "Content-Type: " + content_type + "\r\n";
+  response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  response += "Connection: close\r\n\r\n";
+  response += body;
+  return response;
+}
+
+}  // namespace dp::service

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// The daemon's HTTP fast path, factored out of the connection loop: one
+/// sniff helper ("is this socket speaking HTTP?"), one route table, one
+/// response renderer. Every scrape endpoint -- /metrics, /healthz, /tracez,
+/// /profilez, /slowz -- registers here instead of growing another branch in
+/// daemon.cpp, and tests can exercise routing without a socket.
+///
+/// Scope stays deliberately tiny: GET only, one request per connection
+/// (Connection: close), no keep-alive, no request body. That is exactly what
+/// curl and Prometheus scrapers need from a loopback diagnosis daemon.
+namespace dp::service {
+
+class HttpEndpoints {
+ public:
+  /// Registers `path` (exact match, query string stripped before routing)
+  /// with a body producer. The producer runs per request on the connection
+  /// thread; it must be thread-safe.
+  void add(std::string path, std::string content_type,
+           std::function<std::string()> body);
+
+  /// Routes the request in `buffer` (a raw header block starting with
+  /// "GET ") and renders the complete HTTP/1.1 response, 404 included.
+  [[nodiscard]] std::string respond(const std::string& buffer) const;
+
+  /// Registered paths in registration order (for docs/404 listings).
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+ private:
+  struct Endpoint {
+    std::string path;
+    std::string content_type;
+    std::function<std::string()> body;
+  };
+  std::vector<Endpoint> endpoints_;
+};
+
+/// True once `buffer` provably starts an HTTP GET request ("GET " prefix);
+/// false once it provably cannot (diverging prefix or a complete short
+/// line). Callers with fewer than 4 bytes and no newline should keep
+/// reading.
+bool looks_like_http(const std::string& buffer);
+
+/// True when the header block is complete (blank line seen) and `respond`
+/// can run.
+bool http_request_complete(const std::string& buffer);
+
+/// "GET /slowz?n=1 HTTP/1.1" -> "/slowz" (query stripped). Exposed for
+/// tests; respond() uses it internally.
+std::string http_request_path(const std::string& buffer);
+
+/// Renders a full HTTP/1.1 response with Content-Length and
+/// Connection: close.
+std::string render_http_response(const std::string& status,
+                                 const std::string& content_type,
+                                 const std::string& body);
+
+}  // namespace dp::service

@@ -257,6 +257,10 @@ std::string handle_request(DiagnosisService& service, const std::string& line,
       return "{\"ok\":true,\"flightrec\":" +
              obs::FlightRecorder::instance().to_json() + "}";
     }
+    if (op == "slowz") {
+      // The slow-query journal (slowlog.h), same document /slowz serves.
+      return "{\"ok\":true,\"slowz\":" + service.slowz_json() + "}";
+    }
     if (op == "shutdown") {
       shutdown_requested = true;
       return "{\"ok\":true,\"shutting_down\":true}";

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iterator>
 #include <sstream>
 
 #include "ndlog/parser.h"
 #include "obs/flightrec.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "util/hash.h"
 
 namespace dp::service {
@@ -143,14 +145,16 @@ DiagnosisService::Shard::Shard(std::size_t shard_index, std::size_t max_warm,
                                std::shared_ptr<WarmBudgetLedger> ledger,
                                ReplayOptions options,
                                obs::MetricsRegistry& registry,
-                               std::size_t queue_capacity)
+                               std::size_t queue_capacity,
+                               std::size_t slow_journal_capacity)
     : index(shard_index),
       sessions(max_warm, std::move(ledger), shard_index, std::move(options),
                registry),
       queue(queue_capacity),
       queue_depth(registry.gauge("dp.service.shard." +
                                  std::to_string(shard_index) +
-                                 ".queue_depth")) {}
+                                 ".queue_depth")),
+      slow_journal(slow_journal_capacity) {}
 
 DiagnosisService::DiagnosisService(ServiceConfig config)
     : config_(std::move(config)),
@@ -174,8 +178,11 @@ DiagnosisService::DiagnosisService(ServiceConfig config)
       queue_depth_(registry_->gauge("dp.service.queue_depth")),
       worker_stuck_(registry_->gauge("dp.service.worker.stuck")),
       worker_panics_(registry_->counter("dp.service.worker.panics")),
+      slow_captured_(registry_->counter("dp.service.slow.captured")),
       queue_wait_us_(registry_->histogram("dp.service.queue_wait_us")),
-      exec_us_(registry_->histogram("dp.service.exec_us")) {
+      exec_us_(registry_->histogram("dp.service.exec_us")),
+      queue_wait_sketch_(registry_->sketch("dp.service.queue_wait_us")),
+      exec_sketch_(registry_->sketch("dp.service.exec_us")) {
   const std::size_t nshards = std::min<std::size_t>(
       std::max<std::size_t>(config_.shards, 1), kMaxShards);
   // The session-count cap is global; every shard enforces its slice (at
@@ -184,9 +191,9 @@ DiagnosisService::DiagnosisService(ServiceConfig config)
       std::max<std::size_t>(1, config_.max_warm_sessions / nshards);
   shards_.reserve(nshards);
   for (std::size_t s = 0; s < nshards; ++s) {
-    shards_.push_back(std::make_unique<Shard>(s, max_warm_per_shard, ledger_,
-                                              replay_options_, *registry_,
-                                              config_.queue_capacity));
+    shards_.push_back(std::make_unique<Shard>(
+        s, max_warm_per_shard, ledger_, replay_options_, *registry_,
+        config_.queue_capacity, config_.slow_journal_capacity));
   }
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
@@ -491,10 +498,13 @@ void DiagnosisService::watchdog_loop() {
     worker_stuck_.set(stuck);
     if (stuck > last_stuck) {
       // New stuck episode: capture the last moments once (not every tick --
-      // a wedged worker would otherwise flood stderr).
-      obs::FlightRecorder::instance().dump_to_stderr(
-          "watchdog: " + std::to_string(stuck) +
-          " worker(s) past the deadline");
+      // a wedged worker would otherwise flood stderr). The slow-query
+      // journal rides along: past tail captures are exactly the context for
+      // "why is this worker wedged now".
+      const std::string reason = "watchdog: " + std::to_string(stuck) +
+                                 " worker(s) past the deadline";
+      obs::FlightRecorder::instance().dump_to_stderr(reason);
+      dump_slowz_to_stderr(reason);
     }
     last_stuck = stuck;
   }
@@ -503,6 +513,9 @@ void DiagnosisService::watchdog_loop() {
 void DiagnosisService::run_job(Shard& shard,
                                const std::shared_ptr<JobState>& job) {
   const auto started_at = std::chrono::steady_clock::now();
+  // On the flight clock too: slow-query capture uses it to select profiler
+  // samples that landed on this thread while this job ran.
+  const std::uint64_t job_start_us = obs::monotonic_micros();
   queue_depth_.add(-1);
   shard.queue_depth.set(static_cast<std::int64_t>(shard.queue.size()));
 
@@ -519,6 +532,7 @@ void DiagnosisService::run_job(Shard& shard,
       it->second.state = QueryState::kRunning;
       it->second.queue_us = micros_between(it->second.submitted_at, started_at);
       queue_wait_us_.observe(it->second.queue_us);
+      queue_wait_sketch_.observe(it->second.queue_us);
       any_live = true;
     }
   }
@@ -540,6 +554,7 @@ void DiagnosisService::run_job(Shard& shard,
       it->second.state = QueryState::kRunning;
       it->second.queue_us = micros_between(it->second.submitted_at, started_at);
       queue_wait_us_.observe(it->second.queue_us);
+      queue_wait_sketch_.observe(it->second.queue_us);
       any_live = true;
     }
   }
@@ -611,6 +626,7 @@ void DiagnosisService::run_job(Shard& shard,
     worker_panics_.inc();
     obs::FlightRecorder::instance().dump_to_stderr(
         std::string("worker panic: ") + e.what());
+    dump_slowz_to_stderr(std::string("worker panic: ") + e.what());
     result.exit_code = 1;
     result.out.clear();
     result.err = std::string("internal error: ") + e.what() + "\n";
@@ -625,13 +641,26 @@ void DiagnosisService::run_job(Shard& shard,
   runs_.inc();
   const auto finished_at = std::chrono::steady_clock::now();
   const double exec_us = micros_between(started_at, finished_at);
+  // Adaptive slow-query threshold: read the live p99 *before* folding this
+  // job in, so one slow outlier cannot raise the bar it is judged against.
+  const double live_p99 = exec_sketch_.quantile(0.99);
   exec_us_.observe(exec_us);
+  exec_sketch_.observe(exec_us);
   result.profile_json = render_profile_json(
       profile, session_wait_us, warm_replay_us, ingest_snapshot_us, warm_hit,
       exec_us, job->trace_id,
       registry_->counter("dp.prov.vertices").value() - vertices_before,
       static_cast<std::uint64_t>(registry_->gauge("dp.store.tuples").value()),
       static_cast<std::uint64_t>(registry_->gauge("dp.store.bytes").value()));
+
+  if (config_.slow_ms >= 0) {
+    const double threshold_us =
+        std::max(config_.slow_ms * 1000.0, config_.slow_factor * live_p99);
+    if (exec_us >= threshold_us) {
+      capture_slow(shard, *job, exec_us, threshold_us, result.profile_json,
+                   job_start_us);
+    }
+  }
 
   // Publish, then complete. complete() publishes the result and drops the
   // in-flight entry inside one stripe critical section, so a duplicate
@@ -648,6 +677,51 @@ void DiagnosisService::run_job(Shard& shard,
     trim_tickets_locked(shard);
   }
   shard.done_cv.notify_all();
+}
+
+void DiagnosisService::capture_slow(Shard& shard, const JobState& job,
+                                    double exec_us, double threshold_us,
+                                    const std::string& profile_json,
+                                    std::uint64_t job_start_us) {
+  // The span keeps at least one frame live on this thread's profiler stack
+  // while self_slice() takes its synchronous self-sample, so the slice is
+  // non-empty whenever the profiler is enabled.
+  DP_SPAN_CAT("dp.service.slow_capture", "service");
+  SlowQueryEntry entry;
+  entry.time_us = obs::monotonic_micros();
+  entry.trace_id = job.trace_id;
+  entry.key = job.key;
+  entry.shard = shard.index;
+  entry.exec_us = exec_us;
+  entry.threshold_us = threshold_us;
+  entry.profile_json = profile_json;
+  entry.profile_slice = obs::ScopeProfiler::instance().self_slice(job_start_us);
+  entry.flightrec_json = obs::FlightRecorder::instance().to_json();
+  shard.slow_journal.add(std::move(entry));
+  slow_captured_.inc();
+}
+
+std::string DiagnosisService::slowz_json() const {
+  std::vector<SlowQueryEntry> entries;
+  std::uint64_t captured = 0;
+  for (const auto& shard : shards_) {
+    captured += shard->slow_journal.captured();
+    std::vector<SlowQueryEntry> part = shard->slow_journal.snapshot();
+    entries.insert(entries.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const SlowQueryEntry& a, const SlowQueryEntry& b) {
+                     return a.time_us < b.time_us;
+                   });
+  return render_slowz_json(entries, captured);
+}
+
+void DiagnosisService::dump_slowz_to_stderr(const std::string& reason) const {
+  // One fwrite, mirroring FlightRecorder::dump_to_stderr: a single line a
+  // log collector keeps intact.
+  const std::string line = "[dp:SLOWZ] " + reason + ": " + slowz_json() + "\n";
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 void DiagnosisService::complete_locked(

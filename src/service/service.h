@@ -60,6 +60,7 @@
 #include "service/cache.h"
 #include "service/diagnose.h"
 #include "service/session.h"
+#include "service/slowlog.h"
 
 namespace dp::service {
 
@@ -114,6 +115,17 @@ struct ServiceConfig {
   /// before it diagnoses. Lets tests hold workers to fill the queue
   /// deterministically.
   std::function<void()> on_job_start;
+  /// Slow-query capture floor, in milliseconds: a job whose exec time
+  /// exceeds max(slow_ms, slow_factor x the live p99 from the exec-latency
+  /// sketch) is journaled with its phase profile, flight-recorder snapshot,
+  /// trace id, and profiler slice (slowlog.h; served at /slowz). 0 makes the
+  /// threshold purely adaptive (and captures the very first query, which CI
+  /// uses as a forced-slow smoke); negative disables capture.
+  double slow_ms = 1000;
+  /// The k in the adaptive threshold k x live-p99.
+  double slow_factor = 3;
+  /// Journal entries retained *per shard* (oldest fall off).
+  std::size_t slow_journal_capacity = 32;
 };
 
 /// One diagnosis request, all-text (what arrives off the wire).
@@ -265,6 +277,10 @@ class DiagnosisService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] obs::MetricsRegistry& metrics() { return *registry_; }
+  /// The merged slow-query journal (all shards, capture order) as the
+  /// /slowz JSON document; also returned by the `slowz` NDJSON op and
+  /// dumped to stderr by the watchdog/panic paths.
+  [[nodiscard]] std::string slowz_json() const;
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   /// Which shard a scenario (or inline session key) routes to; exposed for
   /// tests and for operators reading per-shard metrics.
@@ -312,12 +328,15 @@ class DiagnosisService {
   struct Shard {
     Shard(std::size_t index, std::size_t max_warm,
           std::shared_ptr<WarmBudgetLedger> ledger, ReplayOptions options,
-          obs::MetricsRegistry& registry, std::size_t queue_capacity);
+          obs::MetricsRegistry& registry, std::size_t queue_capacity,
+          std::size_t slow_journal_capacity);
 
     const std::size_t index;
     SessionManager sessions;
     BoundedQueue<std::shared_ptr<JobState>> queue;
     obs::Gauge& queue_depth;  // dp.service.shard.<i>.queue_depth
+    /// Slow queries captured by this shard's workers (slowlog.h).
+    SlowQueryJournal slow_journal;
 
     mutable std::mutex mutex;  // tickets + next_seq
     std::condition_variable done_cv;
@@ -343,6 +362,14 @@ class DiagnosisService {
   void worker_loop(Shard& shard, std::size_t worker_index);
   void watchdog_loop();
   void run_job(Shard& shard, const std::shared_ptr<JobState>& job);
+  /// Files a slow-query journal entry on the worker thread (run_job calls
+  /// it after rendering the phase profile).
+  void capture_slow(Shard& shard, const JobState& job, double exec_us,
+                    double threshold_us, const std::string& profile_json,
+                    std::uint64_t job_start_us);
+  /// One "[dp:SLOWZ] <reason>: <json>" line on stderr (watchdog/panic
+  /// paths, next to the flight recorder's [dp:FLIGHTREC] dump).
+  void dump_slowz_to_stderr(const std::string& reason) const;
   /// Creates a kQueued ticket on `shard`; returns its id. Caller must not
   /// hold the shard mutex.
   std::uint64_t allocate_ticket(Shard& shard,
@@ -387,8 +414,14 @@ class DiagnosisService {
   obs::Gauge& queue_depth_;  // total across shards (delta-maintained)
   obs::Gauge& worker_stuck_;
   obs::Counter& worker_panics_;
+  obs::Counter& slow_captured_;
   obs::Histogram& queue_wait_us_;
   obs::Histogram& exec_us_;
+  /// Quantile sketches paired with the histograms above: same logical
+  /// series, exported as dp.service.*_p50/_p95/_p99/_p999. exec_sketch_
+  /// additionally feeds the adaptive slow-query threshold.
+  obs::QuantileSketch& queue_wait_sketch_;
+  obs::QuantileSketch& exec_sketch_;
 };
 
 }  // namespace dp::service

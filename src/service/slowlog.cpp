@@ -1,0 +1,76 @@
+#include "service/slowlog.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/json_check.h"
+#include "obs/trace.h"
+
+namespace dp::service {
+
+namespace {
+
+std::string format_us(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+}  // namespace
+
+SlowQueryJournal::SlowQueryJournal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SlowQueryJournal::add(SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry.seq = ++captured_;
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::size_t SlowQueryJournal::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t SlowQueryJournal::captured() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return captured_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryJournal::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<SlowQueryEntry>(entries_.begin(), entries_.end());
+}
+
+std::string render_slowz_json(const std::vector<SlowQueryEntry>& entries,
+                              std::uint64_t captured) {
+  std::string out = "{\"captured\":" + std::to_string(captured) +
+                    ",\"entries\":[";
+  bool first = true;
+  for (const SlowQueryEntry& e : entries) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"seq\":" + std::to_string(e.seq);
+    out += ",\"time_us\":" + std::to_string(e.time_us);
+    if (e.trace_id != 0) {
+      out += ",\"trace_id\":\"" + obs::format_trace_id(e.trace_id) + "\"";
+    }
+    out += ",\"shard\":" + std::to_string(e.shard);
+    out += ",\"key\":" + obs::json_quote(e.key);
+    out += ",\"exec_us\":" + format_us(e.exec_us);
+    out += ",\"threshold_us\":" + format_us(e.threshold_us);
+    // The phase profile and flight-recorder dump are already JSON objects;
+    // embed them verbatim so /slowz consumers get structure, not strings.
+    out += ",\"profile\":";
+    out += e.profile_json.empty() ? "null" : e.profile_json;
+    out += ",\"slice\":" + obs::json_quote(e.profile_slice);
+    out += ",\"flightrec\":";
+    out += e.flightrec_json.empty() ? "null" : e.flightrec_json;
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dp::service

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// Bounded journal of automatically captured slow queries.
+///
+/// When a diagnosis exceeds its adaptive threshold (service.h: k x the live
+/// p99 from the exec-latency sketch, floored by --slow-ms), the worker that
+/// ran it files a SlowQueryEntry *at completion time*, carrying everything a
+/// human would have had to pre-attach to debug it after the fact:
+///   - the trace id the client minted (joins against /tracez and logs),
+///   - the --explain phase profile the worker already renders,
+///   - a flight-recorder snapshot taken at capture (the last ~256 events
+///     per thread around the slow run),
+///   - the worker's profiler slice: collapsed stacks sampled on that thread
+///     while the query ran, plus one synchronous self-sample.
+///
+/// One journal per shard keeps capture contention off the other shards'
+/// workers; DiagnosisService::slowz_json() merges them for /slowz, the
+/// `slowz` NDJSON op, and the watchdog/panic stderr dumps.
+namespace dp::service {
+
+struct SlowQueryEntry {
+  std::uint64_t seq = 0;       // per-journal capture ordinal
+  std::uint64_t time_us = 0;   // capture time, obs::monotonic_micros()
+  std::uint64_t trace_id = 0;  // 0 = query carried no trace context
+  std::string key;             // the cache key (scenario + events + flags)
+  std::size_t shard = 0;
+  double exec_us = 0;
+  double threshold_us = 0;        // the adaptive threshold it exceeded
+  std::string profile_json;       // --explain phase profile (JSON object)
+  std::string profile_slice;      // collapsed-stack text for the worker
+  std::string flightrec_json;     // flight-recorder dump (JSON object)
+};
+
+class SlowQueryJournal {
+ public:
+  /// Keeps the most recent `capacity` entries (older ones fall off).
+  explicit SlowQueryJournal(std::size_t capacity);
+
+  void add(SlowQueryEntry entry);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Total captures since construction (>= size() once the ring wraps).
+  [[nodiscard]] std::uint64_t captured() const;
+  [[nodiscard]] std::vector<SlowQueryEntry> snapshot() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<SlowQueryEntry> entries_;
+  std::uint64_t captured_ = 0;
+};
+
+/// Renders entries (already merged/sorted by the caller) as the /slowz
+/// document: one line, {"captured": N, "entries": [...]}.
+std::string render_slowz_json(const std::vector<SlowQueryEntry>& entries,
+                              std::uint64_t captured);
+
+}  // namespace dp::service

@@ -8,6 +8,7 @@
 
 #include "ndlog/parser.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "service/diagnose.h"
 #include "service/problem.h"
 
@@ -30,6 +31,7 @@ struct Options {
   Topology topology;
   std::string trace_path;    // --trace-out: Chrome trace-event JSON
   std::string metrics_path;  // --metrics-out: metrics registry JSON
+  std::string profile_path;  // --profile-out: collapsed stacks (flamegraph)
   bool stats = false;        // --stats: human-readable metrics table
   std::string exec;          // --exec: fullscan | row | batch (default batch)
 };
@@ -41,7 +43,7 @@ constexpr const char* kUsage =
     "                    [--link A B DELAY]... [--list-scenarios]\n"
     "                    [--dump-log NAME]\n"
     "                    [--trace-out FILE] [--metrics-out FILE] [--stats]\n"
-    "                    [--exec fullscan|row|batch]\n"
+    "                    [--profile-out FILE] [--exec fullscan|row|batch]\n"
     "\n"
     "execution variants (outputs are byte-identical; CI diffs them):\n"
     "  --exec fullscan     reference evaluator, no join plans\n"
@@ -52,6 +54,9 @@ constexpr const char* kUsage =
     "  --trace-out FILE    write a Chrome trace-event JSON of the diagnosis\n"
     "                      (open in ui.perfetto.dev or chrome://tracing)\n"
     "  --metrics-out FILE  write the dp.* metrics registry as JSON\n"
+    "  --profile-out FILE  sample the diagnosis with the scope profiler and\n"
+    "                      write weighted collapsed stacks (pipe into\n"
+    "                      flamegraph.pl or load in speedscope)\n"
     "  --stats             print the metrics registry as a table\n"
     "  --dump-log NAME     print a builtin scenario's event log as text\n"
     "                      (streamable into diffprovd via --ingest)\n"
@@ -140,6 +145,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
         auto v = next("a path");
         if (!v) return 2;
         options.metrics_path = *v;
+      } else if (arg == "--profile-out") {
+        auto v = next("a path");
+        if (!v) return 2;
+        options.profile_path = *v;
       } else if (arg == "--stats") {
         options.stats = true;
       } else if (arg == "--exec") {
@@ -227,6 +236,11 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   // engines and the recorder publish into the default registry so one dump
   // covers the whole pipeline.
   if (!options.trace_path.empty()) obs::default_tracer().set_enabled(true);
+  if (!options.profile_path.empty()) {
+    // The sampler snapshots this thread's scope stack while the diagnosis
+    // runs; diagnosis *output* is unchanged (the profiler only observes).
+    obs::ScopeProfiler::instance().start_sampler(std::chrono::milliseconds(2));
+  }
   ReplayOptions replay_options;
   replay_options.engine_config.metrics = &obs::default_registry();
   if (options.exec == "fullscan") {
@@ -249,6 +263,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
 
   const service::DiagnoseOutcome outcome =
       service::diagnose_problem(*problem, spec, replay_options);
+  if (!options.profile_path.empty()) {
+    obs::ScopeProfiler::instance().stop_sampler();
+  }
 
   out << outcome.pre;
   if (!options.dot_path.empty() && !outcome.dot.empty()) {
@@ -281,6 +298,16 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     metrics << obs::default_registry().to_json();
     out << "wrote metrics (" << obs::default_registry().size()
         << " series) to " << options.metrics_path << "\n";
+  }
+  if (!options.profile_path.empty()) {
+    std::ofstream profile(options.profile_path, std::ios::binary);
+    if (!profile) {
+      err << "cannot write " << options.profile_path << "\n";
+      return 2;
+    }
+    profile << obs::ScopeProfiler::instance().collapsed();
+    out << "wrote profile (" << obs::ScopeProfiler::instance().samples()
+        << " samples) to " << options.profile_path << "\n";
   }
   if (options.stats) out << obs::default_registry().to_text();
 

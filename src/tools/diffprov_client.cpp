@@ -49,6 +49,7 @@ constexpr const char* kUsage =
     "  --poll ID | --cancel ID               inspect/cancel a past query\n"
     "  --stats                               server counters\n"
     "  --flightrec                           dump the daemon's flight recorder\n"
+    "  --slowz                               dump the slow-query journal\n"
     "  --shutdown                            drain and stop the daemon\n"
     "\n"
     "  --meta          print cache/timing metadata for the query to stderr\n"
@@ -192,7 +193,7 @@ int main(int argc, char** argv) {
   std::size_t ingest_batch = 0;  // 0 = the whole file in one request
   bool auto_reference = false, minimize = false, bypass_cache = false;
   bool stats = false, shutdown = false, meta = false, seal = false;
-  bool explain = false, flightrec = false;
+  bool explain = false, flightrec = false, slowz = false;
   std::uint64_t trace_id = 0;  // 0 = mint one per invocation
   std::optional<std::uint64_t> poll_id, cancel_id;
 
@@ -283,6 +284,8 @@ int main(int argc, char** argv) {
         stats = true;
       } else if (arg == "--flightrec") {
         flightrec = true;
+      } else if (arg == "--slowz") {
+        slowz = true;
       } else if (arg == "--shutdown") {
         shutdown = true;
       } else if (arg == "--meta") {
@@ -333,6 +336,20 @@ int main(int argc, char** argv) {
         return 3;
       }
       // Raw JSON: the dump is for jq/scripts as much as eyeballs.
+      std::cout << raw << "\n";
+      return 0;
+    }
+    if (slowz) {
+      const std::string raw = connection.raw_round_trip("{\"op\":\"slowz\"}");
+      std::string error;
+      const std::optional<Json> response = Json::parse(raw, error);
+      if (!response || !response->get_bool("ok")) {
+        std::cerr << (response ? response->get_string("error", "slowz failed")
+                               : "bad response: " + error)
+                  << "\n";
+        return 3;
+      }
+      // Same document /slowz serves, as raw JSON for jq/scripts.
       std::cout << raw << "\n";
       return 0;
     }

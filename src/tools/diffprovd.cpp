@@ -15,6 +15,7 @@
 
 #include "obs/flightrec.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "service/daemon.h"
 #include "service/service.h"
 
@@ -29,6 +30,8 @@ constexpr const char* kUsage =
     "                 [--worker-deadline-ms N]\n"
     "                 [--ingest-epoch N] [--ingest-checkpoint-every N]\n"
     "                 [--ingest-compact N] [--ingest-retain N]\n"
+    "                 [--slow-ms N] [--slow-factor K] [--slow-cap N]\n"
+    "                 [--no-profiler] [--profile-interval-ms N]\n"
     "\n"
     "serves diagnosis queries over newline-delimited JSON on\n"
     "127.0.0.1:PORT (default: an ephemeral port, written to --port-file\n"
@@ -49,11 +52,21 @@ constexpr const char* kUsage =
     "resident-segment watermark (default 8), --ingest-retain the\n"
     "checkpoint-covered epochs kept before truncation (default 8).\n"
     "\n"
-    "the same port answers HTTP GETs: /metrics (Prometheus text),\n"
-    "/healthz, /tracez (flight-recorder dump). the flight recorder is on\n"
-    "by default (--no-flightrec disables); a worker busy longer than\n"
+    "the same port answers HTTP GETs: /metrics (Prometheus text, with\n"
+    "dp.*_p50/_p95/_p99/_p999 quantile-sketch series), /healthz, /tracez\n"
+    "(flight-recorder dump), /profilez (scope-profiler collapsed stacks,\n"
+    "flamegraph-ready), /slowz (slow-query journal). the flight recorder\n"
+    "is on by default (--no-flightrec disables); a worker busy longer than\n"
     "--worker-deadline-ms (default 10000, 0 = off) is flagged in\n"
-    "dp.service.worker.stuck and triggers a flight-recorder dump.\n";
+    "dp.service.worker.stuck and triggers flight-recorder + slowz dumps.\n"
+    "\n"
+    "slow-query capture: a query whose exec time exceeds\n"
+    "max(--slow-ms, --slow-factor x live p99) is journaled with its\n"
+    "explain profile, trace id, flight-recorder snapshot, and profiler\n"
+    "slice (--slow-ms default 1000; 0 = purely adaptive, captures the\n"
+    "first query; negative disables; --slow-cap entries kept per shard,\n"
+    "default 32). the scope profiler samples every --profile-interval-ms\n"
+    "(default 10) unless --no-profiler.\n";
 
 dp::service::Daemon* g_daemon = nullptr;
 
@@ -70,6 +83,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_path;
   bool flightrec = true;
+  bool profiler = true;
+  long long profile_interval_ms = 10;
   dp::service::ServiceConfig config;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -140,6 +155,24 @@ int main(int argc, char** argv) {
         config.ingest.retain_epochs = std::stoul(*v);
       } else if (arg == "--no-flightrec") {
         flightrec = false;
+      } else if (arg == "--no-profiler") {
+        profiler = false;
+      } else if (arg == "--profile-interval-ms") {
+        auto v = next("milliseconds");
+        if (!v) return 2;
+        profile_interval_ms = std::stoll(*v);
+      } else if (arg == "--slow-ms") {
+        auto v = next("milliseconds (0 = adaptive only, negative = off)");
+        if (!v) return 2;
+        config.slow_ms = std::stod(*v);
+      } else if (arg == "--slow-factor") {
+        auto v = next("a multiplier");
+        if (!v) return 2;
+        config.slow_factor = std::stod(*v);
+      } else if (arg == "--slow-cap") {
+        auto v = next("a count");
+        if (!v) return 2;
+        config.slow_journal_capacity = std::stoul(*v);
       } else if (arg == "--worker-deadline-ms") {
         auto v = next("milliseconds (0 = off)");
         if (!v) return 2;
@@ -172,6 +205,14 @@ int main(int argc, char** argv) {
     dp::obs::FlightRecorder::instance().set_enabled(true);
     dp::obs::FlightRecorder::install_log_hook();
   }
+  if (profiler) {
+    // Always-on continuous profiling: /profilez serves the accumulated
+    // collapsed stacks; slow-query capture attaches per-thread slices.
+    dp::obs::ScopeProfiler::instance().start_sampler(
+        std::chrono::milliseconds(profile_interval_ms < 1
+                                      ? 1
+                                      : profile_interval_ms));
+  }
 
   try {
     dp::service::DiagnosisService service(config);
@@ -196,6 +237,7 @@ int main(int argc, char** argv) {
     daemon.serve();
     service.shutdown(/*drain=*/true);
     g_daemon = nullptr;
+    dp::obs::ScopeProfiler::instance().stop_sampler();
 
     std::cout << service.stats().to_text();
     if (!metrics_path.empty()) {

@@ -19,6 +19,7 @@
 #include "obs/flightrec.h"
 #include "obs/json_check.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
 #include "service/daemon.h"
 #include "service/protocol.h"
 #include "service/service.h"
@@ -514,6 +515,114 @@ TEST(Daemon, HealthzAndTracezAnswerAndUnknownPathsGet404) {
   ASSERT_TRUE(client.connected());
   const Json stats = parse_ok(client.round_trip(R"({"op":"stats"})"));
   EXPECT_TRUE(stats.get_bool("ok"));
+}
+
+// ------------------------------------------------- slow-query capture --
+
+TEST(Daemon, SlowQueryCaptureCarriesTraceProfileAndProfilerSlice) {
+  obs::ScopeProfiler::instance().clear();
+  obs::ScopeProfiler::instance().start_sampler(std::chrono::milliseconds(2));
+
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  config.workers = 2;
+  // Floor 0 = purely adaptive threshold; the sketch is empty before the
+  // first query, so that query always trips capture (the CI smoke relies on
+  // the same arming).
+  config.slow_ms = 0;
+  DiagnosisService service(config);
+  Daemon daemon(service, /*port=*/0);
+  std::thread server([&daemon] { daemon.serve(); });
+
+  // Scoped so the connection closes before daemon.stop(): serve() joins its
+  // per-connection handlers, and a handler blocks on a still-open client.
+  {
+    TestClient client(daemon.port());
+    ASSERT_TRUE(client.connected());
+    const Json submitted = parse_ok(client.round_trip(
+        R"({"op":"submit","scenario":"sdn1","trace":"c0ffee"})"));
+    ASSERT_TRUE(submitted.get_bool("ok")) << submitted.get_string("error");
+    const Json done = parse_ok(client.round_trip(
+        "{\"op\":\"wait\",\"id\":" +
+        std::to_string(
+            static_cast<std::uint64_t>(submitted.get_number("id"))) +
+        "}"));
+    ASSERT_EQ(done.get_string("state"), "done");
+
+    // The journal is populated before the ticket completes, so the entry is
+    // visible as soon as wait returns -- over the NDJSON op...
+    const Json slowz = parse_ok(client.round_trip(R"({"op":"slowz"})"));
+    ASSERT_TRUE(slowz.get_bool("ok"));
+    const Json* journal = slowz.find("slowz");
+    ASSERT_NE(journal, nullptr);
+    EXPECT_GE(journal->get_number("captured"), 1);
+    const Json* entries = journal->find("entries");
+    ASSERT_NE(entries, nullptr);
+    ASSERT_EQ(entries->kind, Json::Kind::kArray);
+    bool found = false;
+    for (const Json& entry : entries->array) {
+      if (entry.get_string("trace_id") != "c0ffee") continue;
+      found = true;
+      EXPECT_GT(entry.get_number("exec_us"), 0);
+      EXPECT_GE(entry.get_number("exec_us"), entry.get_number("threshold_us"));
+      // The entry carries the query's explain phase profile...
+      const Json* profile = entry.find("profile");
+      ASSERT_NE(profile, nullptr);
+      EXPECT_EQ(profile->kind, Json::Kind::kObject);
+      EXPECT_GT(profile->get_number("total_us"), 0);
+      EXPECT_EQ(profile->get_string("trace_id"), "c0ffee");
+      // ...and a non-empty collapsed-stack slice from the scope profiler (the
+      // capture path's own span guarantees at least one live frame).
+      EXPECT_FALSE(entry.get_string("slice").empty());
+    }
+    EXPECT_TRUE(found) << slowz.get_string("error");
+    EXPECT_GE(registry.counter("dp.service.slow.captured").value(), 1u);
+  }
+
+  // ...and over the HTTP endpoint, same document.
+  const std::string http = http_get(daemon.port(), "/slowz");
+  EXPECT_EQ(http.rfind("HTTP/1.1 200 OK", 0), 0u);
+  EXPECT_NE(http.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(http_body(http).find("c0ffee"), std::string::npos);
+
+  // /profilez serves the sampler's collapsed stacks while it runs.
+  const std::string profilez = http_get(daemon.port(), "/profilez");
+  EXPECT_EQ(profilez.rfind("HTTP/1.1 200 OK", 0), 0u);
+
+  daemon.stop();
+  server.join();
+  service.shutdown();
+  obs::ScopeProfiler::instance().stop_sampler();
+  obs::ScopeProfiler::instance().set_enabled(false);
+  obs::ScopeProfiler::instance().clear();
+}
+
+TEST(Daemon, NegativeSlowFloorDisablesCapture) {
+  obs::MetricsRegistry registry;
+  ServiceConfig config;
+  config.metrics = &registry;
+  config.slow_ms = -1;
+  DiagnosisService service(config);
+  bool shutdown_requested = false;
+
+  const Json submitted = parse_ok(handle_request(
+      service, R"({"op":"submit","scenario":"sdn1"})", shutdown_requested));
+  ASSERT_TRUE(submitted.get_bool("ok"));
+  handle_request(service,
+                 "{\"op\":\"wait\",\"id\":" +
+                     std::to_string(static_cast<std::uint64_t>(
+                         submitted.get_number("id"))) +
+                     "}",
+                 shutdown_requested);
+
+  const Json slowz = parse_ok(
+      handle_request(service, R"({"op":"slowz"})", shutdown_requested));
+  ASSERT_TRUE(slowz.get_bool("ok"));
+  const Json* journal = slowz.find("slowz");
+  ASSERT_NE(journal, nullptr);
+  EXPECT_EQ(journal->get_number("captured"), 0);
+  EXPECT_EQ(registry.counter("dp.service.slow.captured").value(), 0u);
 }
 
 }  // namespace

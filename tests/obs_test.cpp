@@ -5,8 +5,12 @@
 // semantic counters through the registry facade.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -17,6 +21,8 @@
 #include "obs/flightrec.h"
 #include "obs/json_check.h"
 #include "obs/obs.h"
+#include "obs/profiler.h"
+#include "obs/sketch.h"
 #include "util/logging.h"
 #include "provenance/vertex.h"
 #include "replay/replay_engine.h"
@@ -673,6 +679,347 @@ TEST(Obs, EngineRecordsRuleSpansWhenTracingIsEnabled) {
   // Latency samples ride along with the spans.
   EXPECT_GT(run.engine->metrics().histogram("dp.runtime.rule_fire_us").count(),
             0u);
+}
+
+// ---------------------------------------------------- quantile sketches --
+
+TEST(Sketch, RandomizedRelativeErrorVersusExactQuantiles) {
+  // Log-uniform values over nine decades: every octave of the bucket table
+  // gets exercised, and the geometric-midpoint representative must stay
+  // within the advertised relative error of the exact order statistic.
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> exponent(-3.0, 6.0);
+  obs::QuantileSketch sketch;
+  std::vector<double> values;
+  constexpr std::size_t kN = 20000;
+  values.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double v = std::pow(10.0, exponent(rng));
+    values.push_back(v);
+    sketch.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  EXPECT_EQ(sketch.count(), kN);
+  EXPECT_DOUBLE_EQ(sketch.min(), values.front());
+  EXPECT_DOUBLE_EQ(sketch.max(), values.back());
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(kN)));
+    const double exact = values[std::max<std::size_t>(rank, 1) - 1];
+    const double estimate = sketch.quantile(q);
+    EXPECT_LE(std::abs(estimate - exact) / exact,
+              obs::QuantileSketch::kMaxRelativeError)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+  // Estimates never escape the observed range, whatever the bucket mid says.
+  EXPECT_GE(sketch.quantile(0.0), values.front());
+  EXPECT_LE(sketch.quantile(1.0), values.back());
+
+  sketch.reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(Sketch, MergeIsAssociativeAndMatchesDirectObservation) {
+  auto fill = [](obs::QuantileSketch& s, std::uint64_t seed, double scale) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(1.0, 1000.0);
+    for (int i = 0; i < 5000; ++i) s.observe(dist(rng) * scale);
+  };
+  obs::QuantileSketch a, b, c, all;
+  fill(a, 1, 1.0);
+  fill(b, 2, 10.0);
+  fill(c, 3, 0.1);
+  fill(all, 1, 1.0);
+  fill(all, 2, 10.0);
+  fill(all, 3, 0.1);
+
+  obs::QuantileSketch left;  // (a + b) + c
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+  obs::QuantileSketch bc;
+  bc.merge(b);
+  bc.merge(c);
+  obs::QuantileSketch right;  // a + (b + c)
+  right.merge(a);
+  right.merge(bc);
+
+  // Bucket counts are additive integers, so both groupings -- and direct
+  // observation of the union -- agree bit for bit on every statistic.
+  const obs::QuantileSketch::Snapshot l = left.snapshot();
+  const obs::QuantileSketch::Snapshot r = right.snapshot();
+  const obs::QuantileSketch::Snapshot d = all.snapshot();
+  EXPECT_EQ(l.count, r.count);
+  EXPECT_EQ(l.count, d.count);
+  EXPECT_DOUBLE_EQ(l.min, r.min);
+  EXPECT_DOUBLE_EQ(l.max, r.max);
+  for (const auto& [lq, rq, dq] :
+       {std::tuple{l.p50, r.p50, d.p50}, std::tuple{l.p95, r.p95, d.p95},
+        std::tuple{l.p99, r.p99, d.p99},
+        std::tuple{l.p999, r.p999, d.p999}}) {
+    EXPECT_DOUBLE_EQ(lq, rq);
+    EXPECT_DOUBLE_EQ(lq, dq);
+  }
+}
+
+TEST(Sketch, EightThreadConcurrentObserveLosesNothing) {
+  obs::QuantileSketch sketch;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sketch, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sketch.observe(static_cast<double>((t * kPerThread + i) % 1000 + 1));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(sketch.count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 1000.0);
+  // The per-thread value streams are uniform over [1, 1000]; the pooled
+  // median must land near 500 regardless of interleaving.
+  EXPECT_NEAR(sketch.quantile(0.5), 500.0, 500.0 * 0.02);
+}
+
+TEST(Sketch, RegistryExportsPassBothCheckers) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist =
+      registry.histogram("dp.test.lat_us", obs::latency_us_bounds());
+  obs::QuantileSketch& sketch = registry.sketch("dp.test.lat_us");
+  for (const double v : {3.0, 70.0, 900.0, 12000.0}) {
+    hist.observe(v);
+    sketch.observe(v);
+  }
+
+  const obs::PrometheusCheck prom =
+      obs::check_prometheus_text(registry.to_prometheus());
+  ASSERT_TRUE(prom.ok) << prom.error;
+  EXPECT_TRUE(prom.names.count("dp_test_lat_us_p50"));
+  EXPECT_TRUE(prom.names.count("dp_test_lat_us_p999"));
+  EXPECT_TRUE(prom.names.count("dp_test_lat_us_sketch_count"));
+
+  const obs::MetricsCheck json = obs::check_metrics_json(registry.to_json());
+  ASSERT_TRUE(json.ok) << json.error;
+
+  const std::string text = registry.to_text();
+  EXPECT_NE(text.find("(sketch)"), std::string::npos) << text;
+}
+
+TEST(Sketch, PrometheusCheckerValidatesQuantileSeries) {
+  const char* good =
+      "# TYPE s_p50 gauge\ns_p50 1\n"
+      "# TYPE s_p95 gauge\ns_p95 2\n"
+      "# TYPE s_p99 gauge\ns_p99 3\n"
+      "# TYPE s_p999 gauge\ns_p999 4\n"
+      "# TYPE s_max gauge\ns_max 5\n"
+      "# TYPE s_sketch_count counter\ns_sketch_count 10\n";
+  EXPECT_TRUE(obs::check_prometheus_text(good).ok)
+      << obs::check_prometheus_text(good).error;
+
+  // Non-monotone quantiles (p99 < p95).
+  const obs::PrometheusCheck nonmono = obs::check_prometheus_text(
+      "# TYPE s_p50 gauge\ns_p50 1\n"
+      "# TYPE s_p95 gauge\ns_p95 3\n"
+      "# TYPE s_p99 gauge\ns_p99 2\n"
+      "# TYPE s_p999 gauge\ns_p999 4\n"
+      "# TYPE s_max gauge\ns_max 5\n"
+      "# TYPE s_sketch_count counter\ns_sketch_count 10\n");
+  EXPECT_FALSE(nonmono.ok);
+  EXPECT_NE(nonmono.error.find("monotone"), std::string::npos)
+      << nonmono.error;
+
+  // The tail estimate may not exceed the observed max.
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE s_p50 gauge\ns_p50 1\n"
+                   "# TYPE s_p95 gauge\ns_p95 2\n"
+                   "# TYPE s_p99 gauge\ns_p99 3\n"
+                   "# TYPE s_p999 gauge\ns_p999 9\n"
+                   "# TYPE s_max gauge\ns_max 5\n"
+                   "# TYPE s_sketch_count counter\ns_sketch_count 10\n")
+                   .ok);
+
+  // A _p999 series without its lower quantiles is a broken export.
+  EXPECT_FALSE(obs::check_prometheus_text(
+                   "# TYPE s_p50 gauge\ns_p50 1\n"
+                   "# TYPE s_p99 gauge\ns_p99 3\n"
+                   "# TYPE s_p999 gauge\ns_p999 4\n"
+                   "# TYPE s_max gauge\ns_max 5\n"
+                   "# TYPE s_sketch_count counter\ns_sketch_count 10\n")
+                   .ok);
+
+  // Sketch and paired histogram disagreeing on the sample count (beyond the
+  // lock-free scrape-skew allowance) is flagged.
+  const obs::PrometheusCheck diverged = obs::check_prometheus_text(
+      "# TYPE s histogram\n"
+      "s_bucket{le=\"+Inf\"} 100\ns_sum 500\ns_count 100\n"
+      "# TYPE s_p50 gauge\ns_p50 1\n"
+      "# TYPE s_p95 gauge\ns_p95 2\n"
+      "# TYPE s_p99 gauge\ns_p99 3\n"
+      "# TYPE s_p999 gauge\ns_p999 4\n"
+      "# TYPE s_max gauge\ns_max 5\n"
+      "# TYPE s_sketch_count counter\ns_sketch_count 10\n");
+  EXPECT_FALSE(diverged.ok);
+  EXPECT_NE(diverged.error.find("diverges"), std::string::npos)
+      << diverged.error;
+}
+
+TEST(Sketch, JsonCheckerValidatesSketchSection) {
+  // Handcrafted sketches section with inverted quantiles must be rejected.
+  const char* bad =
+      "{\"counters\":{},\"gauges\":{},\"histograms\":{},\"sketches\":"
+      "{\"dp.x\":{\"count\":4,\"min\":1,\"max\":9,"
+      "\"p50\":5,\"p95\":3,\"p99\":6,\"p999\":7}}}";
+  const obs::MetricsCheck check = obs::check_metrics_json(bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("monotone"), std::string::npos) << check.error;
+}
+
+// ------------------------------------------------------ scope profiler --
+
+TEST(Profiler, ScopeStackFoldsIntoWeightedCollapsedStacks) {
+  obs::ScopeProfiler& profiler = obs::ScopeProfiler::instance();
+  profiler.stop_sampler();
+  profiler.clear();
+  profiler.set_enabled(true);
+
+  void* stack = obs::profiler_push_scope("alpha");
+  obs::profiler_push_scope("beta");
+  profiler.sample_once();
+  obs::profiler_pop_scope(stack);
+  profiler.sample_once();
+  obs::profiler_pop_scope(stack);
+  profiler.set_enabled(false);
+
+  const std::string collapsed = profiler.collapsed();
+  EXPECT_NE(collapsed.find("alpha;beta 1\n"), std::string::npos) << collapsed;
+  EXPECT_NE(collapsed.find("alpha 1\n"), std::string::npos) << collapsed;
+  EXPECT_GE(profiler.samples(), 2u);
+  profiler.clear();
+}
+
+TEST(Profiler, SpansMirrorOntoTheScopeStackWhileEnabled) {
+  obs::ScopeProfiler& profiler = obs::ScopeProfiler::instance();
+  profiler.stop_sampler();
+  profiler.clear();
+  profiler.set_enabled(true);
+  {
+    DP_SPAN_CAT("dp.test.outer", "test");
+    {
+      DP_SPAN_CAT("dp.test.inner", "test");
+      profiler.sample_once();
+    }
+  }
+  profiler.set_enabled(false);
+  const std::string collapsed = profiler.collapsed();
+  EXPECT_NE(collapsed.find("dp.test.outer;dp.test.inner 1\n"),
+            std::string::npos)
+      << collapsed;
+  profiler.clear();
+
+  // Disabled: spans leave no trace on the scope stack.
+  {
+    DP_SPAN_CAT("dp.test.ghost", "test");
+    profiler.sample_once();
+  }
+  EXPECT_EQ(profiler.collapsed().find("dp.test.ghost"), std::string::npos);
+  profiler.clear();
+}
+
+TEST(Profiler, SamplerTicksAcrossConcurrentSpanThreads) {
+  obs::ScopeProfiler& profiler = obs::ScopeProfiler::instance();
+  profiler.clear();
+  profiler.start_sampler(std::chrono::milliseconds(1));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        DP_SPAN_CAT("dp.test.worker", "test");
+        DP_SPAN_CAT("dp.test.leaf", "test");
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+  profiler.stop_sampler();
+  profiler.set_enabled(false);
+
+  EXPECT_GT(profiler.samples(), 0u);
+  EXPECT_NE(profiler.collapsed().find("dp.test.worker"), std::string::npos);
+  profiler.clear();
+}
+
+TEST(Profiler, DeepNestingBeyondTheFrameCapStaysBalanced) {
+  obs::ScopeProfiler& profiler = obs::ScopeProfiler::instance();
+  profiler.stop_sampler();
+  profiler.clear();
+  profiler.set_enabled(true);
+  // Push well past kProfileMaxDepth; overflow frames are counted but not
+  // named, and the matching pops must land the stack back at exactly zero.
+  void* stack = nullptr;
+  for (int d = 0; d < static_cast<int>(obs::kProfileMaxDepth) + 8; ++d) {
+    stack = obs::profiler_push_scope("deep");
+  }
+  profiler.sample_once();
+  for (int d = 0; d < static_cast<int>(obs::kProfileMaxDepth) + 8; ++d) {
+    obs::profiler_pop_scope(stack);
+  }
+  profiler.sample_once();  // depth back to zero: nothing new folds in
+  profiler.set_enabled(false);
+  const std::uint64_t after = profiler.samples();
+  EXPECT_EQ(after, 1u) << profiler.collapsed();
+  profiler.clear();
+}
+
+// One full SDN1 diagnosis under explicit engine options.
+std::string diagnose_sdn1_fingerprint_with(const ReplayOptions& options) {
+  sdn::Scenario s = sdn::sdn1();
+  LogReplayProvider provider(s.program, s.topology, s.log, options);
+  const BadRun run = provider.replay_bad({});
+  const auto good_tree = locate_tree(*run.graph, s.good_event);
+  const auto bad_tree = locate_tree(*run.graph, s.bad_event);
+  if (!good_tree || !bad_tree) return "tree missing";
+  DiffProv diffprov(s.program, provider);
+  const DiffProvResult result = diffprov.diagnose(*good_tree, s.bad_event);
+  return good_tree->to_text() + "\n---\n" + bad_tree->to_text() + "\n---\n" +
+         result.to_string();
+}
+
+TEST(Profiler, DiagnosisIsByteIdenticalWithProfilerOnAcrossExecVariants) {
+  obs::ScopeProfiler& profiler = obs::ScopeProfiler::instance();
+  struct Variant {
+    const char* name;
+    bool plans;
+    bool batch;
+  };
+  for (const Variant v : {Variant{"fullscan", false, false},
+                          Variant{"row", true, false},
+                          Variant{"batch", true, true}}) {
+    ReplayOptions options;
+    options.engine_config.use_join_plans = v.plans;
+    options.engine_config.use_batch_exec = v.batch;
+
+    profiler.stop_sampler();
+    profiler.set_enabled(false);
+    const std::string off = diagnose_sdn1_fingerprint_with(options);
+
+    profiler.start_sampler(std::chrono::milliseconds(1));
+    const std::string on = diagnose_sdn1_fingerprint_with(options);
+    profiler.stop_sampler();
+    profiler.set_enabled(false);
+
+    EXPECT_EQ(off, on) << "--exec " << v.name;
+    EXPECT_NE(off.find("DiffProv: success"), std::string::npos) << v.name;
+  }
+  profiler.clear();
 }
 
 }  // namespace
